@@ -1,0 +1,435 @@
+//! # edgecolor-baselines
+//!
+//! Baseline edge coloring algorithms used as comparison points for the
+//! polylog-in-Δ algorithms of the `edgecolor` crate. They correspond to the
+//! prior work the reproduced paper positions itself against:
+//!
+//! * [`greedy_sequential`] — the trivial centralized first-fit greedy
+//!   (≤ 2Δ−1 colors), the correctness yardstick;
+//! * [`misra_gries`] — the centralized Misra–Gries implementation of Vizing's
+//!   theorem (≤ Δ+1 colors), the color-count yardstick;
+//! * [`greedy_by_classes`] — the classic distributed greedy that iterates
+//!   through the classes of an `O(Δ̄²)` initial edge coloring
+//!   (`O(Δ² + log* n)` rounds, ≤ Δ̄+1 colors);
+//! * [`kw_reduction`] — a Kuhn–Wattenhofer style color reduction
+//!   (`O(Δ log Δ + log* n)` rounds, ≤ Δ̄+1 colors), the "linear in Δ"
+//!   generation of algorithms;
+//! * [`randomized_coloring`] — the simple randomized algorithm
+//!   (`O(log n)` rounds with high probability, 2Δ−1 colors) known since the
+//!   1980s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use distgraph::{Color, EdgeColoring, EdgeId, Graph, NodeId};
+use distsim::{IdAssignment, Metrics, Model, Network};
+use edgecolor::greedy_finish::greedy_palette_coloring_by_schedule;
+use edgecolor::linial::linial_edge_coloring;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a distributed baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// The produced coloring.
+    pub coloring: EdgeColoring,
+    /// Number of colors used.
+    pub colors_used: usize,
+    /// Execution cost.
+    pub metrics: Metrics,
+}
+
+/// Centralized first-fit greedy edge coloring: processes edges in identifier
+/// order and assigns the smallest color not used by an adjacent edge.
+/// Uses at most `Δ̄ + 1 ≤ 2Δ − 1` colors.
+pub fn greedy_sequential(graph: &Graph) -> EdgeColoring {
+    let mut coloring = EdgeColoring::empty(graph.m());
+    for e in graph.edges() {
+        let used = coloring.colors_around(graph, e);
+        let c = (0..).find(|c| !used.contains(c)).expect("a free color always exists");
+        coloring.set(e, c);
+    }
+    coloring
+}
+
+/// Centralized Misra–Gries edge coloring (constructive Vizing): uses at most
+/// `Δ + 1` colors.
+///
+/// The implementation follows the textbook fan-rotation / cd-path-inversion
+/// procedure; it is quadratic-ish and intended as a color-count yardstick for
+/// the experiments, not as a distributed algorithm.
+pub fn misra_gries(graph: &Graph) -> EdgeColoring {
+    let palette = graph.max_degree() + 1;
+    let mut coloring = EdgeColoring::empty(graph.m());
+
+    let free_at = |coloring: &EdgeColoring, v: NodeId| -> Vec<bool> {
+        let mut free = vec![true; palette];
+        for nb in graph.neighbors(v) {
+            if let Some(c) = coloring.color(nb.edge) {
+                free[c] = false;
+            }
+        }
+        free
+    };
+
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        // Build a maximal fan of u starting at v.
+        let mut fan: Vec<NodeId> = vec![v];
+        let mut fan_edges: Vec<EdgeId> = vec![e];
+        let mut in_fan: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        in_fan.insert(v);
+        loop {
+            let last = *fan.last().expect("fan is non-empty");
+            let free_last = free_at(&coloring, last);
+            let mut extended = false;
+            for nb in graph.neighbors(u) {
+                if in_fan.contains(&nb.node) {
+                    continue;
+                }
+                if let Some(c) = coloring.color(nb.edge) {
+                    if free_last[c] {
+                        fan.push(nb.node);
+                        fan_edges.push(nb.edge);
+                        in_fan.insert(nb.node);
+                        extended = true;
+                        break;
+                    }
+                }
+            }
+            if !extended {
+                break;
+            }
+        }
+
+        // c is free at u, d is free at the last fan vertex.
+        let free_u = free_at(&coloring, u);
+        let c = (0..palette).find(|&x| free_u[x]).expect("u has a free color");
+        let last = *fan.last().expect("fan is non-empty");
+        let free_last = free_at(&coloring, last);
+        let d = (0..palette).find(|&x| free_last[x]).expect("fan tip has a free color");
+
+        if !free_u[d] {
+            // Invert the cd-path starting at u: the maximal path alternating
+            // colors d, c, d, ... starting from u.
+            let mut path_edges = Vec::new();
+            let mut current = u;
+            let mut want = d;
+            let mut prev_edge: Option<EdgeId> = None;
+            loop {
+                let next = graph.neighbors(current).iter().find(|nb| {
+                    Some(nb.edge) != prev_edge && coloring.color(nb.edge) == Some(want)
+                });
+                match next {
+                    None => break,
+                    Some(nb) => {
+                        path_edges.push(nb.edge);
+                        prev_edge = Some(nb.edge);
+                        current = nb.node;
+                        want = if want == d { c } else { d };
+                    }
+                }
+            }
+            for &pe in &path_edges {
+                let col = coloring.color(pe).expect("path edges are colored");
+                coloring.set(pe, if col == d { c } else { d });
+            }
+        }
+
+        // Find a prefix [f_0, ..., f_w] that is still a fan under the updated
+        // coloring and whose tip has d free; rotate it and color (u, f_w)
+        // with d. Such a prefix always exists (Misra–Gries invariant).
+        let mut w_index = None;
+        let mut prefix_is_fan = true;
+        for j in 0..fan.len() {
+            if j > 0 {
+                // Fan condition: the color of (u, f_j) must be free at f_{j-1}.
+                let col = coloring.color(fan_edges[j]);
+                match col {
+                    Some(col) if free_at(&coloring, fan[j - 1])[col] => {}
+                    _ => {
+                        prefix_is_fan = false;
+                    }
+                }
+            }
+            if !prefix_is_fan {
+                break;
+            }
+            if free_at(&coloring, fan[j])[d] {
+                w_index = Some(j);
+            }
+        }
+        let w_index = w_index.expect("Misra-Gries guarantees a rotatable fan prefix");
+        // Rotate: edge (u, fan[i]) takes the color of edge (u, fan[i+1]).
+        for i in 0..w_index {
+            let next_color = coloring.color(fan_edges[i + 1]).expect("rotated fan edges are colored");
+            coloring.set(fan_edges[i], next_color);
+        }
+        coloring.set(fan_edges[w_index], d);
+    }
+    coloring
+}
+
+/// The classic distributed greedy: compute an `O(Δ̄²)`-edge coloring in
+/// `O(log* n)` rounds (Linial on the line graph) and then iterate through its
+/// color classes, each class picking greedily from `{0, ..., Δ̄}`.
+/// Uses `O(Δ² + log* n)` rounds and at most `Δ̄ + 1` colors.
+pub fn greedy_by_classes(graph: &Graph, ids: &IdAssignment, model: Model) -> BaselineRun {
+    let mut net = Network::new(graph, model);
+    let mut coloring = EdgeColoring::empty(graph.m());
+    if graph.m() > 0 {
+        let schedule = linial_edge_coloring(graph, ids, &mut net);
+        let palette = graph.max_edge_degree() + 1;
+        let outcome =
+            greedy_palette_coloring_by_schedule(graph, &schedule, palette, &mut coloring, &mut net);
+        debug_assert!(outcome.uncolorable.is_empty());
+    }
+    BaselineRun { colors_used: coloring.palette_size(), coloring, metrics: net.metrics() }
+}
+
+/// A Kuhn–Wattenhofer style color reduction: starting from the `O(Δ̄²)`
+/// initial coloring, repeatedly partition the color classes into buckets of
+/// `2(Δ̄+1)` classes and compress every bucket into `Δ̄+1` fresh colors by
+/// iterating through its classes. Each iteration halves the palette at the
+/// cost of `O(Δ̄)` rounds, giving `O(Δ̄ log Δ̄ + log* n)` rounds overall and a
+/// final palette of at most `Δ̄ + 1` colors. This represents the
+/// "linear in Δ" generation of deterministic algorithms ([11, 38, 44]).
+pub fn kw_reduction(graph: &Graph, ids: &IdAssignment, model: Model) -> BaselineRun {
+    let mut net = Network::new(graph, model);
+    let coloring = EdgeColoring::empty(graph.m());
+    if graph.m() == 0 {
+        return BaselineRun { colors_used: 0, coloring, metrics: net.metrics() };
+    }
+    // O(log* n): initial O(Δ̄²) coloring.
+    let mut current = linial_edge_coloring(graph, ids, &mut net);
+    let dbar = graph.max_edge_degree();
+    let target = dbar + 1;
+    let bucket_width = 2 * target;
+
+    loop {
+        let palette = current.palette_size();
+        if palette <= bucket_width {
+            break;
+        }
+        let buckets = palette.div_ceil(bucket_width);
+        let mut next = EdgeColoring::empty(graph.m());
+        // All buckets are processed in parallel: bucket `b` compresses its
+        // classes into the fresh range [b·target, (b+1)·target).
+        for step in 0..bucket_width {
+            // One round: every edge whose class is the `step`-th class of its
+            // bucket picks a free color within its bucket's fresh range.
+            net.charge_rounds(1);
+            for e in graph.edges() {
+                let c = current.color(e).expect("initial coloring is complete");
+                let bucket = c / bucket_width;
+                if c % bucket_width != step {
+                    continue;
+                }
+                let base = bucket * target;
+                let used: std::collections::HashSet<Color> = graph
+                    .adjacent_edges(e)
+                    .into_iter()
+                    .filter_map(|f| next.color(f))
+                    .collect();
+                let fresh = (base..base + target)
+                    .find(|cand| !used.contains(cand))
+                    .expect("Δ̄+1 colors per bucket always suffice");
+                next.set(e, fresh);
+            }
+            net.charge_messages(graph.m() as u64 / bucket_width.max(1) as u64, 2 * distsim::bits_for(target as u64) as u64);
+        }
+        debug_assert!(next.is_complete());
+        debug_assert_eq!(buckets * target >= next.palette_size(), true);
+        current = next;
+    }
+
+    // Final pass: compress the remaining ≤ 2(Δ̄+1) classes into Δ̄+1 colors.
+    let palette = current.palette_size();
+    let mut fin = EdgeColoring::empty(graph.m());
+    for step in 0..palette {
+        net.charge_rounds(1);
+        for e in graph.edges() {
+            if current.color(e) != Some(step) {
+                continue;
+            }
+            let used: std::collections::HashSet<Color> =
+                graph.adjacent_edges(e).into_iter().filter_map(|f| fin.color(f)).collect();
+            let fresh = (0..target).find(|cand| !used.contains(cand)).expect("Δ̄+1 colors suffice");
+            fin.set(e, fresh);
+        }
+    }
+    BaselineRun { colors_used: fin.palette_size(), coloring: fin, metrics: net.metrics() }
+}
+
+/// The simple randomized `(2Δ−1)`-edge coloring: in every round each
+/// uncolored edge proposes a uniformly random free color from `{0, ..., 2Δ−2}`
+/// and keeps it if no adjacent uncolored edge proposed the same color.
+/// Terminates in `O(log n)` rounds with high probability.
+pub fn randomized_coloring(graph: &Graph, seed: u64, model: Model) -> BaselineRun {
+    let mut net = Network::new(graph, model);
+    let mut coloring = EdgeColoring::empty(graph.m());
+    if graph.m() == 0 {
+        return BaselineRun { colors_used: 0, coloring, metrics: net.metrics() };
+    }
+    let palette = (2 * graph.max_degree()).saturating_sub(1).max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let max_rounds = 40 * ((graph.n().max(2) as f64).log2().ceil() as usize);
+
+    for _ in 0..max_rounds {
+        if coloring.is_complete() {
+            break;
+        }
+        net.charge_rounds(1);
+        net.charge_messages(
+            2 * graph.edges().filter(|&e| !coloring.is_colored(e)).count() as u64,
+            distsim::bits_for(palette as u64) as u64,
+        );
+        // Proposals.
+        let mut proposal: Vec<Option<Color>> = vec![None; graph.m()];
+        for e in graph.edges() {
+            if coloring.is_colored(e) {
+                continue;
+            }
+            let used = coloring.colors_around(graph, e);
+            let free: Vec<Color> = (0..palette).filter(|c| !used.contains(c)).collect();
+            if free.is_empty() {
+                continue;
+            }
+            proposal[e.index()] = Some(free[rng.gen_range(0..free.len())]);
+        }
+        // Keep proposals that no adjacent uncolored edge duplicated.
+        for e in graph.edges() {
+            let Some(p) = proposal[e.index()] else { continue };
+            let conflict = graph
+                .adjacent_edges(e)
+                .into_iter()
+                .any(|f| !coloring.is_colored(f) && proposal[f.index()] == Some(p));
+            if !conflict {
+                coloring.set(e, p);
+            }
+        }
+    }
+    // Safety net (does not trigger for reasonable graphs): finish greedily.
+    if !coloring.is_complete() {
+        for e in graph.edges() {
+            if !coloring.is_colored(e) {
+                let used = coloring.colors_around(graph, e);
+                let c = (0..).find(|c| !used.contains(c)).expect("free color exists");
+                coloring.set(e, c);
+                net.charge_rounds(1);
+            }
+        }
+    }
+    BaselineRun { colors_used: coloring.palette_size(), coloring, metrics: net.metrics() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+    use edgecolor_verify::{check_complete, check_palette_size, check_proper_edge_coloring};
+
+    fn verify(graph: &Graph, coloring: &EdgeColoring, palette: usize) {
+        check_proper_edge_coloring(graph, coloring).assert_ok();
+        check_complete(graph, coloring).assert_ok();
+        check_palette_size(coloring, palette).assert_ok();
+    }
+
+    #[test]
+    fn greedy_sequential_respects_two_delta_minus_one() {
+        for g in [
+            generators::random_regular(60, 6, 1).unwrap(),
+            generators::complete_graph(12),
+            generators::erdos_renyi(50, 0.2, 2),
+        ] {
+            let coloring = greedy_sequential(&g);
+            verify(&g, &coloring, (2 * g.max_degree()).saturating_sub(1).max(1));
+        }
+    }
+
+    #[test]
+    fn misra_gries_uses_at_most_delta_plus_one_colors() {
+        for (i, g) in [
+            generators::random_regular(40, 5, 3).unwrap(),
+            generators::complete_graph(9),
+            generators::erdos_renyi(40, 0.2, 7),
+            generators::cycle(11),
+            generators::star(7),
+            generators::random_tree(30, 5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let coloring = misra_gries(&g);
+            check_proper_edge_coloring(&g, &coloring)
+                .assert_ok();
+            check_complete(&g, &coloring).assert_ok();
+            check_palette_size(&coloring, g.max_degree() + 1).assert_ok();
+            assert!(coloring.palette_size() <= g.max_degree() + 1, "graph #{i}");
+        }
+    }
+
+    #[test]
+    fn greedy_by_classes_is_proper_and_bounded() {
+        let g = generators::random_regular(50, 6, 9).unwrap();
+        let ids = IdAssignment::scattered(g.n(), 4);
+        let run = greedy_by_classes(&g, &ids, Model::Local);
+        verify(&g, &run.coloring, g.max_edge_degree() + 1);
+        assert!(run.metrics.rounds > 0);
+    }
+
+    #[test]
+    fn kw_reduction_reaches_delta_bar_plus_one_colors() {
+        let g = generators::random_regular(60, 8, 11).unwrap();
+        let ids = IdAssignment::scattered(g.n(), 6);
+        let run = kw_reduction(&g, &ids, Model::Local);
+        verify(&g, &run.coloring, g.max_edge_degree() + 1);
+        assert_eq!(run.colors_used, run.coloring.palette_size());
+    }
+
+    #[test]
+    fn kw_reduction_round_count_is_near_linear_in_delta() {
+        let g = generators::random_regular(80, 16, 2).unwrap();
+        let ids = IdAssignment::scattered(g.n(), 3);
+        let kw = kw_reduction(&g, &ids, Model::Local);
+        verify(&g, &kw.coloring, g.max_edge_degree() + 1);
+        // O(Δ̄ log Δ̄ + log* n) with a small constant, far below the Δ̄² worst
+        // case of the class-iteration baseline.
+        let dbar = g.max_edge_degree();
+        let bound = 4 * (dbar + 1) * ((dbar as f64).log2().ceil() as usize + 2) + 32;
+        assert!(
+            (kw.metrics.rounds as usize) < bound,
+            "KW used {} rounds, expected fewer than {bound}",
+            kw.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn randomized_coloring_terminates_quickly() {
+        let g = generators::random_regular(100, 8, 5).unwrap();
+        let run = randomized_coloring(&g, 42, Model::Local);
+        verify(&g, &run.coloring, (2 * g.max_degree()).saturating_sub(1));
+        // O(log n) with a generous constant.
+        assert!(run.metrics.rounds <= 40 * 7 + 5);
+    }
+
+    #[test]
+    fn randomized_coloring_is_deterministic_given_seed() {
+        let g = generators::erdos_renyi(40, 0.2, 9);
+        let a = randomized_coloring(&g, 7, Model::Local);
+        let b = randomized_coloring(&g, 7, Model::Local);
+        assert_eq!(a.coloring, b.coloring);
+    }
+
+    #[test]
+    fn baselines_handle_empty_graphs() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        assert_eq!(greedy_sequential(&g).len(), 0);
+        assert_eq!(misra_gries(&g).len(), 0);
+        assert_eq!(greedy_by_classes(&g, &ids, Model::Local).colors_used, 0);
+        assert_eq!(kw_reduction(&g, &ids, Model::Local).colors_used, 0);
+        assert_eq!(randomized_coloring(&g, 1, Model::Local).colors_used, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Wall-clock cost of the (8+ε)Δ CONGEST edge coloring (experiments E3/E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgraph::generators;
+use distsim::IdAssignment;
+use edgecolor::{color_congest, ColoringParams};
+
+fn bench_congest_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_edge_coloring");
+    group.sample_size(10);
+    for &delta in &[8usize, 16] {
+        let graph = generators::random_regular((4 * delta).max(96), delta, 9).unwrap();
+        let ids = IdAssignment::scattered(graph.n(), 5);
+        let params = ColoringParams::new(0.5);
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, _| {
+            b.iter(|| color_congest(&graph, &ids, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest_coloring);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Wall-clock cost of the generalized defective 2-edge coloring (experiment E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgraph::generators;
+use distsim::{Model, Network};
+use edgecolor::defective_edge::{defective_two_edge_coloring, uniform_lambda};
+use edgecolor::{OrientationParams, ParamProfile};
+
+fn bench_defective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defective_two_edge_coloring");
+    group.sample_size(10);
+    for &delta in &[8usize, 16, 32] {
+        let bg = generators::regular_bipartite(2 * delta, delta, 5).unwrap();
+        let lambda = uniform_lambda(bg.graph().m());
+        let params = OrientationParams::new(0.5, ParamProfile::Practical);
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, _| {
+            b.iter(|| {
+                let mut net = Network::new(bg.graph(), Model::Local);
+                defective_two_edge_coloring(&bg, &lambda, &params, &mut net)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defective);
+criterion_main!(benches);

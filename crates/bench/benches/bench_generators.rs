@@ -1,0 +1,29 @@
+//! Wall-clock cost of the graph generators (sanity benchmark for the
+//! experiment harness itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgraph::generators;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("regular_bipartite", "n=256,d=16"), |b| {
+        b.iter(|| generators::regular_bipartite(256, 16, 3).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("random_regular", "n=512,d=16"), |b| {
+        b.iter(|| generators::random_regular(512, 16, 3).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("erdos_renyi", "n=512,p=0.05"), |b| {
+        b.iter(|| generators::erdos_renyi(512, 0.05, 3))
+    });
+    group.bench_function(BenchmarkId::new("power_law", "n=512"), |b| {
+        b.iter(|| generators::power_law(512, 2.5, 24, 3))
+    });
+    group.bench_function(BenchmarkId::new("hypercube", "dim=10"), |b| {
+        b.iter(|| generators::hypercube(10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Wall-clock cost of the (2Δ−1) LOCAL list edge coloring (experiments E1/E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgraph::generators;
+use distsim::IdAssignment;
+use edgecolor::{color_edges_local, ColoringParams};
+
+fn bench_local_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_list_edge_coloring");
+    group.sample_size(10);
+    for &delta in &[8usize, 16] {
+        let graph = generators::random_regular((4 * delta).max(96), delta, 7).unwrap();
+        let ids = IdAssignment::scattered(graph.n(), 3);
+        let params = ColoringParams::new(0.5);
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, _| {
+            b.iter(|| color_edges_local(&graph, &ids, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_coloring);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Wall-clock cost of the balanced orientation phase algorithm (experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgraph::generators;
+use distsim::{Model, Network};
+use edgecolor::balanced_orientation::compute_balanced_orientation;
+use edgecolor::{OrientationParams, ParamProfile};
+
+fn bench_orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balanced_orientation");
+    group.sample_size(10);
+    for &delta in &[8usize, 16, 32] {
+        let bg = generators::regular_bipartite(2 * delta, delta, 3).unwrap();
+        let eta = vec![0.0; bg.graph().m()];
+        let params = OrientationParams::new(0.5, ParamProfile::Practical);
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, _| {
+            b.iter(|| {
+                let mut net = Network::new(bg.graph(), Model::Local);
+                compute_balanced_orientation(&bg, &eta, &params, &mut net)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientation);
+criterion_main!(benches);

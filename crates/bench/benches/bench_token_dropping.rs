@@ -1,0 +1,24 @@
+//! Wall-clock cost of the generalized token dropping solver (experiment E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgecolor::token_dropping::{solve_distributed, solve_sequential, TokenGameParams};
+use edgecolor_bench::layered_token_game;
+
+fn bench_token_dropping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_dropping");
+    group.sample_size(10);
+    for &k in &[64usize, 256, 1024] {
+        let game = layered_token_game(6, 8, k);
+        let params = TokenGameParams { alpha: vec![4; game.n], delta: 4 };
+        group.bench_with_input(BenchmarkId::new("distributed", k), &k, |b, _| {
+            b.iter(|| solve_distributed(&game, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| solve_sequential(&game, |_, _| 0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_dropping);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Prints the evaluation suite E1–E11 (see DESIGN.md and EXPERIMENTS.md).
+//!
+//! Usage:
+//!   cargo run --release -p edgecolor-bench --bin experiments            # all experiments
+//!   cargo run --release -p edgecolor-bench --bin experiments -- e1 e4   # a subset
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick   # smaller sweeps
+
+use edgecolor_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all" || a == "quick");
+
+    let deltas: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64] };
+    let small_deltas: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let ns: &[usize] = if quick { &[128, 256, 512] } else { &[128, 256, 512, 1024, 2048] };
+    let congest_ns: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024] };
+    let orientation_deltas: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128] };
+    let orientation_eps: &[f64] = if quick { &[0.5] } else { &[0.25, 0.5, 1.0] };
+
+    let mut tables = Vec::new();
+    if want("e1") {
+        tables.push(bench::run_e1(deltas));
+    }
+    if want("e2") {
+        tables.push(bench::run_e2(ns));
+    }
+    if want("e3") {
+        tables.push(bench::run_e3(small_deltas, &[0.25, 0.5, 1.0]));
+    }
+    if want("e4") || want("e8") {
+        tables.push(bench::run_e4(&[64, 256, 1024], &[1, 4, 16, 64]));
+    }
+    if want("e5") {
+        tables.push(bench::run_e5(orientation_deltas, orientation_eps));
+    }
+    if want("e6") {
+        tables.push(bench::run_e6(orientation_deltas));
+    }
+    if want("e7") {
+        tables.push(bench::run_e7(congest_ns));
+    }
+    if want("e9") {
+        tables.push(bench::run_e9());
+    }
+    if want("e10") {
+        tables.push(bench::run_e10());
+    }
+    if want("e11") {
+        tables.push(bench::run_e11(small_deltas));
+    }
+
+    for table in &tables {
+        println!("{table}");
+    }
+}

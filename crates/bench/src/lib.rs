@@ -1,0 +1,468 @@
+//! # edgecolor-bench
+//!
+//! The experiment harness regenerating the evaluation suite E1–E11 described
+//! in `DESIGN.md`. Each `run_eN` function returns one or more [`Table`]s; the
+//! `experiments` binary prints them and `EXPERIMENTS.md` records a reference
+//! run. The Criterion benches under `benches/` measure the wall-clock cost of
+//! the simulation itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use distgraph::{generators, Graph, ListAssignment, NodeId};
+use distsim::{IdAssignment, Model, Network};
+use edgecolor::balanced_orientation::compute_balanced_orientation;
+use edgecolor::defective_edge::{defective_two_edge_coloring, measure_defect_ratio, uniform_lambda};
+use edgecolor::token_dropping::{
+    check_theorem_4_3, solve_distributed, theorem_4_3_bound, TokenGame, TokenGameParams,
+};
+use edgecolor::{color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile};
+use edgecolor_baselines as baselines;
+use edgecolor_verify::{check_complete, check_proper_edge_coloring};
+use serde::Serialize;
+
+/// A printable result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "E1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn ids_for(graph: &Graph, seed: u64) -> IdAssignment {
+    IdAssignment::scattered(graph.n(), seed)
+}
+
+fn regular_graph(delta: usize, seed: u64) -> Graph {
+    let n = (4 * delta).max(96);
+    let n = if n % 2 == 1 { n + 1 } else { n };
+    generators::random_regular(n, delta, seed).expect("feasible regular graph")
+}
+
+/// E1 — rounds versus Δ for (2Δ−1)-edge coloring in the LOCAL model,
+/// compared with the baselines.
+pub fn run_e1(deltas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E1",
+        "LOCAL rounds vs Δ: this paper vs baselines (random Δ-regular graphs)",
+        &[
+            "Δ", "n", "ours rounds", "ours colors", "greedy-classes rounds", "kw rounds",
+            "randomized rounds", "ours log*-part",
+        ],
+    );
+    let params = ColoringParams::new(0.5);
+    for &delta in deltas {
+        let graph = regular_graph(delta, 7);
+        let ids = ids_for(&graph, 3);
+        let ours = color_edges_local(&graph, &ids, &params).expect("valid instance");
+        check_proper_edge_coloring(&graph, &ours.coloring).assert_ok();
+        check_complete(&graph, &ours.coloring).assert_ok();
+        let classes = baselines::greedy_by_classes(&graph, &ids, Model::Local);
+        let kw = baselines::kw_reduction(&graph, &ids, Model::Local);
+        let random = baselines::randomized_coloring(&graph, 5, Model::Local);
+        table.push_row(vec![
+            delta.to_string(),
+            graph.n().to_string(),
+            ours.metrics.rounds.to_string(),
+            ours.coloring.palette_size().to_string(),
+            classes.metrics.rounds.to_string(),
+            kw.metrics.rounds.to_string(),
+            random.metrics.rounds.to_string(),
+            ours.initial_coloring_rounds.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E2 — rounds versus n at fixed Δ (the locality / log* n claim).
+pub fn run_e2(ns: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E2",
+        "LOCAL rounds vs n at fixed Δ = 8 (only the O(log* n) part may grow)",
+        &["n", "total rounds", "initial O(Δ²)-coloring rounds", "colors"],
+    );
+    let params = ColoringParams::new(0.5);
+    for &n in ns {
+        let n = if n % 2 == 1 { n + 1 } else { n };
+        let graph = generators::random_regular(n, 8, 11).expect("feasible");
+        let ids = ids_for(&graph, 1);
+        let ours = color_edges_local(&graph, &ids, &params).expect("valid instance");
+        table.push_row(vec![
+            n.to_string(),
+            ours.metrics.rounds.to_string(),
+            ours.initial_coloring_rounds.to_string(),
+            ours.coloring.palette_size().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E3 — CONGEST colors used versus Δ and ε (Theorem 1.2's (8+ε)Δ bound).
+pub fn run_e3(deltas: &[usize], epsilons: &[f64]) -> Table {
+    let mut table = Table::new(
+        "E3",
+        "CONGEST (8+ε)Δ coloring: colors used vs Δ and ε",
+        &["Δ", "ε", "colors", "colors/Δ", "rounds", "levels", "violations"],
+    );
+    for &delta in deltas {
+        for &eps in epsilons {
+            let graph = regular_graph(delta, 13);
+            let ids = ids_for(&graph, 5);
+            let params = ColoringParams::new(eps);
+            let result = color_congest(&graph, &ids, &params);
+            check_proper_edge_coloring(&graph, &result.coloring).assert_ok();
+            check_complete(&graph, &result.coloring).assert_ok();
+            table.push_row(vec![
+                delta.to_string(),
+                format!("{eps:.2}"),
+                result.colors_used.to_string(),
+                format!("{:.2}", result.colors_used as f64 / delta as f64),
+                result.metrics.rounds.to_string(),
+                result.levels.to_string(),
+                result.metrics.congest_violations.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Builds the layered token dropping instance used by E4/E8.
+pub fn layered_token_game(layers: usize, width: usize, k: usize) -> TokenGame {
+    let n = layers * width;
+    let mut arcs = Vec::new();
+    for l in 0..layers - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                arcs.push((NodeId::new(l * width + a), NodeId::new((l + 1) * width + b)));
+            }
+        }
+    }
+    let mut tokens = vec![0usize; n];
+    for t in tokens.iter_mut().take(width) {
+        *t = k;
+    }
+    TokenGame::new(n, arcs, k, tokens)
+}
+
+/// E4 / E8 — token dropping: phases, rounds and slack versus k and δ
+/// (Theorem 4.3 and the δ trade-off of Section 4.1).
+pub fn run_e4(ks: &[usize], deltas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E4/E8",
+        "Generalized token dropping: k/δ trade-off (layered game, 6 layers × 8 nodes)",
+        &["k", "δ", "phases", "rounds", "max slack measured", "max slack bound", "violations"],
+    );
+    for &k in ks {
+        for &delta in deltas {
+            if delta > k {
+                continue;
+            }
+            let game = layered_token_game(6, 8, k);
+            let params = TokenGameParams { alpha: vec![delta; game.n], delta };
+            let result = solve_distributed(&game, &params);
+            let violations = check_theorem_4_3(&game, &params, &result);
+            let mut max_measured = 0i64;
+            let mut max_bound = 0f64;
+            for (i, &(u, v)) in game.arcs.iter().enumerate() {
+                if result.moved[i] {
+                    continue;
+                }
+                max_measured = max_measured
+                    .max(result.tokens[u.index()] as i64 - result.tokens[v.index()] as i64);
+                max_bound = max_bound.max(theorem_4_3_bound(&game, &params, u, v));
+            }
+            table.push_row(vec![
+                k.to_string(),
+                delta.to_string(),
+                result.phases.to_string(),
+                result.rounds.to_string(),
+                max_measured.to_string(),
+                format!("{max_bound:.0}"),
+                violations.len().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E5 — generalized defective 2-edge coloring quality versus ε
+/// (Corollary 5.7): the measured defect divided by the allowed bound.
+pub fn run_e5(deltas: &[usize], epsilons: &[f64]) -> Table {
+    let mut table = Table::new(
+        "E5",
+        "Defective 2-edge coloring (λ = 1/2): defect ratio and rounds vs Δ and ε",
+        &["Δ", "ε", "max defect ratio", "rounds", "phases", "red share"],
+    );
+    for &delta in deltas {
+        for &eps in epsilons {
+            let bg = generators::regular_bipartite(2 * delta, delta, 3).expect("feasible");
+            let lambda = uniform_lambda(bg.graph().m());
+            let params = OrientationParams::new(eps, ParamProfile::Practical);
+            let mut net = Network::new(bg.graph(), Model::Local);
+            let split = defective_two_edge_coloring(&bg, &lambda, &params, &mut net);
+            let ratio = measure_defect_ratio(&bg, &split, &lambda);
+            table.push_row(vec![
+                delta.to_string(),
+                format!("{eps:.2}"),
+                format!("{ratio:.3}"),
+                net.rounds().to_string(),
+                split.phases.to_string(),
+                format!("{:.2}", split.red_count() as f64 / bg.graph().m() as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 — balanced orientation: measured additive slack versus the Theorem 5.6
+/// bound (Definition 5.2 must hold, i.e. zero violations).
+pub fn run_e6(deltas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6",
+        "Balanced edge orientation (η = 0): measured β vs guaranteed β",
+        &["Δ", "ε", "measured β", "guaranteed β", "phases", "rounds"],
+    );
+    for &delta in deltas {
+        let bg = generators::regular_bipartite(2 * delta, delta, 9).expect("feasible");
+        let eps = 0.5;
+        let params = OrientationParams::new(eps, ParamProfile::Practical);
+        let eta = vec![0.0; bg.graph().m()];
+        let mut net = Network::new(bg.graph(), Model::Local);
+        let result = compute_balanced_orientation(&bg, &eta, &params, &mut net);
+        table.push_row(vec![
+            delta.to_string(),
+            format!("{:.2}", result.eps),
+            format!("{:.1}", result.measured_beta),
+            format!("{:.1}", result.beta),
+            result.phases.to_string(),
+            result.rounds.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E7 — CONGEST bandwidth audit: maximum message size versus the O(log n)
+/// limit as n grows.
+pub fn run_e7(ns: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E7",
+        "CONGEST bandwidth audit (Δ = 16): max message bits vs the model limit",
+        &["n", "bandwidth limit (bits)", "max message (bits)", "violations", "total messages"],
+    );
+    for &n in ns {
+        let n = if n % 2 == 1 { n + 1 } else { n };
+        let graph = generators::random_regular(n, 16, 17).expect("feasible");
+        let ids = ids_for(&graph, 23);
+        let params = ColoringParams::new(0.5);
+        let result = color_congest(&graph, &ids, &params);
+        let limit = Model::congest_for(n).bandwidth_limit().unwrap_or(0);
+        table.push_row(vec![
+            n.to_string(),
+            limit.to_string(),
+            result.metrics.max_message_bits.to_string(),
+            result.metrics.congest_violations.to_string(),
+            result.metrics.messages.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E9 — summary across graph families (LOCAL and CONGEST).
+pub fn run_e9() -> Table {
+    let mut table = Table::new(
+        "E9",
+        "Graph-family summary (target Δ ≈ 16, n ≈ 256)",
+        &["family", "n", "m", "Δ", "LOCAL colors", "LOCAL rounds", "CONGEST colors", "CONGEST rounds", "valid"],
+    );
+    let params = ColoringParams::new(0.5);
+    for family in generators::Family::all() {
+        let graph = family.generate(256, 16, 31);
+        if graph.m() == 0 {
+            continue;
+        }
+        let ids = ids_for(&graph, 3);
+        let local = color_edges_local(&graph, &ids, &params).expect("valid instance");
+        let congest = color_congest(&graph, &ids, &params);
+        let valid = check_proper_edge_coloring(&graph, &local.coloring).is_ok()
+            && check_complete(&graph, &local.coloring).is_ok()
+            && check_proper_edge_coloring(&graph, &congest.coloring).is_ok()
+            && check_complete(&graph, &congest.coloring).is_ok();
+        table.push_row(vec![
+            family.name().to_string(),
+            graph.n().to_string(),
+            graph.m().to_string(),
+            graph.max_degree().to_string(),
+            local.coloring.palette_size().to_string(),
+            local.metrics.rounds.to_string(),
+            congest.colors_used.to_string(),
+            congest.metrics.rounds.to_string(),
+            valid.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E10 — list edge coloring with skewed lists: solver activity and validity.
+pub fn run_e10() -> Table {
+    let mut table = Table::new(
+        "E10",
+        "(degree+1)-list edge coloring with skewed lists (Δ = 16 regular bipartite)",
+        &["list shape", "colors used", "rounds", "solver calls", "fallback rounds", "outer iters"],
+    );
+    let bg = generators::regular_bipartite(48, 16, 7).expect("feasible");
+    let graph = bg.graph().clone();
+    let space = 4 * graph.max_edge_degree();
+    let ids = ids_for(&graph, 9);
+    let params = ColoringParams::new(0.5);
+
+    let shapes: Vec<(&str, ListAssignment)> = vec![
+        ("uniform (degree+1)", ListAssignment::degree_plus_one(&graph)),
+        (
+            "skewed low/high halves",
+            ListAssignment::new(
+                space,
+                graph
+                    .edges()
+                    .map(|e| {
+                        let need = graph.edge_degree(e) + 1;
+                        if e.index() % 2 == 0 {
+                            (0..need).collect()
+                        } else {
+                            (space - need..space).collect()
+                        }
+                    })
+                    .collect(),
+            ),
+        ),
+        ("full 2Δ−1 palette", ListAssignment::full_palette(&graph, 2 * graph.max_degree() - 1)),
+    ];
+    for (name, lists) in shapes {
+        let outcome = edgecolor::list_edge_coloring(&graph, &lists, &ids, &params).expect("valid lists");
+        check_proper_edge_coloring(&graph, &outcome.coloring).assert_ok();
+        check_complete(&graph, &outcome.coloring).assert_ok();
+        table.push_row(vec![
+            name.to_string(),
+            outcome.colors_used.to_string(),
+            outcome.metrics.rounds.to_string(),
+            outcome.solver_calls.to_string(),
+            outcome.fallback_rounds.to_string(),
+            outcome.outer_iterations.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E11 — baseline color-count comparison.
+pub fn run_e11(deltas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E11",
+        "Colors used: baselines vs this paper (random Δ-regular graphs)",
+        &["Δ", "Misra–Gries (Δ+1)", "greedy seq", "greedy classes", "randomized", "ours LOCAL", "ours CONGEST"],
+    );
+    for &delta in deltas {
+        let graph = regular_graph(delta, 19);
+        let ids = ids_for(&graph, 7);
+        let params = ColoringParams::new(0.5);
+        let ours_local = color_edges_local(&graph, &ids, &params).expect("valid instance");
+        let ours_congest = color_congest(&graph, &ids, &params);
+        table.push_row(vec![
+            delta.to_string(),
+            baselines::misra_gries(&graph).palette_size().to_string(),
+            baselines::greedy_sequential(&graph).palette_size().to_string(),
+            baselines::greedy_by_classes(&graph, &ids, Model::Local).colors_used.to_string(),
+            baselines::randomized_coloring(&graph, 3, Model::Local).colors_used.to_string(),
+            ours_local.coloring.palette_size().to_string(),
+            ours_congest.colors_used.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_is_stable() {
+        let mut t = Table::new("T", "test", &["a", "bbbb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## T — test"));
+        assert!(s.contains("bbbb"));
+    }
+
+    #[test]
+    fn small_experiments_run_quickly_and_validate() {
+        // Smoke-test the harness with tiny sizes so `cargo test` stays fast.
+        let e1 = run_e1(&[4]);
+        assert_eq!(e1.rows.len(), 1);
+        let e4 = run_e4(&[32], &[1, 4]);
+        assert_eq!(e4.rows.len(), 2);
+        let e5 = run_e5(&[8], &[0.5]);
+        assert_eq!(e5.rows.len(), 1);
+        // Defect ratio must be within the Corollary 5.7 bound.
+        let ratio: f64 = e5.rows[0][2].parse().unwrap();
+        assert!(ratio <= 1.0 + 1e-9);
+        let e6 = run_e6(&[8]);
+        assert_eq!(e6.rows.len(), 1);
+        let e7 = run_e7(&[64]);
+        assert_eq!(e7.rows[0][3], "0");
+    }
+
+    #[test]
+    fn layered_game_builder_matches_expectations() {
+        let game = layered_token_game(3, 4, 8);
+        assert_eq!(game.n, 12);
+        assert_eq!(game.num_arcs(), 2 * 16);
+        assert_eq!(game.total_tokens(), 4 * 8);
+    }
+}

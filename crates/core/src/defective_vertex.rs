@@ -1,0 +1,385 @@
+//! Defective vertex colorings (the substrate imported from [11],
+//! Barenboim–Elkin–Kuhn, used by Lemma 6.2 and Theorem D.4).
+//!
+//! A *d-defective c-coloring* assigns one of `c` colors to every node so that
+//! each node has at most `d` neighbors of its own color. The paper uses two
+//! instances of this substrate:
+//!
+//! * Lemma 6.2: an `(εΔ + ⌊Δ/2⌋)`-defective **4**-coloring, used to carve the
+//!   graph into bipartite pieces for the CONGEST algorithm (Theorem 6.3);
+//! * Theorem D.4: a `Δ/2`-defective `O(1)`-coloring, used to carve the graph
+//!   into bipartite pieces for the LOCAL list coloring algorithm.
+//!
+//! Both are built from the same one-round *defective reduction step*: given a
+//! (possibly already defective) coloring, every node re-interprets its color
+//! as a low-degree polynomial over a prime field and picks the evaluation
+//! point minimizing collisions with its neighbors, which adds at most
+//! `t·Δ/q ≤ d_step` to its defect while shrinking the palette to `q²`
+//! (see DESIGN.md for the substitution notes versus the exact procedure
+//! of [11]).
+
+use crate::linial::next_prime;
+use distgraph::{Graph, VertexColoring};
+use distsim::Network;
+
+/// Result of an iterated defective coloring computation.
+#[derive(Debug, Clone)]
+pub struct DefectiveColoringResult {
+    /// The defective coloring.
+    pub coloring: VertexColoring,
+    /// The palette size of the coloring.
+    pub palette: usize,
+    /// The analytic bound on the defect accumulated by the reduction steps.
+    pub defect_bound: f64,
+    /// Rounds charged.
+    pub rounds: u64,
+}
+
+/// Chooses `(t, q)` for one defective reduction step: the smallest `t ≥ 1`
+/// such that `q = nextprime(⌈t·Δ/d⌉ + 1)` satisfies `q^{t+1} ≥ palette`.
+fn choose_defective_parameters(palette: u64, max_degree: usize, d_step: usize) -> (u32, u64) {
+    let delta = max_degree.max(1) as u64;
+    let d = d_step.max(1) as u64;
+    for t in 1..=64u32 {
+        let base = (t as u64 * delta).div_ceil(d) + 1;
+        let q = next_prime(base.max(2));
+        let mut power: u128 = 1;
+        let mut enough = false;
+        for _ in 0..=t {
+            power = power.saturating_mul(q as u128);
+            if power >= palette as u128 {
+                enough = true;
+                break;
+            }
+        }
+        if enough {
+            return (t, q);
+        }
+    }
+    (64, next_prime(64 * delta.max(2)))
+}
+
+fn eval_poly(color: u64, t: u32, q: u64, a: u64) -> u64 {
+    let mut digits = Vec::with_capacity(t as usize + 1);
+    let mut rest = color;
+    for _ in 0..=t {
+        digits.push(rest % q);
+        rest /= q;
+    }
+    let mut acc = 0u64;
+    for &d in digits.iter().rev() {
+        acc = (acc * a + d) % q;
+    }
+    acc
+}
+
+/// One defective reduction step (one communication round): shrinks the
+/// palette to `q²` while adding at most `t·Δ/q ≤ d_step` to every node's
+/// defect.
+pub fn defective_step(
+    graph: &Graph,
+    colors: &[u64],
+    palette: u64,
+    d_step: usize,
+    net: &mut Network<'_>,
+) -> (Vec<u64>, u64, f64) {
+    let max_degree = graph.max_degree();
+    let (t, q) = choose_defective_parameters(palette, max_degree, d_step);
+    let new_palette = q * q;
+    if new_palette >= palette {
+        return (colors.to_vec(), palette, 0.0);
+    }
+    let mail = net.broadcast(|v| colors[v.index()]);
+    let mut next = vec![0u64; graph.n()];
+    for v in graph.nodes() {
+        let my_color = colors[v.index()];
+        let neighbor_colors: Vec<u64> = mail.inbox(v).iter().map(|m| m.msg).collect();
+        // Pick the evaluation point minimizing collisions with neighbors of a
+        // *different* color (same-colored neighbors collide everywhere and are
+        // already accounted in the incoming defect).
+        let mut best = (usize::MAX, 0u64, 0u64);
+        for a in 0..q {
+            let mine = eval_poly(my_color, t, q, a);
+            let collisions = neighbor_colors
+                .iter()
+                .filter(|&&c| c != my_color && eval_poly(c, t, q, a) == mine)
+                .count();
+            if collisions < best.0 {
+                best = (collisions, a, mine);
+            }
+        }
+        next[v.index()] = best.1 * q + best.2;
+    }
+    let added_defect = t as f64 * max_degree as f64 / q as f64;
+    (next, new_palette, added_defect)
+}
+
+/// Iterates [`defective_step`] until the palette stops shrinking, spreading a
+/// total defect budget across the steps.
+///
+/// Starting from a *proper* coloring with the given palette, the result is a
+/// coloring with `O((Δ/defect_budget)²·polylog)` colors whose defect is at
+/// most `defect_budget`. The budget is allotted geometrically (half of the
+/// remaining budget per step) so that the first, most palette-reducing steps
+/// get the most room.
+pub fn iterated_defective_coloring(
+    graph: &Graph,
+    coloring: &VertexColoring,
+    palette: usize,
+    defect_budget: f64,
+    net: &mut Network<'_>,
+) -> DefectiveColoringResult {
+    let max_steps = 6u32;
+    let mut remaining_budget = defect_budget.max(1.0);
+    let mut colors: Vec<u64> = coloring.as_slice().iter().map(|&c| c as u64).collect();
+    let mut current_palette = palette.max(coloring.palette_size()).max(1) as u64;
+    let mut defect_bound = 0.0;
+    let rounds_before = net.rounds();
+    if graph.max_degree() == 0 {
+        return DefectiveColoringResult {
+            coloring: VertexColoring::from_vec(vec![0; graph.n()]),
+            palette: 1,
+            defect_bound: 0.0,
+            rounds: 0,
+        };
+    }
+    for _ in 0..max_steps {
+        if remaining_budget < 1.0 {
+            break;
+        }
+        let per_step = (remaining_budget / 2.0).max(1.0);
+        let (next, next_palette, added) =
+            defective_step(graph, &colors, current_palette, per_step as usize, net);
+        if next_palette >= current_palette {
+            break;
+        }
+        colors = next;
+        current_palette = next_palette;
+        defect_bound += added;
+        remaining_budget -= added;
+    }
+    DefectiveColoringResult {
+        coloring: VertexColoring::from_vec(colors.iter().map(|&c| c as usize).collect()),
+        palette: current_palette as usize,
+        defect_bound,
+        rounds: net.rounds() - rounds_before,
+    }
+}
+
+/// A `Δ/2`-defective `O(1)`-coloring from a proper `poly(Δ)`-coloring
+/// (the substrate used by Theorem D.4).
+pub fn low_defect_constant_coloring(
+    graph: &Graph,
+    proper: &VertexColoring,
+    palette: usize,
+    net: &mut Network<'_>,
+) -> DefectiveColoringResult {
+    let budget = (graph.max_degree() as f64 / 2.0).max(1.0);
+    iterated_defective_coloring(graph, proper, palette, budget, net)
+}
+
+/// Lemma 6.2: an `(εΔ + ⌊Δ/2⌋)`-defective 4-coloring computed from a proper
+/// `O(Δ²)`-coloring in `poly(1/ε) + O(1)` rounds.
+///
+/// The implementation first shrinks the palette with defect budget `εΔ/2`
+/// (the faithful [11]-style step) and then folds the classes into 4 groups by
+/// a threshold local search processed class-by-class (our substitute for the
+/// Refine procedure of [11]; see DESIGN.md). The returned coloring always has
+/// palette ≤ 4; the defect bound is verified by the caller/tests via
+/// `edgecolor-verify`.
+pub fn defective_four_coloring(
+    graph: &Graph,
+    proper: &VertexColoring,
+    palette: usize,
+    eps: f64,
+    net: &mut Network<'_>,
+) -> VertexColoring {
+    let n = graph.n();
+    if n == 0 {
+        return VertexColoring::from_vec(vec![]);
+    }
+    let delta = graph.max_degree();
+    if delta == 0 {
+        return VertexColoring::from_vec(vec![0; n]);
+    }
+    let eps = eps.clamp(1e-3, 1.0);
+    // Step 1: εΔ/2-defective coloring with a small palette.
+    let budget = (eps * delta as f64 / 2.0).max(1.0);
+    let base = iterated_defective_coloring(graph, proper, palette, budget, net);
+    let classes = base.palette.max(1);
+
+    // Step 2: fold the classes into 4 groups, class by class; each node picks
+    // the group with the fewest already-assigned neighbors.
+    let mut group: Vec<Option<usize>> = vec![None; n];
+    for class in 0..classes {
+        // One round: nodes of this class learn their neighbors' groups.
+        let mail = net.broadcast(|v| group[v.index()].map(|g| g as u64 + 1).unwrap_or(0));
+        for v in graph.nodes() {
+            if base.coloring.color(v) != class {
+                continue;
+            }
+            let mut counts = [0usize; 4];
+            for m in mail.inbox(v) {
+                if m.msg > 0 {
+                    counts[(m.msg - 1) as usize] += 1;
+                }
+            }
+            let best = (0..4).min_by_key(|&g| counts[g]).unwrap_or(0);
+            group[v.index()] = Some(best);
+        }
+    }
+
+    // Step 3: threshold local-search sweeps. A node is unhappy if it has more
+    // than ⌊Δ/2⌋ + εΔ neighbors in its own group; unhappy nodes (processed
+    // class by class so that simultaneous movers are non-adjacent up to the
+    // small intra-class defect) move to the group with the fewest neighbors.
+    let threshold = (delta as f64 / 2.0).floor() + eps * delta as f64;
+    let sweeps = ((2.0 / eps).ceil() as usize).clamp(1, 8);
+    for _sweep in 0..sweeps {
+        let mut any_moved = false;
+        for class in 0..classes {
+            let mail = net.broadcast(|v| group[v.index()].map(|g| g as u64).unwrap_or(0));
+            for v in graph.nodes() {
+                if base.coloring.color(v) != class {
+                    continue;
+                }
+                let own = group[v.index()].unwrap_or(0);
+                let mut counts = [0usize; 4];
+                for m in mail.inbox(v) {
+                    counts[m.msg as usize] += 1;
+                }
+                if counts[own] as f64 > threshold {
+                    let best = (0..4).min_by_key(|&g| counts[g]).unwrap_or(own);
+                    if best != own {
+                        group[v.index()] = Some(best);
+                        any_moved = true;
+                    }
+                }
+            }
+        }
+        if !any_moved {
+            break;
+        }
+    }
+
+    VertexColoring::from_vec(group.into_iter().map(|g| g.unwrap_or(0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial::linial_coloring;
+    use distgraph::generators;
+    use distsim::{IdAssignment, Model};
+
+    fn proper_coloring(graph: &Graph) -> (VertexColoring, usize) {
+        let ids = IdAssignment::contiguous(graph.n());
+        let mut net = Network::new(graph, Model::Local);
+        let result = linial_coloring(graph, &ids, &mut net);
+        (result.coloring, result.palette)
+    }
+
+    #[test]
+    fn defective_parameters_respect_constraints() {
+        let (t, q) = choose_defective_parameters(10_000, 64, 8);
+        assert!(q as usize > (t as usize * 64) / 8);
+        assert!((q as u128).pow(t + 1) >= 10_000);
+    }
+
+    #[test]
+    fn defective_step_reduces_palette_and_bounds_defect() {
+        let g = generators::random_regular(120, 8, 3).unwrap();
+        let (proper, palette) = proper_coloring(&g);
+        let colors: Vec<u64> = proper.as_slice().iter().map(|&c| c as u64).collect();
+        let mut net = Network::new(&g, Model::Local);
+        let d_step = 4;
+        let (next, new_palette, added) =
+            defective_step(&g, &colors, palette as u64, d_step, &mut net);
+        assert!(new_palette < palette as u64);
+        assert!(added <= d_step as f64 + 1e-9);
+        let coloring = VertexColoring::from_vec(next.iter().map(|&c| c as usize).collect());
+        // measured defect must respect the analytic bound (input was proper)
+        assert!(coloring.max_defect(&g) as f64 <= added + 1e-9);
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn iterated_defective_coloring_respects_budget() {
+        let g = generators::random_regular(150, 10, 7).unwrap();
+        let (proper, palette) = proper_coloring(&g);
+        let mut net = Network::new(&g, Model::Local);
+        let budget = g.max_degree() as f64 / 2.0;
+        let result = iterated_defective_coloring(&g, &proper, palette, budget, &mut net);
+        assert!(result.defect_bound <= budget + 1e-9);
+        assert!(result.coloring.max_defect(&g) as f64 <= result.defect_bound + 1e-9);
+        assert!(result.palette < palette);
+        assert!(result.palette <= 600, "palette {} not O(1)-ish", result.palette);
+    }
+
+    #[test]
+    fn low_defect_constant_coloring_has_small_palette_and_half_defect() {
+        let g = generators::random_regular(200, 12, 1).unwrap();
+        let (proper, palette) = proper_coloring(&g);
+        let mut net = Network::new(&g, Model::Local);
+        let result = low_defect_constant_coloring(&g, &proper, palette, &mut net);
+        assert!(result.coloring.max_defect(&g) <= g.max_degree() / 2 + 1);
+        assert!(result.palette <= 600);
+    }
+
+    #[test]
+    fn defective_four_coloring_meets_lemma_6_2_bound() {
+        for (n, d, seed) in [(100, 8, 1u64), (150, 12, 2), (80, 6, 3)] {
+            let g = generators::random_regular(n, d, seed).unwrap();
+            let (proper, palette) = proper_coloring(&g);
+            let mut net = Network::new(&g, Model::Local);
+            let eps = 0.25;
+            let four = defective_four_coloring(&g, &proper, palette, eps, &mut net);
+            assert!(four.palette_size() <= 4);
+            let delta = g.max_degree();
+            let bound = (eps * delta as f64) + (delta / 2) as f64;
+            let defect = four.max_defect(&g);
+            assert!(
+                defect as f64 <= bound + 1e-9,
+                "defect {defect} exceeds Lemma 6.2 bound {bound} (n={n}, d={d})"
+            );
+        }
+    }
+
+    #[test]
+    fn defective_four_coloring_on_dense_graph() {
+        let g = generators::complete_graph(40);
+        let (proper, palette) = proper_coloring(&g);
+        let mut net = Network::new(&g, Model::Local);
+        let eps = 0.2;
+        let four = defective_four_coloring(&g, &proper, palette, eps, &mut net);
+        let delta = g.max_degree();
+        let bound = (eps * delta as f64) + (delta / 2) as f64;
+        assert!(four.max_defect(&g) as f64 <= bound + 1e-9);
+    }
+
+    #[test]
+    fn edge_cases_empty_and_edgeless() {
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        let mut net = Network::new(&empty, Model::Local);
+        let coloring = defective_four_coloring(&empty, &VertexColoring::from_vec(vec![]), 1, 0.5, &mut net);
+        assert!(coloring.is_empty());
+
+        let edgeless = Graph::from_edges(5, &[]).unwrap();
+        let mut net = Network::new(&edgeless, Model::Local);
+        let proper = VertexColoring::from_vec(vec![0, 1, 2, 3, 4]);
+        let coloring = defective_four_coloring(&edgeless, &proper, 5, 0.5, &mut net);
+        assert_eq!(coloring.palette_size(), 1);
+        let result = iterated_defective_coloring(&edgeless, &proper, 5, 1.0, &mut net);
+        assert_eq!(result.palette, 1);
+    }
+
+    #[test]
+    fn congest_compliance_of_defective_steps() {
+        let g = generators::random_regular(100, 6, 9).unwrap();
+        let (proper, palette) = proper_coloring(&g);
+        let mut net = Network::new(&g, Model::congest_for(g.n()));
+        let result = low_defect_constant_coloring(&g, &proper, palette, &mut net);
+        assert_eq!(net.metrics().congest_violations, 0);
+        assert!(result.palette > 0);
+    }
+}

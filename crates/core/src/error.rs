@@ -1,0 +1,80 @@
+//! Error type for the edge coloring algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the public entry points of the `edgecolor` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColoringError {
+    /// A bipartite-only entry point was given a non-bipartite graph.
+    NotBipartite,
+    /// A list edge coloring instance violates the `(degree+1)` requirement
+    /// (`|L_e| ≥ deg_G(e) + 1`).
+    ListTooSmall {
+        /// The dense index of the offending edge.
+        edge: usize,
+        /// The size of its list.
+        list_size: usize,
+        /// Its edge degree.
+        degree: usize,
+    },
+    /// The color space is too large for the algorithm's assumptions
+    /// (Theorem 1.1 requires a color space of size `poly(Δ)`).
+    ColorSpaceTooLarge {
+        /// The size of the supplied color space.
+        space: usize,
+        /// The maximum allowed size.
+        allowed: usize,
+    },
+    /// A parameter was outside its admissible range (for example `ε ≤ 0`).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::NotBipartite => write!(f, "the input graph is not bipartite"),
+            ColoringError::ListTooSmall { edge, list_size, degree } => write!(
+                f,
+                "edge e{edge} has a list of size {list_size} but edge degree {degree}; the (degree+1)-list condition requires at least {}",
+                degree + 1
+            ),
+            ColoringError::ColorSpaceTooLarge { space, allowed } => {
+                write!(f, "color space of size {space} exceeds the allowed poly(Δ) bound {allowed}")
+            }
+            ColoringError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ColoringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ColoringError::NotBipartite.to_string().contains("bipartite"));
+        let e = ColoringError::ListTooSmall { edge: 3, list_size: 2, degree: 4 };
+        assert!(e.to_string().contains("e3"));
+        assert!(e.to_string().contains('5'));
+        let e = ColoringError::ColorSpaceTooLarge { space: 100, allowed: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = ColoringError::InvalidParameter { name: "eps", reason: "must be positive".into() };
+        assert!(e.to_string().contains("eps"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error>() {}
+        assert_error::<ColoringError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for graph construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes of the graph.
+        n: usize,
+    },
+    /// A self loop `{v, v}` was supplied; the algorithms in this crate work on
+    /// simple graphs.
+    SelfLoop {
+        /// The node with a self loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A graph was expected to be bipartite but contains an odd cycle.
+    NotBipartite,
+    /// A declared bipartition has an edge with both endpoints on the same side.
+    InvalidBipartition {
+        /// One endpoint of the violating edge.
+        u: usize,
+        /// The other endpoint of the violating edge.
+        v: usize,
+    },
+    /// A generator was asked for a graph that cannot exist
+    /// (for example a d-regular graph with `n * d` odd).
+    InfeasibleParameters {
+        /// Human-readable description of the infeasibility.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} is out of range for a graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop at node {node} is not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between nodes {u} and {v}")
+            }
+            GraphError::NotBipartite => write!(f, "graph is not bipartite"),
+            GraphError::InvalidBipartition { u, v } => {
+                write!(f, "edge between {u} and {v} has both endpoints on the same side")
+            }
+            GraphError::InfeasibleParameters { reason } => {
+                write!(f, "infeasible generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("duplicate edge"));
+        let e = GraphError::NotBipartite;
+        assert!(e.to_string().contains("bipartite"));
+        let e = GraphError::InvalidBipartition { u: 0, v: 1 };
+        assert!(e.to_string().contains("same side"));
+        let e = GraphError::InfeasibleParameters { reason: "n*d is odd".into() };
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,482 @@
+//! Graph generators for the experiment suite.
+//!
+//! The paper targets "large networks where the node degrees might be
+//! independent or almost independent of the network size", so the experiment
+//! suite needs families in which the maximum degree Δ and the number of nodes
+//! `n` can be varied independently. All randomized generators take an explicit
+//! seed and are fully deterministic given the seed.
+
+use crate::bipartite::BipartiteGraph;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::Side;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Returns a deterministic RNG for the given seed.
+fn rng_from_seed(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete graph edges are valid")
+}
+
+/// The complete bipartite graph `K_{a,b}` with sides `{0..a}` and `{a..a+b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    let g = Graph::from_edges(a + b, &edges).expect("complete bipartite edges are valid");
+    let sides = (0..a + b).map(|i| if i < a { Side::U } else { Side::V }).collect();
+    BipartiteGraph::new(g, sides).expect("bipartition is valid by construction")
+}
+
+/// The path graph on `n` nodes (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// The cycle graph on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+}
+
+/// The star graph with one center (node 0) and `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..leaves).map(|i| (0, i + 1)).collect();
+    Graph::from_edges(leaves + 1, &edges).expect("star edges are valid")
+}
+
+/// The `dim`-dimensional hypercube (`2^dim` nodes, degree `dim`).
+pub fn hypercube(dim: usize) -> Graph {
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim / 2);
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if u > v {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("hypercube edges are valid")
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are valid")
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer-like
+/// attachment: node `i` attaches to a uniformly random earlier node).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        edges.push((parent, v));
+    }
+    Graph::from_edges(n, &edges).expect("tree edges are valid")
+}
+
+/// The Erdős–Rényi random graph `G(n, p)`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("ER edges are valid")
+}
+
+/// A random bipartite graph with `a + b` nodes where each of the `a·b`
+/// possible edges is present independently with probability `p`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::new();
+    for u in 0..a {
+        for v in 0..b {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, a + v));
+            }
+        }
+    }
+    let g = Graph::from_edges(a + b, &edges).expect("random bipartite edges are valid");
+    let sides = (0..a + b).map(|i| if i < a { Side::U } else { Side::V }).collect();
+    BipartiteGraph::new(g, sides).expect("bipartition is valid by construction")
+}
+
+/// A `d`-regular bipartite graph on `n + n` nodes built from `d` edge-disjoint
+/// perfect matchings.
+///
+/// The matchings are `u ↦ π((u + o_j) mod n)` for a random permutation `π`
+/// and `d` distinct random offsets `o_j`, which guarantees simplicity for any
+/// `d ≤ n` while still randomizing the structure (the special case of `π`
+/// being the identity is [`circulant_bipartite`]).
+///
+/// # Errors
+///
+/// Returns an error if `d > n` (no simple `d`-regular bipartite graph exists).
+pub fn regular_bipartite(n: usize, d: usize, seed: u64) -> Result<BipartiteGraph, GraphError> {
+    if d > n {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("cannot build a {d}-regular bipartite graph with {n} nodes per side"),
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut offsets: Vec<usize> = (0..n).collect();
+    offsets.shuffle(&mut rng);
+    offsets.truncate(d);
+    let mut edges = Vec::with_capacity(n * d);
+    for &offset in &offsets {
+        for u in 0..n {
+            edges.push((u, n + perm[(u + offset) % n]));
+        }
+    }
+    let g = Graph::from_edges(2 * n, &edges)?;
+    let sides = (0..2 * n).map(|i| if i < n { Side::U } else { Side::V }).collect();
+    BipartiteGraph::new(g, sides)
+}
+
+/// The circulant `d`-regular bipartite graph: `u_i` is connected to
+/// `v_{(i + j) mod n}` for `j = 0, ..., d-1`. Deterministic.
+pub fn circulant_bipartite(n: usize, d: usize) -> Result<BipartiteGraph, GraphError> {
+    if d > n {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("cannot build a {d}-regular circulant bipartite graph with {n} nodes per side"),
+        });
+    }
+    let mut edges = Vec::with_capacity(n * d);
+    for u in 0..n {
+        for j in 0..d {
+            edges.push((u, n + (u + j) % n));
+        }
+    }
+    let g = Graph::from_edges(2 * n, &edges)?;
+    let sides = (0..2 * n).map(|i| if i < n { Side::U } else { Side::V }).collect();
+    BipartiteGraph::new(g, sides)
+}
+
+/// A random (approximately) `d`-regular graph via the configuration model
+/// with rejection of self loops and parallel edges.
+///
+/// The result is simple and has maximum degree at most `d`; a small number of
+/// stubs may remain unmatched, so minimum degree can be `d - O(1)`.
+///
+/// # Errors
+///
+/// Returns an error if `n·d` is odd or `d ≥ n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n * d % 2 != 0 {
+        return Err(GraphError::InfeasibleParameters { reason: "n*d must be even".to_string() });
+    }
+    if d >= n {
+        return Err(GraphError::InfeasibleParameters {
+            reason: format!("degree {d} must be smaller than n = {n}"),
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut present: HashSet<(usize, usize)> = HashSet::new();
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+    // Repeatedly shuffle the multiset of stubs and pair consecutive entries,
+    // keeping only pairs that form new simple edges; iterate on the leftovers.
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    for _round in 0..60 {
+        if stubs.len() < 2 {
+            break;
+        }
+        stubs.shuffle(&mut rng);
+        let mut leftovers = Vec::new();
+        let mut i = 0;
+        while i + 1 < stubs.len() {
+            let (u, v) = (stubs[i], stubs[i + 1]);
+            let key = (u.min(v), u.max(v));
+            if u != v && !present.contains(&key) {
+                present.insert(key);
+                edges.push(key);
+            } else {
+                leftovers.push(u);
+                leftovers.push(v);
+            }
+            i += 2;
+        }
+        if i < stubs.len() {
+            leftovers.push(stubs[i]);
+        }
+        stubs = leftovers;
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A Chung–Lu style power-law random graph with exponent `gamma` and maximum
+/// expected degree `max_degree`.
+pub fn power_law(n: usize, gamma: f64, max_degree: usize, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    // Expected degree sequence w_i = max_degree * (i+1)^{-1/(gamma-1)}.
+    let exponent = 1.0 / (gamma - 1.0).max(1e-9);
+    let weights: Vec<f64> = (0..n)
+        .map(|i| (max_degree as f64) * ((i + 1) as f64).powf(-exponent))
+        .map(|w| w.max(1.0))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut edges = Vec::new();
+    let mut present = HashSet::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if rng.gen_bool(p) && present.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("power-law edges are valid")
+}
+
+/// The graph families used by the experiment harness (experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Random `d`-regular bipartite graphs.
+    RegularBipartite,
+    /// Erdős–Rényi `G(n, p)` graphs.
+    ErdosRenyi,
+    /// Chung–Lu power-law graphs.
+    PowerLaw,
+    /// Hypercubes.
+    Hypercube,
+    /// Uniformly random trees.
+    RandomTree,
+    /// Two-dimensional grids.
+    Grid,
+}
+
+impl Family {
+    /// All families, in a fixed order.
+    pub fn all() -> [Family; 6] {
+        [
+            Family::RegularBipartite,
+            Family::ErdosRenyi,
+            Family::PowerLaw,
+            Family::Hypercube,
+            Family::RandomTree,
+            Family::Grid,
+        ]
+    }
+
+    /// A short human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::RegularBipartite => "regular-bipartite",
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::PowerLaw => "power-law",
+            Family::Hypercube => "hypercube",
+            Family::RandomTree => "random-tree",
+            Family::Grid => "grid",
+        }
+    }
+
+    /// Generates a member of the family sized so that the maximum degree is
+    /// close to `target_delta` and the node count close to `target_n`.
+    pub fn generate(&self, target_n: usize, target_delta: usize, seed: u64) -> Graph {
+        match self {
+            Family::RegularBipartite => {
+                let per_side = (target_n / 2).max(target_delta.max(2));
+                regular_bipartite(per_side, target_delta.max(1), seed)
+                    .expect("feasible by construction")
+                    .into_parts()
+                    .0
+            }
+            Family::ErdosRenyi => {
+                let n = target_n.max(4);
+                let p = (target_delta as f64 / n as f64).min(1.0);
+                erdos_renyi(n, p, seed)
+            }
+            Family::PowerLaw => power_law(target_n.max(4), 2.5, target_delta.max(2), seed),
+            Family::Hypercube => {
+                let dim = target_delta.max(1).min(16);
+                hypercube(dim)
+            }
+            Family::RandomTree => random_tree(target_n.max(2), seed),
+            Family::Grid => {
+                let side = (target_n as f64).sqrt().ceil() as usize;
+                grid(side.max(2), side.max(2))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete_graph(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.max_edge_degree(), 8);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let bg = complete_bipartite(3, 4);
+        assert_eq!(bg.graph().n(), 7);
+        assert_eq!(bg.graph().m(), 12);
+        assert_eq!(bg.u_count(), 3);
+        assert_eq!(bg.v_count(), 4);
+    }
+
+    #[test]
+    fn path_cycle_star() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(cycle(5).max_degree(), 2);
+        let s = star(7);
+        assert_eq!(s.max_degree(), 7);
+        assert_eq!(s.degree(NodeId::new(0)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn cycle_too_small_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn hypercube_regularity() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.bipartition().is_some());
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let g = random_tree(64, 7);
+        assert_eq!(g.m(), 63);
+        assert_eq!(g.connected_components(), 1);
+        assert!(g.bipartition().is_some());
+    }
+
+    #[test]
+    fn erdos_renyi_determinism() {
+        let a = erdos_renyi(40, 0.2, 11);
+        let b = erdos_renyi(40, 0.2, 11);
+        let c = erdos_renyi(40, 0.2, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).m(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn regular_bipartite_is_regular() {
+        let bg = regular_bipartite(16, 5, 3).unwrap();
+        let g = bg.graph();
+        assert_eq!(g.n(), 32);
+        assert_eq!(g.m(), 16 * 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn regular_bipartite_rejects_excess_degree() {
+        assert!(regular_bipartite(4, 5, 0).is_err());
+    }
+
+    #[test]
+    fn circulant_bipartite_is_regular_and_deterministic() {
+        let a = circulant_bipartite(10, 4).unwrap();
+        let b = circulant_bipartite(10, 4).unwrap();
+        assert_eq!(a, b);
+        for v in a.graph().nodes() {
+            assert_eq!(a.graph().degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn random_regular_close_to_regular() {
+        let g = random_regular(50, 6, 5).unwrap();
+        assert!(g.max_degree() <= 6);
+        // at least 95% of the target edges should be realized
+        assert!(g.m() * 100 >= 50 * 6 / 2 * 95);
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        assert!(random_regular(5, 3, 0).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn power_law_respects_max_degree_roughly() {
+        let g = power_law(200, 2.5, 20, 9);
+        assert!(g.max_degree() <= 200);
+        assert!(g.m() > 0);
+    }
+
+    #[test]
+    fn family_generate_produces_graphs() {
+        for family in Family::all() {
+            let g = family.generate(64, 6, 42);
+            assert!(g.n() > 0, "family {} produced empty graph", family.name());
+            assert!(!family.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # distgraph
+//!
+//! Graph substrate for the reproduction of *Distributed Edge Coloring in Time
+//! Polylogarithmic in Δ* (Balliu, Brandt, Kuhn, Olivetti; PODC 2022).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an undirected simple graph with dense node/edge identifiers,
+//!   CSR adjacency, and line-graph degree queries (`deg_G(e)`, `Δ̄`);
+//! * [`BipartiteGraph`] — a graph with a 2-coloring of its nodes, the input
+//!   shape of the paper's Section 5 algorithms;
+//! * [`Orientation`] — partial edge orientations with incrementally maintained
+//!   indegrees (`x_v` in the paper);
+//! * [`VertexColoring`], [`EdgeColoring`] — (partial) colorings with
+//!   properness and defect measures;
+//! * [`ListAssignment`] — per-edge color lists, slack and the `P(Δ̄, S, C)`
+//!   instance family of Section 2;
+//! * [`generators`] — deterministic graph generators for the experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use distgraph::{generators, ListAssignment};
+//!
+//! let bg = generators::regular_bipartite(8, 3, 42)?;
+//! let g = bg.graph();
+//! assert_eq!(g.max_degree(), 3);
+//! // The canonical (degree+1)-list instance over the color space {0, ..., Δ̄}.
+//! let lists = ListAssignment::degree_plus_one(g);
+//! assert!(lists.is_degree_plus_one(g));
+//! # Ok::<(), distgraph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bipartite;
+mod coloring;
+mod error;
+pub mod generators;
+mod graph;
+mod ids;
+mod lists;
+mod orientation;
+
+pub use bipartite::BipartiteGraph;
+pub use coloring::{EdgeColoring, VertexColoring};
+pub use error::GraphError;
+pub use graph::{Graph, Neighbor};
+pub use ids::{Color, EdgeId, NodeId, Side};
+pub use lists::ListAssignment;
+pub use orientation::Orientation;

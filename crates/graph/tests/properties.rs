@@ -1,0 +1,150 @@
+//! Property-based tests for the graph substrate.
+
+use distgraph::{generators, EdgeColoring, Graph, ListAssignment, Side, VertexColoring};
+use proptest::prelude::*;
+
+/// Strategy producing a random simple graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(120)).prop_map(move |pairs| {
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            Graph::from_edges(n, &edges).expect("sanitized edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn edge_degree_formula(g in arb_graph()) {
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert_eq!(g.edge_degree(e), g.degree(u) + g.degree(v) - 2);
+            prop_assert_eq!(g.adjacent_edges(e).len(), g.edge_degree(e));
+        }
+    }
+
+    #[test]
+    fn max_edge_degree_bound(g in arb_graph()) {
+        // Δ̄ ≤ 2Δ − 2 whenever the graph has an edge (Section 2 of the paper).
+        if g.m() > 0 {
+            prop_assert!(g.max_edge_degree() <= 2 * g.max_degree() - 2);
+        }
+    }
+
+    #[test]
+    fn edge_between_is_symmetric_and_consistent(g in arb_graph()) {
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert_eq!(g.edge_between(u, v), Some(e));
+            prop_assert_eq!(g.edge_between(v, u), Some(e));
+            prop_assert_eq!(g.other_endpoint(e, u), v);
+            prop_assert_eq!(g.other_endpoint(e, v), u);
+        }
+    }
+
+    #[test]
+    fn bipartition_is_proper_when_found(g in arb_graph()) {
+        if let Some(sides) = g.bipartition() {
+            for e in g.edges() {
+                let (u, v) = g.endpoints(e);
+                prop_assert_ne!(sides[u.index()], sides[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_degrees_never_increase(g in arb_graph()) {
+        let (sub, map) = g.edge_subgraph(|e| e.index() % 2 == 0);
+        prop_assert_eq!(sub.n(), g.n());
+        prop_assert!(sub.m() <= g.m());
+        for v in sub.nodes() {
+            prop_assert!(sub.degree(v) <= g.degree(v));
+        }
+        for (new_idx, orig) in map.iter().enumerate() {
+            let (a, b) = sub.endpoints(distgraph::EdgeId::new(new_idx));
+            let (oa, ob) = g.endpoints(*orig);
+            prop_assert_eq!((a, b), (oa, ob));
+        }
+    }
+
+    #[test]
+    fn degree_plus_one_lists_always_satisfy_invariant(g in arb_graph()) {
+        let lists = ListAssignment::degree_plus_one(&g);
+        prop_assert!(lists.is_degree_plus_one(&g));
+        for e in g.edges() {
+            prop_assert!(lists.list_size(e) >= g.edge_degree(e) + 1);
+        }
+    }
+
+    #[test]
+    fn identity_vertex_coloring_is_proper(g in arb_graph()) {
+        let coloring = VertexColoring::from_vec((0..g.n()).collect());
+        prop_assert!(coloring.is_proper(&g));
+        prop_assert_eq!(coloring.max_defect(&g), 0);
+    }
+
+    #[test]
+    fn monochromatic_edge_coloring_defect_equals_edge_degree(g in arb_graph()) {
+        let mut coloring = EdgeColoring::empty(g.m());
+        for e in g.edges() {
+            coloring.set(e, 0);
+        }
+        for e in g.edges() {
+            prop_assert_eq!(coloring.defect(&g, e), g.edge_degree(e));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn regular_bipartite_generator_is_regular(n in 4usize..24, d in 1usize..6, seed in 0u64..1000) {
+        let d = d.min(n);
+        let bg = generators::regular_bipartite(n, d, seed).unwrap();
+        let g = bg.graph();
+        prop_assert_eq!(g.n(), 2 * n);
+        prop_assert_eq!(g.m(), n * d);
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+        for e in g.edges() {
+            let (u, v) = bg.endpoints_uv(e);
+            prop_assert_eq!(bg.side(u), Side::U);
+            prop_assert_eq!(bg.side(v), Side::V);
+        }
+    }
+
+    #[test]
+    fn random_regular_generator_respects_degree_bound(n in 6usize..40, d in 2usize..6, seed in 0u64..1000) {
+        let d = d.min(n - 1);
+        if n * d % 2 == 1 {
+            return Ok(());
+        }
+        let g = generators::random_regular(n, d, seed).unwrap();
+        prop_assert!(g.max_degree() <= d);
+    }
+
+    #[test]
+    fn trees_are_connected_and_acyclic(n in 2usize..128, seed in 0u64..1000) {
+        let g = generators::random_tree(n, seed);
+        prop_assert_eq!(g.m(), n - 1);
+        prop_assert_eq!(g.connected_components(), 1);
+    }
+}

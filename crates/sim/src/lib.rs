@@ -1,0 +1,49 @@
+//! # distsim
+//!
+//! A synchronous-round simulator for the LOCAL and CONGEST models of
+//! distributed computing (Section 2 of *Distributed Edge Coloring in Time
+//! Polylogarithmic in Δ*, PODC 2022).
+//!
+//! Two execution layers are provided:
+//!
+//! * [`Network`] — the orchestrated layer: algorithms call
+//!   [`Network::exchange`]/[`Network::broadcast`] once per communication
+//!   round; the network delivers messages, charges rounds and accounts
+//!   message sizes (flagging CONGEST violations). The composed coloring
+//!   algorithms of the `edgecolor` crate run on this layer.
+//! * [`NodeProgram`]/[`run_program`] — the strict layer: one state machine
+//!   per node, seeing only its own port-numbered neighborhood, its unique
+//!   identifier, `n` and `Δ`. Unit algorithms (flooding, BFS, the token
+//!   dropping phases) are implemented against this layer to demonstrate
+//!   locality.
+//!
+//! # Examples
+//!
+//! ```
+//! use distgraph::generators;
+//! use distsim::{Model, Network};
+//!
+//! let g = generators::cycle(6);
+//! let mut net = Network::new(&g, Model::Local);
+//! // One round in which every node tells its neighbors its degree.
+//! let mail = net.broadcast(|v| g.degree(v) as u64);
+//! assert_eq!(net.rounds(), 1);
+//! assert_eq!(mail.inbox(distgraph::NodeId::new(0)).len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod identifiers;
+mod metrics;
+mod model;
+mod network;
+mod payload;
+mod program;
+
+pub use identifiers::IdAssignment;
+pub use metrics::Metrics;
+pub use model::Model;
+pub use network::{Incoming, Mailboxes, Network};
+pub use payload::{bits_for, Payload};
+pub use program::{run_program, NodeCtx, NodeProgram, ProgramRun, Step};

@@ -1,0 +1,268 @@
+//! The synchronous-round network: the orchestrated execution layer.
+//!
+//! A [`Network`] wraps a graph and provides the primitive the LOCAL/CONGEST
+//! models are built on: one synchronous round in which every node sends one
+//! message along each incident edge it chooses and receives the messages sent
+//! to it. The network charges rounds, counts messages and bits, and checks
+//! the CONGEST bandwidth limit.
+//!
+//! Algorithms written against this layer express each communication round
+//! explicitly (via [`Network::exchange`] or [`Network::broadcast`]), so the
+//! round counts reported in the experiments are exactly the number of
+//! `exchange`/`broadcast` calls plus explicitly charged sub-protocol rounds.
+
+use crate::metrics::Metrics;
+use crate::model::Model;
+use crate::payload::Payload;
+use distgraph::{EdgeId, Graph, NodeId};
+
+/// A message received by a node in a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The node that sent the message.
+    pub from: NodeId,
+    /// The edge over which it arrived.
+    pub edge: EdgeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-node inboxes produced by one round of communication.
+#[derive(Debug, Clone)]
+pub struct Mailboxes<M> {
+    boxes: Vec<Vec<Incoming<M>>>,
+}
+
+impl<M> Mailboxes<M> {
+    /// The messages received by node `v` this round.
+    pub fn inbox(&self, v: NodeId) -> &[Incoming<M>] {
+        &self.boxes[v.index()]
+    }
+
+    /// Total number of messages delivered.
+    pub fn total(&self) -> usize {
+        self.boxes.iter().map(Vec::len).sum()
+    }
+
+    /// Consumes the mailboxes and returns the per-node vectors.
+    pub fn into_inner(self) -> Vec<Vec<Incoming<M>>> {
+        self.boxes
+    }
+}
+
+/// A synchronous-round communication network over a graph.
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    model: Model,
+    metrics: Metrics,
+}
+
+impl<'g> Network<'g> {
+    /// Creates a network over `graph` under the given model.
+    pub fn new(graph: &'g Graph, model: Model) -> Self {
+        Network { graph, model, metrics: Metrics::new() }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The communication model.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Number of rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Executes one synchronous round: for every node, `outgoing` returns the
+    /// list of `(edge, message)` pairs the node sends; each message is
+    /// delivered to the other endpoint of the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node sends over an edge it is not incident to, or sends two
+    /// messages over the same edge in one round.
+    pub fn exchange<M: Payload>(
+        &mut self,
+        mut outgoing: impl FnMut(NodeId) -> Vec<(EdgeId, M)>,
+    ) -> Mailboxes<M> {
+        self.metrics.rounds += 1;
+        let limit = self.model.bandwidth_limit();
+        let mut boxes: Vec<Vec<Incoming<M>>> = vec![Vec::new(); self.graph.n()];
+        for v in self.graph.nodes() {
+            let sends = outgoing(v);
+            let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+            for (edge, msg) in sends {
+                assert!(
+                    self.graph.is_endpoint(edge, v),
+                    "{v} attempted to send over non-incident edge {edge}"
+                );
+                assert!(
+                    !used.contains(&edge),
+                    "{v} sent two messages over {edge} in a single round"
+                );
+                used.push(edge);
+                self.metrics.record_message(msg.encoded_bits() as u64, limit);
+                let target = self.graph.other_endpoint(edge, v);
+                boxes[target.index()].push(Incoming { from: v, edge, msg });
+            }
+        }
+        Mailboxes { boxes }
+    }
+
+    /// One round in which every node sends the same message to all neighbors.
+    pub fn broadcast<M: Payload>(
+        &mut self,
+        mut msg_of: impl FnMut(NodeId) -> M,
+    ) -> Mailboxes<M> {
+        let graph = self.graph;
+        self.exchange(|v| {
+            let msg = msg_of(v);
+            graph.neighbors(v).iter().map(|nb| (nb.edge, msg.clone())).collect()
+        })
+    }
+
+    /// Charges `r` additional rounds without moving data. Used by composed
+    /// algorithms to account for sub-protocols whose messages are simulated
+    /// analytically (the accompanying message/bit counts can be added with
+    /// [`Network::absorb_sequential`] or [`Network::charge_messages`]).
+    pub fn charge_rounds(&mut self, r: u64) {
+        self.metrics.rounds += r;
+    }
+
+    /// Records `count` messages of `bits_each` bits without delivering data.
+    /// Used by composed algorithms whose inner sub-protocols are simulated
+    /// analytically but whose bandwidth should still be accounted (and checked
+    /// against the CONGEST limit).
+    pub fn charge_messages(&mut self, count: u64, bits_each: u64) {
+        if count == 0 {
+            return;
+        }
+        self.metrics.messages += count;
+        self.metrics.total_bits += count * bits_each;
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits_each);
+        if let Some(limit) = self.model.bandwidth_limit() {
+            if bits_each > limit {
+                self.metrics.congest_violations += count;
+            }
+        }
+    }
+
+    /// Adds the cost of a sub-execution that ran sequentially after the work
+    /// recorded so far (e.g. a recursive call on a subgraph).
+    pub fn absorb_sequential(&mut self, child: &Metrics) {
+        self.metrics.absorb_sequential(child);
+    }
+
+    /// Adds the cost of sub-executions that ran in parallel with each other
+    /// (rounds advance by the maximum of the children).
+    pub fn absorb_parallel(&mut self, children: &[Metrics]) {
+        self.metrics.absorb_parallel(children);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+
+    #[test]
+    fn broadcast_delivers_to_all_neighbors() {
+        let g = generators::cycle(5);
+        let mut net = Network::new(&g, Model::Local);
+        let mail = net.broadcast(|v| v.index() as u64);
+        assert_eq!(net.rounds(), 1);
+        assert_eq!(mail.total(), 2 * g.m());
+        for v in g.nodes() {
+            let inbox = mail.inbox(v);
+            assert_eq!(inbox.len(), 2);
+            for incoming in inbox {
+                assert_eq!(incoming.msg, incoming.from.index() as u64);
+                assert!(g.is_endpoint(incoming.edge, v));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_counts_bits_and_rounds() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Model::Local);
+        // only node 0 sends, over its single incident edge
+        let mail = net.exchange(|v| {
+            if v.index() == 0 {
+                vec![(g.incident_edges(v).next().unwrap(), 255u64)]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(net.rounds(), 1);
+        assert_eq!(mail.total(), 1);
+        let metrics = net.metrics();
+        assert_eq!(metrics.messages, 1);
+        assert_eq!(metrics.total_bits, 8);
+        assert_eq!(metrics.max_message_bits, 8);
+        assert_eq!(mail.inbox(NodeId::new(1)).len(), 1);
+        assert_eq!(mail.inbox(NodeId::new(2)).len(), 0);
+    }
+
+    #[test]
+    fn congest_violations_are_flagged() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Model::Congest { bandwidth_bits: 4 });
+        net.broadcast(|_| vec![1u64; 10]); // far more than 4 bits
+        assert!(net.metrics().congest_violations > 0);
+    }
+
+    #[test]
+    fn local_never_flags_violations() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.broadcast(|_| vec![1u64; 1000]);
+        assert_eq!(net.metrics().congest_violations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-incident")]
+    fn sending_over_foreign_edge_panics() {
+        let g = generators::path(4);
+        let mut net = Network::new(&g, Model::Local);
+        // node 0 tries to send over edge 2 = (2,3)
+        net.exchange(|v| if v.index() == 0 { vec![(EdgeId::new(2), 1u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn sending_twice_over_same_edge_panics() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.exchange(|v| {
+            if v.index() == 0 {
+                vec![(EdgeId::new(0), 1u32), (EdgeId::new(0), 2u32)]
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
+    fn charge_and_absorb() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, Model::Local);
+        net.charge_rounds(5);
+        let child = Metrics { rounds: 3, messages: 2, total_bits: 10, max_message_bits: 6, congest_violations: 0 };
+        net.absorb_sequential(&child);
+        net.absorb_parallel(&[child, Metrics { rounds: 9, ..Metrics::default() }]);
+        assert_eq!(net.rounds(), 5 + 3 + 9);
+        assert_eq!(net.metrics().messages, 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! The strict per-node state-machine execution layer.
+//!
+//! In the LOCAL/CONGEST models every node runs the *same* algorithm with
+//! access only to its own state and the messages it receives. The
+//! [`NodeProgram`] trait captures exactly that: a node gets a [`NodeCtx`]
+//! describing its local view of the topology (its port-numbered neighbor
+//! list, its unique identifier, `n` and `Δ`) and produces, in each round, the
+//! messages to send, until it halts with an output.
+//!
+//! The orchestrated layer ([`crate::Network`]) is more convenient for the
+//! composed algorithms of the paper; this layer exists to demonstrate and
+//! test that the building blocks are genuinely local, and all unit algorithms
+//! that fit in a page (flooding, BFS, proposal/accept steps, token dropping)
+//! have strict implementations running on it.
+
+use crate::identifiers::IdAssignment;
+use crate::metrics::Metrics;
+use crate::model::Model;
+use crate::network::Incoming;
+use crate::payload::Payload;
+use distgraph::{EdgeId, Graph, Neighbor, NodeId};
+
+/// A node's local view of the network, available in every round.
+#[derive(Debug, Clone)]
+pub struct NodeCtx {
+    /// The node's (dense) index; only used for bookkeeping, the algorithmic
+    /// symmetry breaking must use [`NodeCtx::id`].
+    pub node: NodeId,
+    /// The node's unique identifier from `{1, ..., poly n}`.
+    pub id: u64,
+    /// The node's degree.
+    pub degree: usize,
+    /// Port-numbered adjacency: `ports[i]` is the neighbor reachable through
+    /// port `i` together with the connecting edge.
+    pub ports: Vec<Neighbor>,
+    /// The number of nodes `n`, known to all nodes (Section 2).
+    pub n: usize,
+    /// The maximum degree Δ, known to all nodes (Section 2).
+    pub max_degree: usize,
+}
+
+/// What a node does at the end of a round.
+#[derive(Debug, Clone)]
+pub enum Step<M, O> {
+    /// Keep running and send these messages (over incident edges).
+    Send(Vec<(EdgeId, M)>),
+    /// Halt with an output. A halted node sends nothing and ignores later
+    /// messages.
+    Halt(O),
+}
+
+/// A distributed algorithm, instantiated once per node.
+pub trait NodeProgram {
+    /// Message type exchanged between neighbors.
+    type Msg: Payload;
+    /// Per-node output when the node halts.
+    type Output: Clone;
+
+    /// Called once before the first round; returns the messages for round 1.
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, Self::Msg)>;
+
+    /// Called once per round with the messages received in that round.
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<Self::Msg>]) -> Step<Self::Msg, Self::Output>;
+}
+
+/// The result of running a [`NodeProgram`] on every node of a graph.
+#[derive(Debug, Clone)]
+pub struct ProgramRun<O> {
+    /// Per-node outputs (`None` for nodes that did not halt before the round limit).
+    pub outputs: Vec<Option<O>>,
+    /// Cost of the execution.
+    pub metrics: Metrics,
+}
+
+impl<O> ProgramRun<O> {
+    /// Returns `true` if every node halted.
+    pub fn all_halted(&self) -> bool {
+        self.outputs.iter().all(Option::is_some)
+    }
+
+    /// Unwraps the outputs, panicking if some node did not halt.
+    pub fn expect_outputs(self) -> Vec<O> {
+        self.outputs
+            .into_iter()
+            .map(|o| o.expect("node did not halt within the round limit"))
+            .collect()
+    }
+}
+
+/// Runs one instance of `make_program` per node until every node halts or
+/// `max_rounds` is reached.
+///
+/// The per-round semantics match the synchronous models: all `round` calls of
+/// round `t` observe exactly the messages sent at the end of round `t − 1`.
+pub fn run_program<P, F>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    model: Model,
+    max_rounds: u64,
+    mut make_program: F,
+) -> ProgramRun<P::Output>
+where
+    P: NodeProgram,
+    F: FnMut(NodeId) -> P,
+{
+    let n = graph.n();
+    let max_degree = graph.max_degree();
+    let mut metrics = Metrics::new();
+    let limit = model.bandwidth_limit();
+
+    let contexts: Vec<NodeCtx> = graph
+        .nodes()
+        .map(|v| NodeCtx {
+            node: v,
+            id: ids.id(v),
+            degree: graph.degree(v),
+            ports: graph.neighbors(v).to_vec(),
+            n,
+            max_degree,
+        })
+        .collect();
+
+    let mut programs: Vec<P> = graph.nodes().map(&mut make_program).collect();
+    let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+
+    // Round 0: init.
+    let mut pending: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        let sends = programs[v.index()].init(&contexts[v.index()]);
+        for (edge, msg) in sends {
+            assert!(graph.is_endpoint(edge, v), "{v} sent over non-incident edge {edge}");
+            metrics.record_message(msg.encoded_bits() as u64, limit);
+            let target = graph.other_endpoint(edge, v);
+            pending[target.index()].push(Incoming { from: v, edge, msg });
+        }
+    }
+
+    for _round in 0..max_rounds {
+        if outputs.iter().all(Option::is_some) {
+            break;
+        }
+        metrics.rounds += 1;
+        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+        for v in graph.nodes() {
+            if outputs[v.index()].is_some() {
+                continue;
+            }
+            match programs[v.index()].round(&contexts[v.index()], &inboxes[v.index()]) {
+                Step::Halt(out) => outputs[v.index()] = Some(out),
+                Step::Send(sends) => {
+                    for (edge, msg) in sends {
+                        assert!(
+                            graph.is_endpoint(edge, v),
+                            "{v} sent over non-incident edge {edge}"
+                        );
+                        metrics.record_message(msg.encoded_bits() as u64, limit);
+                        let target = graph.other_endpoint(edge, v);
+                        pending[target.index()].push(Incoming { from: v, edge, msg });
+                    }
+                }
+            }
+        }
+    }
+
+    ProgramRun { outputs, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+
+    /// Flooding: every node learns the maximum identifier in the graph after
+    /// `diameter` rounds of re-broadcasting the largest value seen.
+    struct MaxIdFlood {
+        best: u64,
+        rounds_left: u32,
+    }
+
+    impl NodeProgram for MaxIdFlood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, u64)> {
+            self.best = ctx.id;
+            ctx.ports.iter().map(|p| (p.edge, self.best)).collect()
+        }
+
+        fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Step<u64, u64> {
+            for m in inbox {
+                self.best = self.best.max(m.msg);
+            }
+            if self.rounds_left == 0 {
+                return Step::Halt(self.best);
+            }
+            self.rounds_left -= 1;
+            Step::Send(ctx.ports.iter().map(|p| (p.edge, self.best)).collect())
+        }
+    }
+
+    #[test]
+    fn flooding_finds_global_maximum() {
+        let g = generators::cycle(12);
+        let ids = IdAssignment::scattered(12, 3);
+        let expected = (0..12).map(|v| ids.id(NodeId::new(v))).max().unwrap();
+        let run = run_program(
+            &g,
+            &ids,
+            Model::Local,
+            64,
+            |_| MaxIdFlood { best: 0, rounds_left: 12 },
+        );
+        assert!(run.all_halted());
+        for out in run.expect_outputs() {
+            assert_eq!(out, expected);
+        }
+    }
+
+    /// BFS layer computation from the node with identifier 1.
+    struct Bfs {
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl NodeProgram for Bfs {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, u64)> {
+            if ctx.id == 1 {
+                self.dist = Some(0);
+                self.announced = true;
+                ctx.ports.iter().map(|p| (p.edge, 0u64)).collect()
+            } else {
+                vec![]
+            }
+        }
+
+        fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Step<u64, u64> {
+            if let Some(d) = self.dist {
+                // Already has a distance; wait one round after announcing so
+                // neighbors receive it, then halt.
+                if self.announced {
+                    return Step::Halt(d);
+                }
+            }
+            if self.dist.is_none() {
+                if let Some(min_in) = inbox.iter().map(|m| m.msg).min() {
+                    self.dist = Some(min_in + 1);
+                    self.announced = true;
+                    return Step::Send(
+                        ctx.ports.iter().map(|p| (p.edge, min_in + 1)).collect(),
+                    );
+                }
+            }
+            Step::Send(vec![])
+        }
+    }
+
+    #[test]
+    fn bfs_computes_distances_on_a_path() {
+        let g = generators::path(6);
+        let ids = IdAssignment::contiguous(6); // node 0 has id 1
+        let run = run_program(&g, &ids, Model::Local, 32, |_| Bfs { dist: None, announced: false });
+        assert!(run.all_halted());
+        let outs = run.expect_outputs();
+        for (v, d) in outs.iter().enumerate() {
+            assert_eq!(*d, v as u64);
+        }
+    }
+
+    #[test]
+    fn round_limit_leaves_nodes_unhalted() {
+        let g = generators::path(50);
+        let ids = IdAssignment::contiguous(50);
+        let run = run_program(&g, &ids, Model::Local, 3, |_| Bfs { dist: None, announced: false });
+        assert!(!run.all_halted());
+        assert_eq!(run.metrics.rounds, 3);
+    }
+
+    #[test]
+    fn congest_accounting_in_program_runner() {
+        let g = generators::cycle(8);
+        let ids = IdAssignment::contiguous(8);
+        let run = run_program(
+            &g,
+            &ids,
+            Model::Congest { bandwidth_bits: 2 },
+            16,
+            |_| MaxIdFlood { best: 0, rounds_left: 8 },
+        );
+        // identifiers up to 8 need 4 bits > 2, so violations must be flagged
+        assert!(run.metrics.congest_violations > 0);
+        assert!(run.metrics.messages > 0);
+        assert!(run.metrics.max_message_bits >= 4);
+    }
+}

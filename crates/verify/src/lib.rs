@@ -1,0 +1,530 @@
+//! # edgecolor-verify
+//!
+//! Validity checkers for the edge-coloring reproduction. Every experiment and
+//! most tests funnel their outputs through these functions so that "the
+//! algorithm produced a valid coloring" is asserted by one audited piece of
+//! code rather than ad-hoc loops scattered across the repository.
+//!
+//! The checkers cover the paper's output specifications:
+//!
+//! * proper (partial or complete) edge colorings,
+//! * list compliance (`c_e ∈ L_e`, Section 2),
+//! * defective vertex colorings (`d`-defective `c`-colorings, Section 2),
+//! * generalized `(1+ε, β)`-relaxed defective 2-edge colorings
+//!   (Definition 5.1),
+//! * generalized `(ε, β)`-balanced edge orientations (Definition 5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use distgraph::{BipartiteGraph, EdgeColoring, EdgeId, Graph, ListAssignment, NodeId, Orientation, VertexColoring};
+use std::fmt;
+
+/// A single violated requirement found by a checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two adjacent edges share a color.
+    AdjacentEdgesShareColor {
+        /// First edge.
+        a: EdgeId,
+        /// Second edge.
+        b: EdgeId,
+        /// The shared color.
+        color: usize,
+    },
+    /// An edge that was required to be colored is not.
+    EdgeUncolored {
+        /// The uncolored edge.
+        edge: EdgeId,
+    },
+    /// An edge is colored with a color outside its list.
+    ColorNotInList {
+        /// The edge.
+        edge: EdgeId,
+        /// The offending color.
+        color: usize,
+    },
+    /// Two adjacent nodes share a color (for proper vertex colorings).
+    AdjacentNodesShareColor {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+        /// The shared color.
+        color: usize,
+    },
+    /// A node exceeds the allowed defect.
+    NodeDefectExceeded {
+        /// The node.
+        node: NodeId,
+        /// Number of same-colored neighbors.
+        defect: usize,
+        /// The allowed bound.
+        allowed: f64,
+    },
+    /// An edge exceeds the allowed defect (same-colored adjacent edges).
+    EdgeDefectExceeded {
+        /// The edge.
+        edge: EdgeId,
+        /// Number of same-colored adjacent edges.
+        defect: usize,
+        /// The allowed bound.
+        allowed: f64,
+    },
+    /// An oriented edge violates the balanced-orientation inequality of
+    /// Definition 5.2.
+    OrientationImbalance {
+        /// The edge.
+        edge: EdgeId,
+        /// The measured difference `x_head − x_tail`.
+        difference: i64,
+        /// The allowed bound.
+        allowed: f64,
+    },
+    /// An edge that was required to be oriented is not.
+    EdgeUnoriented {
+        /// The unoriented edge.
+        edge: EdgeId,
+    },
+    /// The number of colors used exceeds the allowed palette size.
+    TooManyColors {
+        /// Palette size used (max color + 1).
+        used: usize,
+        /// The allowed number of colors.
+        allowed: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AdjacentEdgesShareColor { a, b, color } => {
+                write!(f, "adjacent edges {a} and {b} both have color {color}")
+            }
+            Violation::EdgeUncolored { edge } => write!(f, "edge {edge} is uncolored"),
+            Violation::ColorNotInList { edge, color } => {
+                write!(f, "edge {edge} uses color {color} which is not in its list")
+            }
+            Violation::AdjacentNodesShareColor { a, b, color } => {
+                write!(f, "adjacent nodes {a} and {b} both have color {color}")
+            }
+            Violation::NodeDefectExceeded { node, defect, allowed } => {
+                write!(f, "node {node} has defect {defect} exceeding the allowed {allowed}")
+            }
+            Violation::EdgeDefectExceeded { edge, defect, allowed } => {
+                write!(f, "edge {edge} has defect {defect} exceeding the allowed {allowed}")
+            }
+            Violation::OrientationImbalance { edge, difference, allowed } => {
+                write!(f, "edge {edge} has orientation imbalance {difference} exceeding the allowed {allowed}")
+            }
+            Violation::EdgeUnoriented { edge } => write!(f, "edge {edge} is unoriented"),
+            Violation::TooManyColors { used, allowed } => {
+                write!(f, "{used} colors used but only {allowed} allowed")
+            }
+        }
+    }
+}
+
+/// The outcome of a checker: the list of violations found (empty = valid).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    violations: Vec<Violation>,
+}
+
+impl Report {
+    /// A report with no violations.
+    pub fn clean() -> Self {
+        Report::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, violation: Violation) {
+        self.violations.push(violation);
+    }
+
+    /// Returns `true` if no violations were found.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+    }
+
+    /// Panics with a readable message if any violation was found. Intended
+    /// for tests.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        if !self.is_ok() {
+            let preview: Vec<String> =
+                self.violations.iter().take(5).map(ToString::to_string).collect();
+            panic!(
+                "verification failed with {} violations, first few: {}",
+                self.violations.len(),
+                preview.join("; ")
+            );
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(f, "valid")
+        } else {
+            write!(f, "{} violations", self.violations.len())
+        }
+    }
+}
+
+/// Checks that no two *colored* adjacent edges share a color.
+pub fn check_proper_edge_coloring(graph: &Graph, coloring: &EdgeColoring) -> Report {
+    let mut report = Report::clean();
+    for v in graph.nodes() {
+        let mut seen: std::collections::HashMap<usize, EdgeId> = std::collections::HashMap::new();
+        for nb in graph.neighbors(v) {
+            if let Some(c) = coloring.color(nb.edge) {
+                if let Some(&prev) = seen.get(&c) {
+                    if prev != nb.edge {
+                        report.push(Violation::AdjacentEdgesShareColor { a: prev, b: nb.edge, color: c });
+                    }
+                } else {
+                    seen.insert(c, nb.edge);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Checks that every edge is colored (combine with
+/// [`check_proper_edge_coloring`] for a complete proper coloring).
+pub fn check_complete(graph: &Graph, coloring: &EdgeColoring) -> Report {
+    let mut report = Report::clean();
+    for e in graph.edges() {
+        if !coloring.is_colored(e) {
+            report.push(Violation::EdgeUncolored { edge: e });
+        }
+    }
+    report
+}
+
+/// Checks that every colored edge uses a color from its list.
+pub fn check_list_compliance(
+    graph: &Graph,
+    lists: &ListAssignment,
+    coloring: &EdgeColoring,
+) -> Report {
+    let mut report = Report::clean();
+    for e in graph.edges() {
+        if let Some(c) = coloring.color(e) {
+            if !lists.contains(e, c) {
+                report.push(Violation::ColorNotInList { edge: e, color: c });
+            }
+        }
+    }
+    report
+}
+
+/// Checks that the coloring uses at most `allowed` colors (palette size).
+pub fn check_palette_size(coloring: &EdgeColoring, allowed: usize) -> Report {
+    let mut report = Report::clean();
+    let used = coloring.palette_size();
+    if used > allowed {
+        report.push(Violation::TooManyColors { used, allowed });
+    }
+    report
+}
+
+/// Checks a proper vertex coloring.
+pub fn check_proper_vertex_coloring(graph: &Graph, coloring: &VertexColoring) -> Report {
+    let mut report = Report::clean();
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        if coloring.color(u) == coloring.color(v) {
+            report.push(Violation::AdjacentNodesShareColor { a: u, b: v, color: coloring.color(u) });
+        }
+    }
+    report
+}
+
+/// Checks a `d`-defective vertex coloring: every node has at most
+/// `allowed(v)` neighbors of its own color.
+pub fn check_vertex_defect(
+    graph: &Graph,
+    coloring: &VertexColoring,
+    allowed: impl Fn(NodeId) -> f64,
+) -> Report {
+    let mut report = Report::clean();
+    for v in graph.nodes() {
+        let defect = coloring.defect(graph, v);
+        let bound = allowed(v);
+        if (defect as f64) > bound + 1e-9 {
+            report.push(Violation::NodeDefectExceeded { node: v, defect, allowed: bound });
+        }
+    }
+    report
+}
+
+/// Checks a defective *edge* coloring: every edge has at most `allowed(e)`
+/// same-colored adjacent edges.
+pub fn check_edge_defect(
+    graph: &Graph,
+    coloring: &EdgeColoring,
+    allowed: impl Fn(EdgeId) -> f64,
+) -> Report {
+    let mut report = Report::clean();
+    for e in graph.edges() {
+        if coloring.is_colored(e) {
+            let defect = coloring.defect(graph, e);
+            let bound = allowed(e);
+            if (defect as f64) > bound + 1e-9 {
+                report.push(Violation::EdgeDefectExceeded { edge: e, defect, allowed: bound });
+            }
+        }
+    }
+    report
+}
+
+/// Checks Definition 5.1: a generalized `(1+ε, β)`-relaxed defective 2-edge
+/// coloring with per-edge parameters `λ_e`, where `red(e)` says whether edge
+/// `e` is red.
+pub fn check_relaxed_defective_two_coloring(
+    graph: &Graph,
+    red: impl Fn(EdgeId) -> bool,
+    lambda: impl Fn(EdgeId) -> f64,
+    eps: f64,
+    beta: f64,
+) -> Report {
+    let mut report = Report::clean();
+    for e in graph.edges() {
+        let lam = lambda(e);
+        let deg = graph.edge_degree(e) as f64;
+        let is_red = red(e);
+        let same = graph
+            .adjacent_edges(e)
+            .into_iter()
+            .filter(|&f| red(f) == is_red)
+            .count();
+        let allowed = if is_red {
+            (1.0 + eps) * lam * deg + lam * beta
+        } else {
+            (1.0 + eps) * (1.0 - lam) * deg + (1.0 - lam) * beta
+        };
+        if (same as f64) > allowed + 1e-9 {
+            report.push(Violation::EdgeDefectExceeded { edge: e, defect: same, allowed });
+        }
+    }
+    report
+}
+
+/// Checks Definition 5.2: a generalized `(ε, β)`-balanced edge orientation of
+/// a bipartite graph with per-edge parameters `η_e`.
+///
+/// For every oriented edge `e = (u, v)` with `u ∈ U`, `v ∈ V`:
+///
+/// * oriented from `u` to `v` (head is `v`): `x_v − x_u ≤ η_e + (1+ε)/2·deg(e) + β`
+/// * oriented from `v` to `u` (head is `u`): `x_u − x_v ≤ −η_e + (1+ε)/2·deg(e) + β`
+///
+/// Unoriented edges are reported via [`Violation::EdgeUnoriented`] when
+/// `require_all_oriented` is set.
+pub fn check_balanced_orientation(
+    bipartite: &BipartiteGraph,
+    orientation: &Orientation,
+    eta: impl Fn(EdgeId) -> f64,
+    eps: f64,
+    beta: f64,
+    require_all_oriented: bool,
+) -> Report {
+    let mut report = Report::clean();
+    let graph = bipartite.graph();
+    for e in graph.edges() {
+        let (u, v) = bipartite.endpoints_uv(e);
+        match orientation.head(e) {
+            None => {
+                if require_all_oriented {
+                    report.push(Violation::EdgeUnoriented { edge: e });
+                }
+            }
+            Some(head) => {
+                let xu = orientation.indegree(u) as i64;
+                let xv = orientation.indegree(v) as i64;
+                let deg = graph.edge_degree(e) as f64;
+                let slack = (1.0 + eps) / 2.0 * deg + beta;
+                let (difference, allowed) = if head == v {
+                    (xv - xu, eta(e) + slack)
+                } else {
+                    (xu - xv, -eta(e) + slack)
+                };
+                if (difference as f64) > allowed + 1e-9 {
+                    report.push(Violation::OrientationImbalance { edge: e, difference, allowed });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+    use distgraph::Side;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn proper_edge_coloring_detects_conflicts() {
+        let g = triangle();
+        let mut c = EdgeColoring::empty(3);
+        c.set(EdgeId::new(0), 1);
+        c.set(EdgeId::new(1), 2);
+        c.set(EdgeId::new(2), 3);
+        assert!(check_proper_edge_coloring(&g, &c).is_ok());
+        c.set(EdgeId::new(2), 2);
+        let report = check_proper_edge_coloring(&g, &c);
+        assert!(!report.is_ok());
+        assert!(matches!(report.violations()[0], Violation::AdjacentEdgesShareColor { .. }));
+    }
+
+    #[test]
+    fn completeness_check() {
+        let g = triangle();
+        let mut c = EdgeColoring::empty(3);
+        assert_eq!(check_complete(&g, &c).violations().len(), 3);
+        c.set(EdgeId::new(0), 0);
+        c.set(EdgeId::new(1), 1);
+        c.set(EdgeId::new(2), 2);
+        assert!(check_complete(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn list_compliance_check() {
+        let g = triangle();
+        let lists = ListAssignment::new(10, vec![vec![1, 2], vec![3], vec![4]]);
+        let mut c = EdgeColoring::empty(3);
+        c.set(EdgeId::new(0), 2);
+        c.set(EdgeId::new(1), 3);
+        assert!(check_list_compliance(&g, &lists, &c).is_ok());
+        c.set(EdgeId::new(2), 9);
+        let report = check_list_compliance(&g, &lists, &c);
+        assert_eq!(report.violations().len(), 1);
+    }
+
+    #[test]
+    fn palette_size_check() {
+        let mut c = EdgeColoring::empty(2);
+        c.set(EdgeId::new(0), 7);
+        assert!(check_palette_size(&c, 8).is_ok());
+        assert!(!check_palette_size(&c, 7).is_ok());
+    }
+
+    #[test]
+    fn vertex_coloring_checks() {
+        let g = triangle();
+        let proper = VertexColoring::from_vec(vec![0, 1, 2]);
+        assert!(check_proper_vertex_coloring(&g, &proper).is_ok());
+        let mono = VertexColoring::from_vec(vec![0, 0, 1]);
+        assert!(!check_proper_vertex_coloring(&g, &mono).is_ok());
+        // defect of the two 0-colored nodes is 1 each
+        assert!(check_vertex_defect(&g, &mono, |_| 1.0).is_ok());
+        assert!(!check_vertex_defect(&g, &mono, |_| 0.0).is_ok());
+    }
+
+    #[test]
+    fn edge_defect_check() {
+        let g = generators::star(4);
+        let mut c = EdgeColoring::empty(4);
+        for e in g.edges() {
+            c.set(e, 0);
+        }
+        // all 4 star edges share the center: defect 3 each
+        assert!(check_edge_defect(&g, &c, |_| 3.0).is_ok());
+        assert!(!check_edge_defect(&g, &c, |_| 2.0).is_ok());
+    }
+
+    #[test]
+    fn relaxed_defective_two_coloring_check() {
+        let bg = generators::complete_bipartite(3, 3);
+        let g = bg.graph();
+        // color edges red/blue alternating by edge id parity
+        let red = |e: EdgeId| e.index() % 2 == 0;
+        // with λ=1/2, ε=1 and β=deg the bound is generous enough to hold
+        let report =
+            check_relaxed_defective_two_coloring(g, red, |_| 0.5, 1.0, g.max_edge_degree() as f64);
+        assert!(report.is_ok());
+        // with λ=0 every red edge is allowed zero red neighbors: must fail
+        let report = check_relaxed_defective_two_coloring(g, red, |_| 0.0, 0.0, 0.0);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn balanced_orientation_check() {
+        let bg = generators::complete_bipartite(2, 2);
+        let g = bg.graph();
+        let mut orientation = Orientation::new(g);
+        // orient everything towards the V side: maximally unbalanced
+        for e in g.edges() {
+            let (_, v) = bg.endpoints_uv(e);
+            orientation.orient(g, e, v);
+        }
+        // with a huge β it passes
+        let ok = check_balanced_orientation(&bg, &orientation, |_| 0.0, 0.0, 100.0, true);
+        assert!(ok.is_ok());
+        // with β = 0 and η = 0 it must fail: x_v − x_u = 2 > (1+0)/2·deg = 1
+        let bad = check_balanced_orientation(&bg, &orientation, |_| 0.0, 0.0, 0.0, true);
+        assert!(!bad.is_ok());
+        // unoriented edges are flagged only when required
+        let empty = Orientation::new(g);
+        assert!(check_balanced_orientation(&bg, &empty, |_| 0.0, 0.0, 0.0, false).is_ok());
+        assert!(!check_balanced_orientation(&bg, &empty, |_| 0.0, 0.0, 0.0, true).is_ok());
+        // sanity: sides exist
+        assert_eq!(bg.side(NodeId::new(0)), Side::U);
+    }
+
+    #[test]
+    fn report_merge_display_and_assert() {
+        let mut a = Report::clean();
+        assert!(a.is_ok());
+        assert_eq!(a.to_string(), "valid");
+        a.push(Violation::EdgeUncolored { edge: EdgeId::new(0) });
+        let mut b = Report::clean();
+        b.merge(a.clone());
+        assert_eq!(b.violations().len(), 1);
+        assert_eq!(b.to_string(), "1 violations");
+        a.assert_ok_should_panic();
+    }
+
+    impl Report {
+        fn assert_ok_should_panic(&self) {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.assert_ok()));
+            assert!(result.is_err(), "assert_ok should panic on a dirty report");
+        }
+    }
+
+    #[test]
+    fn violation_display_messages() {
+        let samples = [
+            Violation::AdjacentEdgesShareColor { a: EdgeId::new(0), b: EdgeId::new(1), color: 2 },
+            Violation::EdgeUncolored { edge: EdgeId::new(3) },
+            Violation::ColorNotInList { edge: EdgeId::new(4), color: 5 },
+            Violation::AdjacentNodesShareColor { a: NodeId::new(0), b: NodeId::new(1), color: 0 },
+            Violation::NodeDefectExceeded { node: NodeId::new(2), defect: 3, allowed: 1.0 },
+            Violation::EdgeDefectExceeded { edge: EdgeId::new(2), defect: 3, allowed: 1.0 },
+            Violation::OrientationImbalance { edge: EdgeId::new(2), difference: 3, allowed: 1.0 },
+            Violation::EdgeUnoriented { edge: EdgeId::new(2) },
+            Violation::TooManyColors { used: 9, allowed: 3 },
+        ];
+        for v in samples {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

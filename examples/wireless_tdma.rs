@@ -1,0 +1,64 @@
+//! TDMA slot assignment with per-link forbidden slots, solved as
+//! (degree+1)-list edge coloring (Theorem 1.1).
+//!
+//! Radio links that share an endpoint cannot use the same time slot, and each
+//! link additionally has its own set of usable slots (regulatory or
+//! interference constraints remove some slots per link). As long as every
+//! link has at least `deg(e) + 1` usable slots, the paper's LOCAL list edge
+//! coloring algorithm finds a feasible assignment.
+//!
+//! Run with `cargo run --release --example wireless_tdma`.
+
+use distgraph::{generators, ListAssignment};
+use distsim::IdAssignment;
+use edgecolor::{list_edge_coloring, ColoringParams};
+use edgecolor_verify::{check_complete, check_list_compliance, check_proper_edge_coloring};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A mesh of 300 radios with around 8 links each.
+    let graph = generators::random_regular(300, 8, 11).expect("feasible parameters");
+    let slots_total = 4 * graph.max_degree(); // the global slot space
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    // Each link may use a random subset of slots of size deg(e) + 1 + margin.
+    let all_slots: Vec<usize> = (0..slots_total).collect();
+    let lists = ListAssignment::new(
+        slots_total,
+        graph
+            .edges()
+            .map(|e| {
+                let need = graph.edge_degree(e) + 1 + 2;
+                let mut slots = all_slots.clone();
+                slots.shuffle(&mut rng);
+                slots.truncate(need);
+                slots
+            })
+            .collect(),
+    );
+
+    let ids = IdAssignment::scattered(graph.n(), 5);
+    let params = ColoringParams::new(0.5);
+    let outcome = list_edge_coloring(&graph, &lists, &ids, &params).expect("lists satisfy degree+1");
+
+    check_proper_edge_coloring(&graph, &outcome.coloring).assert_ok();
+    check_complete(&graph, &outcome.coloring).assert_ok();
+    check_list_compliance(&graph, &lists, &outcome.coloring).assert_ok();
+
+    println!(
+        "assigned {} links to {} distinct slots out of a space of {} (all per-link restrictions respected)",
+        graph.m(),
+        outcome.colors_used,
+        slots_total
+    );
+    println!(
+        "distributed cost: {} rounds total, {} for the initial O(Δ²) coloring, {} Lemma D.2 solver calls, {} fallback rounds, {} outer iterations",
+        outcome.metrics.rounds,
+        outcome.initial_coloring_rounds,
+        outcome.solver_calls,
+        outcome.fallback_rounds,
+        outcome.outer_iterations
+    );
+}

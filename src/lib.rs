@@ -1,0 +1,11 @@
+//! Root integration package for the edge-coloring reproduction.
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). The re-exports below
+//! give examples and tests a single import root.
+
+pub use distgraph;
+pub use distsim;
+pub use edgecolor;
+pub use edgecolor_baselines;
+pub use edgecolor_verify;

@@ -1,0 +1,171 @@
+//! End-to-end integration tests spanning all crates: graph generation →
+//! distributed simulation → the paper's algorithms → verification.
+
+use distgraph::{generators, Graph, ListAssignment};
+use distsim::IdAssignment;
+use edgecolor::{color_congest, color_edges_local, ColoringParams, ParamProfile};
+use edgecolor_baselines as baselines;
+use edgecolor_verify::{
+    check_complete, check_list_compliance, check_palette_size, check_proper_edge_coloring,
+};
+
+fn verify_complete_proper(graph: &Graph, coloring: &distgraph::EdgeColoring) {
+    check_proper_edge_coloring(graph, coloring).assert_ok();
+    check_complete(graph, coloring).assert_ok();
+}
+
+#[test]
+fn local_coloring_across_graph_families() {
+    let params = ColoringParams::new(0.5);
+    for (family, delta) in [
+        (generators::Family::RegularBipartite, 12),
+        (generators::Family::ErdosRenyi, 10),
+        (generators::Family::PowerLaw, 12),
+        (generators::Family::Hypercube, 6),
+        (generators::Family::RandomTree, 4),
+        (generators::Family::Grid, 4),
+    ] {
+        let graph = family.generate(128, delta, 99);
+        if graph.m() == 0 {
+            continue;
+        }
+        let ids = IdAssignment::scattered(graph.n(), 5);
+        let outcome = color_edges_local(&graph, &ids, &params)
+            .unwrap_or_else(|e| panic!("family {} failed: {e}", family.name()));
+        verify_complete_proper(&graph, &outcome.coloring);
+        let budget = (2 * graph.max_degree()).saturating_sub(1).max(1);
+        check_palette_size(&outcome.coloring, budget).assert_ok();
+    }
+}
+
+#[test]
+fn congest_coloring_across_graph_families() {
+    let params = ColoringParams::new(0.5);
+    for (family, delta) in [
+        (generators::Family::RegularBipartite, 10),
+        (generators::Family::ErdosRenyi, 8),
+        (generators::Family::Hypercube, 5),
+        (generators::Family::Grid, 4),
+    ] {
+        let graph = family.generate(96, delta, 7);
+        if graph.m() == 0 {
+            continue;
+        }
+        let ids = IdAssignment::scattered(graph.n(), 3);
+        let result = color_congest(&graph, &ids, &params);
+        verify_complete_proper(&graph, &result.coloring);
+        assert_eq!(
+            result.metrics.congest_violations,
+            0,
+            "bandwidth violated on {}",
+            family.name()
+        );
+        let budget = ((8.0 + 6.0 * params.eps) * graph.max_degree() as f64).ceil() as usize + 16;
+        assert!(
+            result.colors_used <= budget,
+            "{}: {} colors exceed {budget}",
+            family.name(),
+            result.colors_used
+        );
+    }
+}
+
+#[test]
+fn list_coloring_with_adversarially_skewed_lists() {
+    // Lists heavily concentrated in one half of the color space exercise the
+    // λ_e machinery of Lemma D.1 (λ far from 1/2).
+    let bg = generators::regular_bipartite(32, 10, 17).unwrap();
+    let graph = bg.graph().clone();
+    let space = 4 * graph.max_edge_degree();
+    let lists = ListAssignment::new(
+        space,
+        graph
+            .edges()
+            .map(|e| {
+                let need = graph.edge_degree(e) + 1;
+                // even edges draw from the low half, odd edges from the high half
+                if e.index() % 2 == 0 {
+                    (0..need).collect()
+                } else {
+                    (space - need..space).collect()
+                }
+            })
+            .collect(),
+    );
+    let ids = IdAssignment::contiguous(graph.n());
+    let params = ColoringParams::new(0.5);
+    let outcome = edgecolor::list_edge_coloring(&graph, &lists, &ids, &params).unwrap();
+    verify_complete_proper(&graph, &outcome.coloring);
+    check_list_compliance(&graph, &lists, &outcome.coloring).assert_ok();
+}
+
+#[test]
+fn both_parameter_profiles_agree_on_validity() {
+    let graph = generators::random_regular(80, 10, 21).unwrap();
+    let ids = IdAssignment::scattered(graph.n(), 11);
+    for params in [ColoringParams::new(0.5), ColoringParams::paper(0.5)] {
+        let outcome = color_edges_local(&graph, &ids, &params).unwrap();
+        verify_complete_proper(&graph, &outcome.coloring);
+        check_palette_size(&outcome.coloring, 2 * graph.max_degree() - 1).assert_ok();
+        assert_eq!(
+            params.profile,
+            if matches!(params.profile, ParamProfile::Paper) {
+                ParamProfile::Paper
+            } else {
+                ParamProfile::Practical
+            }
+        );
+    }
+}
+
+#[test]
+fn algorithms_and_baselines_agree_on_feasibility() {
+    let graph = generators::random_regular(72, 8, 5).unwrap();
+    let ids = IdAssignment::scattered(graph.n(), 9);
+    let params = ColoringParams::new(0.5);
+
+    let ours = color_edges_local(&graph, &ids, &params).unwrap();
+    let greedy = baselines::greedy_sequential(&graph);
+    let vizing = baselines::misra_gries(&graph);
+    let classes = baselines::greedy_by_classes(&graph, &ids, distsim::Model::Local);
+    let random = baselines::randomized_coloring(&graph, 4, distsim::Model::Local);
+
+    for coloring in [&ours.coloring, &greedy, &vizing, &classes.coloring, &random.coloring] {
+        verify_complete_proper(&graph, coloring);
+    }
+    // Color-count sanity ordering: Vizing ≤ Δ+1 ≤ ours/greedy ≤ 2Δ−1.
+    assert!(vizing.palette_size() <= graph.max_degree() + 1);
+    assert!(ours.coloring.palette_size() <= 2 * graph.max_degree() - 1);
+    assert!(greedy.palette_size() <= 2 * graph.max_degree() - 1);
+}
+
+#[test]
+fn locality_round_counts_are_stable_as_n_grows() {
+    // The ∆-dependent part of the round complexity must not grow with n;
+    // only the O(log* n) initial coloring may add a couple of rounds.
+    let params = ColoringParams::new(0.5);
+    let small = generators::random_regular(64, 8, 2).unwrap();
+    let large = generators::random_regular(256, 8, 2).unwrap();
+    let ids_small = IdAssignment::scattered(small.n(), 1);
+    let ids_large = IdAssignment::scattered(large.n(), 1);
+    let out_small = color_edges_local(&small, &ids_small, &params).unwrap();
+    let out_large = color_edges_local(&large, &ids_large, &params).unwrap();
+    verify_complete_proper(&large, &out_large.coloring);
+    assert!(
+        out_large.initial_coloring_rounds <= out_small.initial_coloring_rounds + 3,
+        "initial coloring rounds grew too fast: {} vs {}",
+        out_large.initial_coloring_rounds,
+        out_small.initial_coloring_rounds
+    );
+}
+
+#[test]
+fn rejects_invalid_instances_cleanly() {
+    let graph = generators::star(5);
+    let ids = IdAssignment::contiguous(graph.n());
+    let params = ColoringParams::new(0.5);
+    // Lists smaller than degree+1 must be rejected, not mis-colored.
+    let lists = ListAssignment::new(3, vec![vec![0, 1]; graph.m()]);
+    let err = edgecolor::list_edge_coloring(&graph, &lists, &ids, &params).unwrap_err();
+    assert!(matches!(err, edgecolor::ColoringError::ListTooSmall { .. }));
+}

@@ -1,0 +1,71 @@
+//! Workspace-level property-based tests: the end-to-end pipelines must
+//! produce valid colorings on randomly generated graphs of every shape.
+
+use distgraph::{Graph, ListAssignment};
+use distsim::IdAssignment;
+use edgecolor::{color_congest, color_edges_local, ColoringParams};
+use edgecolor_verify::{check_complete, check_list_compliance, check_proper_edge_coloring};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n)).prop_map(move |pairs| {
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            Graph::from_edges(n, &edges).expect("sanitized edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn local_coloring_is_always_proper_complete_and_within_budget(g in arb_graph(48)) {
+        if g.m() == 0 {
+            return Ok(());
+        }
+        let ids = IdAssignment::scattered(g.n(), 11);
+        let params = ColoringParams::new(0.5);
+        let outcome = color_edges_local(&g, &ids, &params).expect("full palette is always valid");
+        check_proper_edge_coloring(&g, &outcome.coloring).assert_ok();
+        check_complete(&g, &outcome.coloring).assert_ok();
+        prop_assert!(outcome.coloring.palette_size() <= (2 * g.max_degree()).saturating_sub(1).max(1));
+    }
+
+    #[test]
+    fn congest_coloring_is_always_proper_and_bandwidth_clean(g in arb_graph(40)) {
+        if g.m() == 0 {
+            return Ok(());
+        }
+        let ids = IdAssignment::scattered(g.n(), 13);
+        let params = ColoringParams::new(0.5);
+        let result = color_congest(&g, &ids, &params);
+        check_proper_edge_coloring(&g, &result.coloring).assert_ok();
+        check_complete(&g, &result.coloring).assert_ok();
+        prop_assert_eq!(result.metrics.congest_violations, 0);
+    }
+
+    #[test]
+    fn degree_plus_one_list_instances_are_always_solved(g in arb_graph(40)) {
+        if g.m() == 0 {
+            return Ok(());
+        }
+        let lists = ListAssignment::degree_plus_one(&g);
+        let ids = IdAssignment::contiguous(g.n());
+        let params = ColoringParams::new(0.5);
+        let outcome = edgecolor::list_edge_coloring(&g, &lists, &ids, &params).expect("degree+1 instance");
+        check_proper_edge_coloring(&g, &outcome.coloring).assert_ok();
+        check_complete(&g, &outcome.coloring).assert_ok();
+        check_list_compliance(&g, &lists, &outcome.coloring).assert_ok();
+    }
+}
