@@ -1,0 +1,22 @@
+# Verification entry points for the edge-coloring reproduction workspace.
+
+.PHONY: verify build test clippy fmt bench-check
+
+# The full gate: tier-1 (release build + tests) plus lints, formatting,
+# and bench compilation.
+verify: build test clippy fmt bench-check
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --check
+
+bench-check:
+	cargo bench --no-run

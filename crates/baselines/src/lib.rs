@@ -47,7 +47,9 @@ pub fn greedy_sequential(graph: &Graph) -> EdgeColoring {
     let mut coloring = EdgeColoring::empty(graph.m());
     for e in graph.edges() {
         let used = coloring.colors_around(graph, e);
-        let c = (0..).find(|c| !used.contains(c)).expect("a free color always exists");
+        let c = (0..)
+            .find(|c| !used.contains(c))
+            .expect("a free color always exists");
         coloring.set(e, c);
     }
     coloring
@@ -105,10 +107,14 @@ pub fn misra_gries(graph: &Graph) -> EdgeColoring {
 
         // c is free at u, d is free at the last fan vertex.
         let free_u = free_at(&coloring, u);
-        let c = (0..palette).find(|&x| free_u[x]).expect("u has a free color");
+        let c = (0..palette)
+            .find(|&x| free_u[x])
+            .expect("u has a free color");
         let last = *fan.last().expect("fan is non-empty");
         let free_last = free_at(&coloring, last);
-        let d = (0..palette).find(|&x| free_last[x]).expect("fan tip has a free color");
+        let d = (0..palette)
+            .find(|&x| free_last[x])
+            .expect("fan tip has a free color");
 
         if !free_u[d] {
             // Invert the cd-path starting at u: the maximal path alternating
@@ -118,9 +124,10 @@ pub fn misra_gries(graph: &Graph) -> EdgeColoring {
             let mut want = d;
             let mut prev_edge: Option<EdgeId> = None;
             loop {
-                let next = graph.neighbors(current).iter().find(|nb| {
-                    Some(nb.edge) != prev_edge && coloring.color(nb.edge) == Some(want)
-                });
+                let next = graph
+                    .neighbors(current)
+                    .iter()
+                    .find(|nb| Some(nb.edge) != prev_edge && coloring.color(nb.edge) == Some(want));
                 match next {
                     None => break,
                     Some(nb) => {
@@ -163,7 +170,9 @@ pub fn misra_gries(graph: &Graph) -> EdgeColoring {
         let w_index = w_index.expect("Misra-Gries guarantees a rotatable fan prefix");
         // Rotate: edge (u, fan[i]) takes the color of edge (u, fan[i+1]).
         for i in 0..w_index {
-            let next_color = coloring.color(fan_edges[i + 1]).expect("rotated fan edges are colored");
+            let next_color = coloring
+                .color(fan_edges[i + 1])
+                .expect("rotated fan edges are colored");
             coloring.set(fan_edges[i], next_color);
         }
         coloring.set(fan_edges[w_index], d);
@@ -185,7 +194,11 @@ pub fn greedy_by_classes(graph: &Graph, ids: &IdAssignment, model: Model) -> Bas
             greedy_palette_coloring_by_schedule(graph, &schedule, palette, &mut coloring, &mut net);
         debug_assert!(outcome.uncolorable.is_empty());
     }
-    BaselineRun { colors_used: coloring.palette_size(), coloring, metrics: net.metrics() }
+    BaselineRun {
+        colors_used: coloring.palette_size(),
+        coloring,
+        metrics: net.metrics(),
+    }
 }
 
 /// A Kuhn–Wattenhofer style color reduction: starting from the `O(Δ̄²)`
@@ -199,7 +212,11 @@ pub fn kw_reduction(graph: &Graph, ids: &IdAssignment, model: Model) -> Baseline
     let mut net = Network::new(graph, model);
     let coloring = EdgeColoring::empty(graph.m());
     if graph.m() == 0 {
-        return BaselineRun { colors_used: 0, coloring, metrics: net.metrics() };
+        return BaselineRun {
+            colors_used: 0,
+            coloring,
+            metrics: net.metrics(),
+        };
     }
     // O(log* n): initial O(Δ̄²) coloring.
     let mut current = linial_edge_coloring(graph, ids, &mut net);
@@ -237,10 +254,13 @@ pub fn kw_reduction(graph: &Graph, ids: &IdAssignment, model: Model) -> Baseline
                     .expect("Δ̄+1 colors per bucket always suffice");
                 next.set(e, fresh);
             }
-            net.charge_messages(graph.m() as u64 / bucket_width.max(1) as u64, 2 * distsim::bits_for(target as u64) as u64);
+            net.charge_messages(
+                graph.m() as u64 / bucket_width.max(1) as u64,
+                2 * distsim::bits_for(target as u64) as u64,
+            );
         }
         debug_assert!(next.is_complete());
-        debug_assert_eq!(buckets * target >= next.palette_size(), true);
+        debug_assert!(buckets * target >= next.palette_size());
         current = next;
     }
 
@@ -253,13 +273,22 @@ pub fn kw_reduction(graph: &Graph, ids: &IdAssignment, model: Model) -> Baseline
             if current.color(e) != Some(step) {
                 continue;
             }
-            let used: std::collections::HashSet<Color> =
-                graph.adjacent_edges(e).into_iter().filter_map(|f| fin.color(f)).collect();
-            let fresh = (0..target).find(|cand| !used.contains(cand)).expect("Δ̄+1 colors suffice");
+            let used: std::collections::HashSet<Color> = graph
+                .adjacent_edges(e)
+                .into_iter()
+                .filter_map(|f| fin.color(f))
+                .collect();
+            let fresh = (0..target)
+                .find(|cand| !used.contains(cand))
+                .expect("Δ̄+1 colors suffice");
             fin.set(e, fresh);
         }
     }
-    BaselineRun { colors_used: fin.palette_size(), coloring: fin, metrics: net.metrics() }
+    BaselineRun {
+        colors_used: fin.palette_size(),
+        coloring: fin,
+        metrics: net.metrics(),
+    }
 }
 
 /// The simple randomized `(2Δ−1)`-edge coloring: in every round each
@@ -270,7 +299,11 @@ pub fn randomized_coloring(graph: &Graph, seed: u64, model: Model) -> BaselineRu
     let mut net = Network::new(graph, model);
     let mut coloring = EdgeColoring::empty(graph.m());
     if graph.m() == 0 {
-        return BaselineRun { colors_used: 0, coloring, metrics: net.metrics() };
+        return BaselineRun {
+            colors_used: 0,
+            coloring,
+            metrics: net.metrics(),
+        };
     }
     let palette = (2 * graph.max_degree()).saturating_sub(1).max(1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -300,7 +333,9 @@ pub fn randomized_coloring(graph: &Graph, seed: u64, model: Model) -> BaselineRu
         }
         // Keep proposals that no adjacent uncolored edge duplicated.
         for e in graph.edges() {
-            let Some(p) = proposal[e.index()] else { continue };
+            let Some(p) = proposal[e.index()] else {
+                continue;
+            };
             let conflict = graph
                 .adjacent_edges(e)
                 .into_iter()
@@ -315,13 +350,19 @@ pub fn randomized_coloring(graph: &Graph, seed: u64, model: Model) -> BaselineRu
         for e in graph.edges() {
             if !coloring.is_colored(e) {
                 let used = coloring.colors_around(graph, e);
-                let c = (0..).find(|c| !used.contains(c)).expect("free color exists");
+                let c = (0..)
+                    .find(|c| !used.contains(c))
+                    .expect("free color exists");
                 coloring.set(e, c);
                 net.charge_rounds(1);
             }
         }
     }
-    BaselineRun { colors_used: coloring.palette_size(), coloring, metrics: net.metrics() }
+    BaselineRun {
+        colors_used: coloring.palette_size(),
+        coloring,
+        metrics: net.metrics(),
+    }
 }
 
 #[cfg(test)]
@@ -362,8 +403,7 @@ mod tests {
         .enumerate()
         {
             let coloring = misra_gries(&g);
-            check_proper_edge_coloring(&g, &coloring)
-                .assert_ok();
+            check_proper_edge_coloring(&g, &coloring).assert_ok();
             check_complete(&g, &coloring).assert_ok();
             check_palette_size(&coloring, g.max_degree() + 1).assert_ok();
             assert!(coloring.palette_size() <= g.max_degree() + 1, "graph #{i}");

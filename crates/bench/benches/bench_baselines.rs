@@ -11,15 +11,19 @@ fn bench_baselines(c: &mut Criterion) {
     let delta = 16usize;
     let graph = generators::random_regular(4 * delta, delta, 11).unwrap();
     let ids = IdAssignment::scattered(graph.n(), 3);
-    group.bench_with_input(BenchmarkId::new("greedy_sequential", delta), &delta, |b, _| {
-        b.iter(|| baselines::greedy_sequential(&graph))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("greedy_sequential", delta),
+        &delta,
+        |b, _| b.iter(|| baselines::greedy_sequential(&graph)),
+    );
     group.bench_with_input(BenchmarkId::new("misra_gries", delta), &delta, |b, _| {
         b.iter(|| baselines::misra_gries(&graph))
     });
-    group.bench_with_input(BenchmarkId::new("greedy_by_classes", delta), &delta, |b, _| {
-        b.iter(|| baselines::greedy_by_classes(&graph, &ids, Model::Local))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("greedy_by_classes", delta),
+        &delta,
+        |b, _| b.iter(|| baselines::greedy_by_classes(&graph, &ids, Model::Local)),
+    );
     group.bench_with_input(BenchmarkId::new("kw_reduction", delta), &delta, |b, _| {
         b.iter(|| baselines::kw_reduction(&graph, &ids, Model::Local))
     });

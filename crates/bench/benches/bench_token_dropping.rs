@@ -9,7 +9,10 @@ fn bench_token_dropping(c: &mut Criterion) {
     group.sample_size(10);
     for &k in &[64usize, 256, 1024] {
         let game = layered_token_game(6, 8, k);
-        let params = TokenGameParams { alpha: vec![4; game.n], delta: 4 };
+        let params = TokenGameParams {
+            alpha: vec![4; game.n],
+            delta: 4,
+        };
         group.bench_with_input(BenchmarkId::new("distributed", k), &k, |b, _| {
             b.iter(|| solve_distributed(&game, &params))
         });

@@ -10,13 +10,30 @@ use edgecolor_bench as bench;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let quick = args.iter().any(|a| a == "quick");
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all" || a == "quick");
+    let want =
+        |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all" || a == "quick");
 
-    let deltas: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64] };
+    let deltas: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64]
+    };
     let small_deltas: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-    let ns: &[usize] = if quick { &[128, 256, 512] } else { &[128, 256, 512, 1024, 2048] };
-    let congest_ns: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024] };
-    let orientation_deltas: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128] };
+    let ns: &[usize] = if quick {
+        &[128, 256, 512]
+    } else {
+        &[128, 256, 512, 1024, 2048]
+    };
+    let congest_ns: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+    let orientation_deltas: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128]
+    };
     let orientation_eps: &[f64] = if quick { &[0.5] } else { &[0.25, 0.5, 1.0] };
 
     let mut tables = Vec::new();

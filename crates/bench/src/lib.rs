@@ -12,11 +12,15 @@
 use distgraph::{generators, Graph, ListAssignment, NodeId};
 use distsim::{IdAssignment, Model, Network};
 use edgecolor::balanced_orientation::compute_balanced_orientation;
-use edgecolor::defective_edge::{defective_two_edge_coloring, measure_defect_ratio, uniform_lambda};
+use edgecolor::defective_edge::{
+    defective_two_edge_coloring, measure_defect_ratio, uniform_lambda,
+};
 use edgecolor::token_dropping::{
     check_theorem_4_3, solve_distributed, theorem_4_3_bound, TokenGame, TokenGameParams,
 };
-use edgecolor::{color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile};
+use edgecolor::{
+    color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile,
+};
 use edgecolor_baselines as baselines;
 use edgecolor_verify::{check_complete, check_proper_edge_coloring};
 use serde::Serialize;
@@ -95,8 +99,14 @@ pub fn run_e1(deltas: &[usize]) -> Table {
         "E1",
         "LOCAL rounds vs Δ: this paper vs baselines (random Δ-regular graphs)",
         &[
-            "Δ", "n", "ours rounds", "ours colors", "greedy-classes rounds", "kw rounds",
-            "randomized rounds", "ours log*-part",
+            "Δ",
+            "n",
+            "ours rounds",
+            "ours colors",
+            "greedy-classes rounds",
+            "kw rounds",
+            "randomized rounds",
+            "ours log*-part",
         ],
     );
     let params = ColoringParams::new(0.5);
@@ -128,7 +138,12 @@ pub fn run_e2(ns: &[usize]) -> Table {
     let mut table = Table::new(
         "E2",
         "LOCAL rounds vs n at fixed Δ = 8 (only the O(log* n) part may grow)",
-        &["n", "total rounds", "initial O(Δ²)-coloring rounds", "colors"],
+        &[
+            "n",
+            "total rounds",
+            "initial O(Δ²)-coloring rounds",
+            "colors",
+        ],
     );
     let params = ColoringParams::new(0.5);
     for &n in ns {
@@ -151,7 +166,15 @@ pub fn run_e3(deltas: &[usize], epsilons: &[f64]) -> Table {
     let mut table = Table::new(
         "E3",
         "CONGEST (8+ε)Δ coloring: colors used vs Δ and ε",
-        &["Δ", "ε", "colors", "colors/Δ", "rounds", "levels", "violations"],
+        &[
+            "Δ",
+            "ε",
+            "colors",
+            "colors/Δ",
+            "rounds",
+            "levels",
+            "violations",
+        ],
     );
     for &delta in deltas {
         for &eps in epsilons {
@@ -199,7 +222,15 @@ pub fn run_e4(ks: &[usize], deltas: &[usize]) -> Table {
     let mut table = Table::new(
         "E4/E8",
         "Generalized token dropping: k/δ trade-off (layered game, 6 layers × 8 nodes)",
-        &["k", "δ", "phases", "rounds", "max slack measured", "max slack bound", "violations"],
+        &[
+            "k",
+            "δ",
+            "phases",
+            "rounds",
+            "max slack measured",
+            "max slack bound",
+            "violations",
+        ],
     );
     for &k in ks {
         for &delta in deltas {
@@ -207,7 +238,10 @@ pub fn run_e4(ks: &[usize], deltas: &[usize]) -> Table {
                 continue;
             }
             let game = layered_token_game(6, 8, k);
-            let params = TokenGameParams { alpha: vec![delta; game.n], delta };
+            let params = TokenGameParams {
+                alpha: vec![delta; game.n],
+                delta,
+            };
             let result = solve_distributed(&game, &params);
             let violations = check_theorem_4_3(&game, &params, &result);
             let mut max_measured = 0i64;
@@ -240,7 +274,14 @@ pub fn run_e5(deltas: &[usize], epsilons: &[f64]) -> Table {
     let mut table = Table::new(
         "E5",
         "Defective 2-edge coloring (λ = 1/2): defect ratio and rounds vs Δ and ε",
-        &["Δ", "ε", "max defect ratio", "rounds", "phases", "red share"],
+        &[
+            "Δ",
+            "ε",
+            "max defect ratio",
+            "rounds",
+            "phases",
+            "red share",
+        ],
     );
     for &delta in deltas {
         for &eps in epsilons {
@@ -296,7 +337,13 @@ pub fn run_e7(ns: &[usize]) -> Table {
     let mut table = Table::new(
         "E7",
         "CONGEST bandwidth audit (Δ = 16): max message bits vs the model limit",
-        &["n", "bandwidth limit (bits)", "max message (bits)", "violations", "total messages"],
+        &[
+            "n",
+            "bandwidth limit (bits)",
+            "max message (bits)",
+            "violations",
+            "total messages",
+        ],
     );
     for &n in ns {
         let n = if n % 2 == 1 { n + 1 } else { n };
@@ -321,7 +368,17 @@ pub fn run_e9() -> Table {
     let mut table = Table::new(
         "E9",
         "Graph-family summary (target Δ ≈ 16, n ≈ 256)",
-        &["family", "n", "m", "Δ", "LOCAL colors", "LOCAL rounds", "CONGEST colors", "CONGEST rounds", "valid"],
+        &[
+            "family",
+            "n",
+            "m",
+            "Δ",
+            "LOCAL colors",
+            "LOCAL rounds",
+            "CONGEST colors",
+            "CONGEST rounds",
+            "valid",
+        ],
     );
     let params = ColoringParams::new(0.5);
     for family in generators::Family::all() {
@@ -356,7 +413,14 @@ pub fn run_e10() -> Table {
     let mut table = Table::new(
         "E10",
         "(degree+1)-list edge coloring with skewed lists (Δ = 16 regular bipartite)",
-        &["list shape", "colors used", "rounds", "solver calls", "fallback rounds", "outer iters"],
+        &[
+            "list shape",
+            "colors used",
+            "rounds",
+            "solver calls",
+            "fallback rounds",
+            "outer iters",
+        ],
     );
     let bg = generators::regular_bipartite(48, 16, 7).expect("feasible");
     let graph = bg.graph().clone();
@@ -365,7 +429,10 @@ pub fn run_e10() -> Table {
     let params = ColoringParams::new(0.5);
 
     let shapes: Vec<(&str, ListAssignment)> = vec![
-        ("uniform (degree+1)", ListAssignment::degree_plus_one(&graph)),
+        (
+            "uniform (degree+1)",
+            ListAssignment::degree_plus_one(&graph),
+        ),
         (
             "skewed low/high halves",
             ListAssignment::new(
@@ -383,10 +450,14 @@ pub fn run_e10() -> Table {
                     .collect(),
             ),
         ),
-        ("full 2Δ−1 palette", ListAssignment::full_palette(&graph, 2 * graph.max_degree() - 1)),
+        (
+            "full 2Δ−1 palette",
+            ListAssignment::full_palette(&graph, 2 * graph.max_degree() - 1),
+        ),
     ];
     for (name, lists) in shapes {
-        let outcome = edgecolor::list_edge_coloring(&graph, &lists, &ids, &params).expect("valid lists");
+        let outcome =
+            edgecolor::list_edge_coloring(&graph, &lists, &ids, &params).expect("valid lists");
         check_proper_edge_coloring(&graph, &outcome.coloring).assert_ok();
         check_complete(&graph, &outcome.coloring).assert_ok();
         table.push_row(vec![
@@ -406,7 +477,15 @@ pub fn run_e11(deltas: &[usize]) -> Table {
     let mut table = Table::new(
         "E11",
         "Colors used: baselines vs this paper (random Δ-regular graphs)",
-        &["Δ", "Misra–Gries (Δ+1)", "greedy seq", "greedy classes", "randomized", "ours LOCAL", "ours CONGEST"],
+        &[
+            "Δ",
+            "Misra–Gries (Δ+1)",
+            "greedy seq",
+            "greedy classes",
+            "randomized",
+            "ours LOCAL",
+            "ours CONGEST",
+        ],
     );
     for &delta in deltas {
         let graph = regular_graph(delta, 19);
@@ -417,9 +496,15 @@ pub fn run_e11(deltas: &[usize]) -> Table {
         table.push_row(vec![
             delta.to_string(),
             baselines::misra_gries(&graph).palette_size().to_string(),
-            baselines::greedy_sequential(&graph).palette_size().to_string(),
-            baselines::greedy_by_classes(&graph, &ids, Model::Local).colors_used.to_string(),
-            baselines::randomized_coloring(&graph, 3, Model::Local).colors_used.to_string(),
+            baselines::greedy_sequential(&graph)
+                .palette_size()
+                .to_string(),
+            baselines::greedy_by_classes(&graph, &ids, Model::Local)
+                .colors_used
+                .to_string(),
+            baselines::randomized_coloring(&graph, 3, Model::Local)
+                .colors_used
+                .to_string(),
             ours_local.coloring.palette_size().to_string(),
             ours_congest.colors_used.to_string(),
         ]);

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` and
+//! `Deserialize` on its data types but never serializes in-tree, so the
+//! traits are markers and the derives (re-exported from the stand-in
+//! `serde_derive`) expand to nothing. See `crates/compat/README.md`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

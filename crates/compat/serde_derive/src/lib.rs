@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as markers (nothing is actually
+//! serialized in-tree), so both derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

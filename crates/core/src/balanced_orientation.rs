@@ -51,7 +51,8 @@ pub fn eta_for_lambda(
     eps: f64,
     beta: f64,
 ) -> f64 {
-    1.0 - 2.0 * lambda - (1.0 - lambda) * deg_u as f64 + lambda * deg_v as f64
+    1.0 - 2.0 * lambda - (1.0 - lambda) * deg_u as f64
+        + lambda * deg_v as f64
         + eps * (lambda - 0.5) * edge_degree as f64
         + (2.0 * lambda - 1.0) * beta
 }
@@ -102,7 +103,10 @@ pub fn compute_balanced_orientation(
         }
 
         // Snapshot of x_w = indegree at the end of the previous phase.
-        let x_prev: Vec<i64> = graph.nodes().map(|w| orientation.indegree(w) as i64).collect();
+        let x_prev: Vec<i64> = graph
+            .nodes()
+            .map(|w| orientation.indegree(w) as i64)
+            .collect();
 
         // Step 1: E_φ = unoriented edges whose unoriented edge degree exceeds
         // (1 − ν)^φ · Δ̄.
@@ -194,14 +198,16 @@ pub fn compute_balanced_orientation(
                     (head, tail)
                 })
                 .collect();
-            let initial_tokens: Vec<usize> =
-                accepted_count.iter().map(|&c| c.min(k_phi)).collect();
+            let initial_tokens: Vec<usize> = accepted_count.iter().map(|&c| c.min(k_phi)).collect();
             let game = TokenGame::new(graph.n(), arcs, k_phi, initial_tokens);
             let delta_phi = params.delta_phi(phi, dbar);
             let alpha: Vec<usize> = (0..graph.n())
                 .map(|w| params.alpha(d_minus[w], dbar).max(delta_phi))
                 .collect();
-            let tg_params = TokenGameParams { alpha, delta: delta_phi };
+            let tg_params = TokenGameParams {
+                alpha,
+                delta: delta_phi,
+            };
             let result = solve_distributed(&game, &tg_params);
             game_rounds = result.rounds;
             // Step 7: flip every edge over which a token moved.
@@ -262,7 +268,9 @@ pub fn measure_required_beta(
     let graph = bg.graph();
     let mut worst: f64 = 0.0;
     for e in graph.edges() {
-        let Some(head) = orientation.head(e) else { continue };
+        let Some(head) = orientation.head(e) else {
+            continue;
+        };
         let (u, v) = bg.endpoints_uv(e);
         let xu = orientation.indegree(u) as f64;
         let xv = orientation.indegree(v) as f64;
@@ -378,7 +386,14 @@ mod tests {
             .edges()
             .map(|e| {
                 let (u, v) = bg.endpoints_uv(e);
-                eta_for_lambda(graph.degree(u), graph.degree(v), graph.edge_degree(e), 0.5, params.eps, beta)
+                eta_for_lambda(
+                    graph.degree(u),
+                    graph.degree(v),
+                    graph.edge_degree(e),
+                    0.5,
+                    params.eps,
+                    beta,
+                )
             })
             .collect();
         let mut net = Network::new(graph, Model::Local);
@@ -405,7 +420,9 @@ mod tests {
         assert!(red_heavy > 0.0);
         // λ = 0 is the mirror image.
         let blue_heavy = eta_for_lambda(8, 8, 14, 0.0, 0.0, 10.0);
-        assert!((red_heavy + blue_heavy - 2.0 * (1.0 - 2.0 * 0.5)).abs() < 1e-9 || blue_heavy < 0.0);
+        assert!(
+            (red_heavy + blue_heavy - 2.0 * (1.0 - 2.0 * 0.5)).abs() < 1e-9 || blue_heavy < 0.0
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub fn color_bipartite(
     let m = graph.m();
     let mut coloring = EdgeColoring::empty(m);
     if m == 0 {
-        return BipartiteColoringResult { coloring, colors_used: 0, levels: 0, leaves: 0 };
+        return BipartiteColoringResult {
+            coloring,
+            colors_used: 0,
+            levels: 0,
+            leaves: 0,
+        };
     }
 
     let eps = params.eps;
@@ -61,7 +66,10 @@ pub fn color_bipartite(
     // Level-by-level splitting. All subgraphs of one level are processed in
     // parallel (their rounds are absorbed as the maximum over the level).
     let identity_map: Vec<EdgeId> = graph.edges().collect();
-    let mut active: Vec<Leaf> = vec![Leaf { graph: bg.clone(), map: identity_map }];
+    let mut active: Vec<Leaf> = vec![Leaf {
+        graph: bg.clone(),
+        map: identity_map,
+    }];
     let mut leaves: Vec<Leaf> = Vec::new();
     let mut levels_used = 0u32;
 
@@ -83,8 +91,12 @@ pub fn color_bipartite(
             let lambda = uniform_lambda(sub_graph.m());
             let orientation_params = params.orientation(chi);
             let mut child_net = Network::new(sub_graph, net.model());
-            let split =
-                defective_two_edge_coloring(&leaf.graph, &lambda, &orientation_params, &mut child_net);
+            let split = defective_two_edge_coloring(
+                &leaf.graph,
+                &lambda,
+                &orientation_params,
+                &mut child_net,
+            );
             level_metrics.push(child_net.metrics());
             // Partition the leaf's edges into the red and the blue subgraph.
             let (red_graph, red_map) = leaf.graph.edge_subgraph(|e| split.is_red(e));
@@ -93,10 +105,16 @@ pub fn color_bipartite(
                 local_map.into_iter().map(|e| leaf.map[e.index()]).collect()
             };
             if red_graph.graph().m() > 0 {
-                next.push(Leaf { graph: red_graph, map: remap(red_map) });
+                next.push(Leaf {
+                    graph: red_graph,
+                    map: remap(red_map),
+                });
             }
             if blue_graph.graph().m() > 0 {
-                next.push(Leaf { graph: blue_graph, map: remap(blue_map) });
+                next.push(Leaf {
+                    graph: blue_graph,
+                    map: remap(blue_map),
+                });
             }
         }
         net.absorb_parallel(&level_metrics);
@@ -126,7 +144,10 @@ pub fn color_bipartite(
             &mut sub_coloring,
             &mut child_net,
         );
-        debug_assert!(outcome.uncolorable.is_empty(), "palette d̄+1 always suffices");
+        debug_assert!(
+            outcome.uncolorable.is_empty(),
+            "palette d̄+1 always suffices"
+        );
         leaf_metrics.push(child_net.metrics());
         for e in sub_graph.edges() {
             if let Some(c) = sub_coloring.color(e) {

@@ -78,7 +78,10 @@ pub fn color_congest(
     let k = ((delta.max(2) as f64).log2().floor() as u32).max(1);
     let eps1 = (1.0 / (2.0 * k as f64)).max(0.05);
     let eps2 = params.eps;
-    let bipartite_params = ColoringParams { eps: eps2, ..*params };
+    let bipartite_params = ColoringParams {
+        eps: eps2,
+        ..*params
+    };
 
     let mut next_color = 0usize;
     let mut levels = 0u32;
@@ -115,10 +118,7 @@ pub fn color_congest(
             if piece.m() == 0 {
                 continue;
             }
-            let sides: Vec<Side> = piece
-                .nodes()
-                .map(|v| side_of(four.color(v)))
-                .collect();
+            let sides: Vec<Side> = piece.nodes().map(|v| side_of(four.color(v))).collect();
             let bipartite = BipartiteGraph::new(piece, sides)
                 .expect("edges cross the bipartition by construction");
             let mut child_net = Network::new(bipartite.graph(), net.model());

@@ -128,13 +128,18 @@ pub fn measure_defect_ratio(
     let graph = bg.graph();
     let mut worst: f64 = 0.0;
     for e in graph.edges() {
-        let lam = if coloring.is_red(e) { lambda[e.index()] } else { 1.0 - lambda[e.index()] };
+        let lam = if coloring.is_red(e) {
+            lambda[e.index()]
+        } else {
+            1.0 - lambda[e.index()]
+        };
         let same = graph
             .adjacent_edges(e)
             .into_iter()
             .filter(|&f| coloring.is_red(f) == coloring.is_red(e))
             .count() as f64;
-        let allowed = (1.0 + coloring.eps) * lam * graph.edge_degree(e) as f64 + lam * coloring.beta;
+        let allowed =
+            (1.0 + coloring.eps) * lam * graph.edge_degree(e) as f64 + lam * coloring.beta;
         if allowed > 0.0 {
             worst = worst.max(same / allowed);
         } else if same > 0.0 {
@@ -160,7 +165,10 @@ pub fn lambda_from_lists(
     mid: usize,
     hi: usize,
 ) -> Vec<f64> {
-    graph.edges().map(|e| lists.red_fraction(e, lo, mid, hi)).collect()
+    graph
+        .edges()
+        .map(|e| lists.red_fraction(e, lo, mid, hi))
+        .collect()
 }
 
 /// The defect of edge `e` under a red/blue split (number of same-colored
@@ -297,7 +305,10 @@ mod tests {
         let e0 = EdgeId::new(0);
         assert_eq!(split_defect(graph, &red, e0), 1);
         let v0 = NodeId::new(0);
-        assert_eq!(side_degree(graph, &red, v0, true) + side_degree(graph, &red, v0, false), graph.degree(v0));
+        assert_eq!(
+            side_degree(graph, &red, v0, true) + side_degree(graph, &red, v0, false),
+            graph.degree(v0)
+        );
     }
 
     #[test]

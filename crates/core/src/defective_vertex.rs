@@ -313,7 +313,11 @@ mod tests {
         assert!(result.defect_bound <= budget + 1e-9);
         assert!(result.coloring.max_defect(&g) as f64 <= result.defect_bound + 1e-9);
         assert!(result.palette < palette);
-        assert!(result.palette <= 600, "palette {} not O(1)-ish", result.palette);
+        assert!(
+            result.palette <= 600,
+            "palette {} not O(1)-ish",
+            result.palette
+        );
     }
 
     #[test]
@@ -361,7 +365,8 @@ mod tests {
     fn edge_cases_empty_and_edgeless() {
         let empty = Graph::from_edges(0, &[]).unwrap();
         let mut net = Network::new(&empty, Model::Local);
-        let coloring = defective_four_coloring(&empty, &VertexColoring::from_vec(vec![]), 1, 0.5, &mut net);
+        let coloring =
+            defective_four_coloring(&empty, &VertexColoring::from_vec(vec![]), 1, 0.5, &mut net);
         assert!(coloring.is_empty());
 
         let edgeless = Graph::from_edges(5, &[]).unwrap();

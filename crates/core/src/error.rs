@@ -62,13 +62,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ColoringError::NotBipartite.to_string().contains("bipartite"));
-        let e = ColoringError::ListTooSmall { edge: 3, list_size: 2, degree: 4 };
+        assert!(ColoringError::NotBipartite
+            .to_string()
+            .contains("bipartite"));
+        let e = ColoringError::ListTooSmall {
+            edge: 3,
+            list_size: 2,
+            degree: 4,
+        };
         assert!(e.to_string().contains("e3"));
         assert!(e.to_string().contains('5'));
-        let e = ColoringError::ColorSpaceTooLarge { space: 100, allowed: 10 };
+        let e = ColoringError::ColorSpaceTooLarge {
+            space: 100,
+            allowed: 10,
+        };
         assert!(e.to_string().contains("100"));
-        let e = ColoringError::InvalidParameter { name: "eps", reason: "must be positive".into() };
+        let e = ColoringError::InvalidParameter {
+            name: "eps",
+            reason: "must be positive".into(),
+        };
         assert!(e.to_string().contains("eps"));
     }
 

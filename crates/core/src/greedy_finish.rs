@@ -81,7 +81,10 @@ pub fn greedy_list_coloring_by_schedule(
     net: &mut Network<'_>,
 ) -> GreedyOutcome {
     assert!(schedule.is_complete(), "the schedule must color every edge");
-    assert!(schedule.is_proper(graph), "the schedule must be a proper edge coloring");
+    assert!(
+        schedule.is_proper(graph),
+        "the schedule must be a proper edge coloring"
+    );
 
     let classes = schedule.palette_size();
     let mut colored = 0usize;
@@ -92,9 +95,7 @@ pub fn greedy_list_coloring_by_schedule(
     for class in 0..classes {
         let mut class_edges: Vec<EdgeId> = graph
             .edges()
-            .filter(|&e| {
-                schedule.color(e) == Some(class) && !coloring.is_colored(e) && eligible(e)
-            })
+            .filter(|&e| schedule.color(e) == Some(class) && !coloring.is_colored(e) && eligible(e))
             .collect();
         if class_edges.is_empty() {
             continue;
@@ -117,7 +118,11 @@ pub fn greedy_list_coloring_by_schedule(
         }
     }
 
-    GreedyOutcome { colored, uncolorable, rounds: net.rounds() - rounds_before }
+    GreedyOutcome {
+        colored,
+        uncolorable,
+        rounds: net.rounds() - rounds_before,
+    }
 }
 
 /// Colors *all* uncolored edges of `graph` greedily from the standard palette
@@ -138,7 +143,9 @@ pub fn greedy_palette_coloring_by_schedule(
 /// (the "first-fit" color); exposed for tests and for the baselines crate.
 pub fn first_free_color(graph: &Graph, coloring: &EdgeColoring, e: EdgeId) -> Color {
     let used = coloring.colors_around(graph, e);
-    (0..).find(|c| !used.contains(c)).expect("some color below deg+1 is free")
+    (0..)
+        .find(|c| !used.contains(c))
+        .expect("some color below deg+1 is free")
 }
 
 #[cfg(test)]
@@ -147,7 +154,9 @@ mod tests {
     use crate::linial::linial_edge_coloring;
     use distgraph::generators;
     use distsim::{IdAssignment, Model};
-    use edgecolor_verify::{check_complete, check_list_compliance, check_palette_size, check_proper_edge_coloring};
+    use edgecolor_verify::{
+        check_complete, check_list_compliance, check_palette_size, check_proper_edge_coloring,
+    };
 
     #[test]
     fn port_pair_coloring_is_proper_with_delta_squared_palette() {
@@ -178,8 +187,14 @@ mod tests {
         let schedule = linial_edge_coloring(&g, &ids, &mut net);
         let lists = ListAssignment::degree_plus_one(&g);
         let mut coloring = EdgeColoring::empty(g.m());
-        let outcome =
-            greedy_list_coloring_by_schedule(&g, &schedule, &lists, &mut coloring, |_| true, &mut net);
+        let outcome = greedy_list_coloring_by_schedule(
+            &g,
+            &schedule,
+            &lists,
+            &mut coloring,
+            |_| true,
+            &mut net,
+        );
         assert!(outcome.uncolorable.is_empty());
         assert_eq!(outcome.colored, g.m());
         check_proper_edge_coloring(&g, &coloring).assert_ok();
@@ -222,7 +237,10 @@ mod tests {
             |e| e.index() % 2 == 0,
             &mut net,
         );
-        assert_eq!(outcome.colored, g.edges().filter(|e| e.index() % 2 == 0).count());
+        assert_eq!(
+            outcome.colored,
+            g.edges().filter(|e| e.index() % 2 == 0).count()
+        );
         for e in g.edges() {
             assert_eq!(coloring.is_colored(e), e.index() % 2 == 0);
         }
@@ -252,8 +270,14 @@ mod tests {
         let schedule = linial_edge_coloring(&g, &ids, &mut net);
         let lists = ListAssignment::full_palette(&g, 2);
         let mut coloring = EdgeColoring::empty(g.m());
-        let outcome =
-            greedy_list_coloring_by_schedule(&g, &schedule, &lists, &mut coloring, |_| true, &mut net);
+        let outcome = greedy_list_coloring_by_schedule(
+            &g,
+            &schedule,
+            &lists,
+            &mut coloring,
+            |_| true,
+            &mut net,
+        );
         assert_eq!(outcome.colored, 2);
         assert_eq!(outcome.uncolorable.len(), 1);
         check_proper_edge_coloring(&g, &coloring).assert_ok();

@@ -42,12 +42,12 @@ pub(crate) fn is_prime(value: u64) -> bool {
     if value < 2 {
         return false;
     }
-    if value % 2 == 0 {
+    if value.is_multiple_of(2) {
         return value == 2;
     }
     let mut d = 3u64;
     while d * d <= value {
-        if value % d == 0 {
+        if value.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -123,16 +123,15 @@ pub fn reduction_step(
         let mut chosen = None;
         for a in 0..q {
             let mine = eval_poly(my_color, t, q, a);
-            let clash = neighbor_colors.iter().any(|&c| {
-                c != my_color && eval_poly(c, t, q, a) == mine
-            });
+            let clash = neighbor_colors
+                .iter()
+                .any(|&c| c != my_color && eval_poly(c, t, q, a) == mine);
             if !clash {
                 chosen = Some((a, mine));
                 break;
             }
         }
-        let (a, value) =
-            chosen.expect("a collision-free evaluation point exists because tΔ < q");
+        let (a, value) = chosen.expect("a collision-free evaluation point exists because tΔ < q");
         next[v.index()] = a * q + value;
     }
     (next, new_palette)
@@ -143,7 +142,11 @@ pub fn reduction_step(
 pub fn linial_coloring(graph: &Graph, ids: &IdAssignment, net: &mut Network<'_>) -> LinialResult {
     let n = graph.n();
     if n == 0 {
-        return LinialResult { coloring: VertexColoring::from_vec(vec![]), palette: 0, iterations: 0 };
+        return LinialResult {
+            coloring: VertexColoring::from_vec(vec![]),
+            palette: 0,
+            iterations: 0,
+        };
     }
     let mut colors: Vec<u64> = graph.nodes().map(|v| ids.id(v) - 1).collect();
     let mut palette: u64 = ids.space().max(n as u64);
@@ -166,7 +169,11 @@ pub fn linial_coloring(graph: &Graph, ids: &IdAssignment, net: &mut Network<'_>)
         iterations += 1;
     }
     let coloring = VertexColoring::from_vec(colors.iter().map(|&c| c as usize).collect());
-    LinialResult { coloring, palette: palette as usize, iterations }
+    LinialResult {
+        coloring,
+        palette: palette as usize,
+        iterations,
+    }
 }
 
 /// Computes a proper edge coloring with `O(Δ̄²)` colors in `O(log* n)` rounds
@@ -203,7 +210,10 @@ pub fn linial_edge_coloring(
     // are whatever the line-graph nodes sent (relayed by the endpoints).
     let line_metrics = line_net.metrics();
     net.charge_rounds(line_metrics.rounds);
-    net.absorb_sequential(&distsim::Metrics { rounds: line_metrics.rounds, ..line_metrics });
+    net.absorb_sequential(&distsim::Metrics {
+        rounds: line_metrics.rounds,
+        ..line_metrics
+    });
     let mut coloring = distgraph::EdgeColoring::empty(graph.m());
     for e in graph.edges() {
         coloring.set(e, result.coloring.color(NodeId::new(e.index())));

@@ -64,7 +64,11 @@ pub const AMPLIFY_K: usize = 32;
 
 /// Computes the colors currently unavailable to edge `e`: the colors of its
 /// already-colored adjacent edges in `graph`.
-fn used_colors(graph: &Graph, coloring: &EdgeColoring, e: EdgeId) -> std::collections::HashSet<Color> {
+fn used_colors(
+    graph: &Graph,
+    coloring: &EdgeColoring,
+    e: EdgeId,
+) -> std::collections::HashSet<Color> {
     coloring.colors_around(graph, e)
 }
 
@@ -76,7 +80,12 @@ fn avail_list(
     e: EdgeId,
 ) -> Vec<Color> {
     let used = used_colors(graph, coloring, e);
-    lists.list(e).iter().copied().filter(|c| !used.contains(c)).collect()
+    lists
+        .list(e)
+        .iter()
+        .copied()
+        .filter(|c| !used.contains(c))
+        .collect()
 }
 
 /// Solves a slack-`S` list edge coloring instance `P(Δ̄, S, C)` on a 2-colored
@@ -114,7 +123,9 @@ fn solve_slack_instance(
         // Degree of each edge among still-active, same-interval edges.
         let active_edges: Vec<EdgeId> = piece
             .edges()
-            .filter(|&e| passive_at[e.index()].is_none() && !coloring.is_colored(edge_map[e.index()]))
+            .filter(|&e| {
+                passive_at[e.index()].is_none() && !coloring.is_colored(edge_map[e.index()])
+            })
             .collect();
         if active_edges.is_empty() {
             break;
@@ -179,11 +190,16 @@ fn solve_slack_instance(
             let lambda = lambda_from_lists(sub.graph(), &sub_lists, lo, mid, hi);
             let orientation_params = params.orientation(eps_level);
             let mut child_net = Network::new(sub.graph(), net.model());
-            let split = defective_two_edge_coloring(&sub, &lambda, &orientation_params, &mut child_net);
+            let split =
+                defective_two_edge_coloring(&sub, &lambda, &orientation_params, &mut child_net);
             group_metrics.push(child_net.metrics());
             for e in sub.graph().edges() {
                 let piece_edge = sub_map[e.index()];
-                interval[piece_edge.index()] = if split.is_red(e) { (lo, mid) } else { (mid, hi) };
+                interval[piece_edge.index()] = if split.is_red(e) {
+                    (lo, mid)
+                } else {
+                    (mid, hi)
+                };
             }
         }
         net.absorb_parallel(&group_metrics);
@@ -197,7 +213,12 @@ fn solve_slack_instance(
     let schedule = port_pair_edge_coloring(bg, net);
     let mut order: Vec<(u32, EdgeId)> = piece
         .edges()
-        .map(|e| (levels + 1 - passive_at[e.index()].unwrap_or(levels + 1).min(levels + 1), e))
+        .map(|e| {
+            (
+                levels + 1 - passive_at[e.index()].unwrap_or(levels + 1).min(levels + 1),
+                e,
+            )
+        })
         .collect();
     // Sort: active edges (key 0) first, then passive in reverse phase order.
     order.sort_by_key(|&(key, e)| (key, e));
@@ -263,7 +284,10 @@ fn amplify_slack(
     let mut solver_calls = 0u64;
     let mut fallback_rounds = 0u64;
     if piece.m() == 0 {
-        return AmplifyOutcome { solver_calls, fallback_rounds };
+        return AmplifyOutcome {
+            solver_calls,
+            fallback_rounds,
+        };
     }
     let target_degree = (piece.max_edge_degree() / AMPLIFY_K).max(2);
 
@@ -304,8 +328,7 @@ fn amplify_slack(
             level_metrics.push(child_net.metrics());
             for e in sub.graph().edges() {
                 let piece_edge = sub_map[e.index()];
-                group[piece_edge.index()] =
-                    2 * g + if split.is_red(e) { 0 } else { 1 };
+                group[piece_edge.index()] = 2 * g + if split.is_red(e) { 0 } else { 1 };
             }
         }
         net.absorb_parallel(&level_metrics);
@@ -332,8 +355,7 @@ fn amplify_slack(
                 .count();
             avail.len() as f64 > SLACK_S * in_group_degree as f64
         };
-        let selected: Vec<EdgeId> =
-            piece.edges().filter(|&e| qualifies(e, coloring)).collect();
+        let selected: Vec<EdgeId> = piece.edges().filter(|&e| qualifies(e, coloring)).collect();
         if selected.is_empty() {
             continue;
         }
@@ -370,7 +392,8 @@ fn amplify_slack(
     let heavy: Vec<EdgeId> = piece
         .edges()
         .filter(|&e| {
-            !coloring.is_colored(edge_map[e.index()]) && uncolored_degree(coloring, e) > target_degree
+            !coloring.is_colored(edge_map[e.index()])
+                && uncolored_degree(coloring, e) > target_degree
         })
         .collect();
     if !heavy.is_empty() {
@@ -395,7 +418,10 @@ fn amplify_slack(
         fallback_rounds = net.rounds() - rounds_before;
     }
 
-    AmplifyOutcome { solver_calls, fallback_rounds }
+    AmplifyOutcome {
+        solver_calls,
+        fallback_rounds,
+    }
 }
 
 /// Builds a host-indexed view of piece-local lists so that
@@ -498,7 +524,13 @@ pub fn list_edge_coloring(
                 }
                 let sides: Vec<Side> = piece
                     .nodes()
-                    .map(|v| if classes.color(v) == a { Side::U } else { Side::V })
+                    .map(|v| {
+                        if classes.color(v) == a {
+                            Side::U
+                        } else {
+                            Side::V
+                        }
+                    })
                     .collect();
                 let bipartite = BipartiteGraph::new(piece, sides)
                     .expect("piece edges cross the (a, b) class pair");
@@ -647,8 +679,14 @@ mod tests {
         let outcome = color_edges_local(&g, &ids, &params).unwrap();
         let lists = ListAssignment::full_palette(&g, 2 * g.max_degree() - 1);
         check_outcome(&g, &lists, &outcome);
-        assert!(outcome.outer_iterations >= 1, "expected the degree-reduction loop to run");
-        assert!(outcome.solver_calls >= 1, "expected at least one Lemma D.2 call");
+        assert!(
+            outcome.outer_iterations >= 1,
+            "expected the degree-reduction loop to run"
+        );
+        assert!(
+            outcome.solver_calls >= 1,
+            "expected at least one Lemma D.2 call"
+        );
     }
 
     #[test]
@@ -674,7 +712,11 @@ mod tests {
     #[test]
     fn handles_paths_trees_and_empty_graphs() {
         let params = ColoringParams::new(0.5);
-        for g in [generators::path(10), generators::random_tree(30, 2), Graph::from_edges(5, &[]).unwrap()] {
+        for g in [
+            generators::path(10),
+            generators::random_tree(30, 2),
+            Graph::from_edges(5, &[]).unwrap(),
+        ] {
             let ids = IdAssignment::contiguous(g.n());
             let outcome = color_edges_local(&g, &ids, &params).unwrap();
             if g.m() > 0 {

@@ -15,20 +15,15 @@
 use serde::{Deserialize, Serialize};
 
 /// Which constant-factor regime to use for the paper's parameter formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ParamProfile {
     /// The literal constants of Equations (4)–(7) of the paper.
     Paper,
     /// The same formulas with the `log Δ̄` factors and the small leading
     /// constants removed, so that the divide-and-conquer recursion is
     /// exercised at simulation-scale degrees.
+    #[default]
     Practical,
-}
-
-impl Default for ParamProfile {
-    fn default() -> Self {
-        ParamProfile::Practical
-    }
 }
 
 /// Parameters of the Section 5 balanced-orientation algorithm for a fixed
@@ -138,9 +133,7 @@ impl OrientationParams {
             ParamProfile::Paper => {
                 2.5 * self.nu / ln * self.k_e(edge_degree) + 28.0 * ln * ln / self.nu.powi(4)
             }
-            ParamProfile::Practical => {
-                self.nu * edge_degree as f64 + 16.0 / (self.nu * self.nu)
-            }
+            ParamProfile::Practical => self.nu * edge_degree as f64 + 16.0 / (self.nu * self.nu),
         }
     }
 }
@@ -178,7 +171,10 @@ impl ColoringParams {
 
     /// Same parameters but with the literal paper constants.
     pub fn paper(eps: f64) -> Self {
-        ColoringParams { profile: ParamProfile::Paper, ..Self::new(eps) }
+        ColoringParams {
+            profile: ParamProfile::Paper,
+            ..Self::new(eps)
+        }
     }
 
     /// The orientation parameters induced by these coloring parameters for a
@@ -317,7 +313,10 @@ mod tests {
     #[test]
     fn split_cutoff_reflects_profile() {
         let practical = ColoringParams::new(0.5);
-        assert_eq!(practical.split_cutoff(1000, 0.5), practical.low_degree_cutoff);
+        assert_eq!(
+            practical.split_cutoff(1000, 0.5),
+            practical.low_degree_cutoff
+        );
         let paper = ColoringParams::paper(0.5);
         assert!(paper.split_cutoff(1000, 0.5) > 1000);
     }

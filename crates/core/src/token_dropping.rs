@@ -67,16 +67,29 @@ impl TokenGame {
     ///
     /// Panics if an arc endpoint is out of range, a node starts with more than
     /// `k` tokens, or `k = 0` while some node has a token.
-    pub fn new(n: usize, arcs: Vec<(NodeId, NodeId)>, k: usize, initial_tokens: Vec<usize>) -> Self {
+    pub fn new(
+        n: usize,
+        arcs: Vec<(NodeId, NodeId)>,
+        k: usize,
+        initial_tokens: Vec<usize>,
+    ) -> Self {
         assert_eq!(initial_tokens.len(), n, "one initial token count per node");
         for &(u, v) in &arcs {
             assert!(u.index() < n && v.index() < n, "arc endpoint out of range");
             assert_ne!(u, v, "self-loop arcs are not allowed");
         }
         for (v, &t) in initial_tokens.iter().enumerate() {
-            assert!(t <= k, "node {v} starts with {t} tokens, above the capacity k = {k}");
+            assert!(
+                t <= k,
+                "node {v} starts with {t} tokens, above the capacity k = {k}"
+            );
         }
-        TokenGame { n, arcs, k, initial_tokens }
+        TokenGame {
+            n,
+            arcs,
+            k,
+            initial_tokens,
+        }
     }
 
     /// Number of arcs.
@@ -94,7 +107,6 @@ impl TokenGame {
     pub fn degree(&self, v: NodeId) -> usize {
         self.arcs.iter().filter(|(a, b)| *a == v || *b == v).count()
     }
-
 }
 
 /// The slack bound of Theorem 4.3 for an arc `(u, v)`:
@@ -114,7 +126,10 @@ pub fn theorem_4_3_bound(game: &TokenGame, params: &TokenGameParams, u: NodeId, 
 ///
 /// Terminates after at most `|arcs|` moves with a state in which every active
 /// arc satisfies the slack condition `τ(u) ≤ τ(v) + σ(u, v)`.
-pub fn solve_sequential(game: &TokenGame, sigma: impl Fn(NodeId, NodeId) -> f64) -> TokenGameResult {
+pub fn solve_sequential(
+    game: &TokenGame,
+    sigma: impl Fn(NodeId, NodeId) -> f64,
+) -> TokenGameResult {
     let mut tokens = game.initial_tokens.clone();
     let mut moved = vec![false; game.num_arcs()];
     let mut total_moves = 0u64;
@@ -138,7 +153,12 @@ pub fn solve_sequential(game: &TokenGame, sigma: impl Fn(NodeId, NodeId) -> f64)
             break;
         }
     }
-    TokenGameResult { tokens, moved, phases: total_moves, rounds: 0 }
+    TokenGameResult {
+        tokens,
+        moved,
+        phases: total_moves,
+        rounds: 0,
+    }
 }
 
 /// Runs the distributed algorithm of Section 4.1.
@@ -211,7 +231,9 @@ pub fn solve_distributed(game: &TokenGame, params: &TokenGameParams) -> TokenGam
             senders.sort_by(|(_, a), (_, b)| {
                 let ra = degree[a.index()] as f64 / params.alpha[a.index()] as f64;
                 let rb = degree[b.index()] as f64 / params.alpha[b.index()] as f64;
-                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
             });
             let budget = (k as i64 - t_delta as i64 - x_prime[v] as i64).max(0) as usize;
             for (arc, w) in senders.into_iter().take(budget) {
@@ -246,7 +268,12 @@ pub fn solve_distributed(game: &TokenGame, params: &TokenGameParams) -> TokenGam
     }
 
     let tokens: Vec<usize> = (0..n).map(|v| x[v] + y[v]).collect();
-    TokenGameResult { tokens, moved, phases: phases_run, rounds: 3 * phases_run }
+    TokenGameResult {
+        tokens,
+        moved,
+        phases: phases_run,
+        rounds: 3 * phases_run,
+    }
 }
 
 /// Checks the fundamental invariants of a play of the game:
@@ -303,14 +330,15 @@ mod tests {
             }
         }
         let mut tokens = vec![0usize; n];
-        for a in 0..width {
-            tokens[a] = k;
-        }
+        tokens[..width].fill(k);
         TokenGame::new(n, arcs, k, tokens)
     }
 
     fn uniform_params(game: &TokenGame, alpha: usize, delta: usize) -> TokenGameParams {
-        TokenGameParams { alpha: vec![alpha; game.n], delta }
+        TokenGameParams {
+            alpha: vec![alpha; game.n],
+            delta,
+        }
     }
 
     #[test]
@@ -411,9 +439,15 @@ mod tests {
             let delta = 1 + trial % 3;
             let params = uniform_params(&game, delta + 1, delta);
             let result = solve_distributed(&game, &params);
-            assert!(check_invariants(&game, &result), "invariants violated in trial {trial}");
+            assert!(
+                check_invariants(&game, &result),
+                "invariants violated in trial {trial}"
+            );
             let violations = check_theorem_4_3(&game, &params, &result);
-            assert!(violations.is_empty(), "Theorem 4.3 violated in trial {trial}");
+            assert!(
+                violations.is_empty(),
+                "Theorem 4.3 violated in trial {trial}"
+            );
         }
     }
 
@@ -422,7 +456,12 @@ mod tests {
         // 0 -> 1 -> 2, k = 1, one token at node 0: it should be able to reach
         // an empty node; after the game no active arc may have a large
         // imbalance.
-        let game = TokenGame::new(3, vec![(node(0), node(1)), (node(1), node(2))], 1, vec![1, 0, 0]);
+        let game = TokenGame::new(
+            3,
+            vec![(node(0), node(1)), (node(1), node(2))],
+            1,
+            vec![1, 0, 0],
+        );
         let params = uniform_params(&game, 1, 1);
         // k/δ − 1 = 0 phases: the distributed solver is allowed to do nothing
         // because with k = 1 and δ = 1 the bound of Theorem 4.3 is ≥ k anyway.

@@ -29,12 +29,18 @@ impl BipartiteGraph {
     /// side vector has the wrong length.
     pub fn new(graph: Graph, sides: Vec<Side>) -> Result<Self, GraphError> {
         if sides.len() != graph.n() {
-            return Err(GraphError::NodeOutOfRange { node: sides.len(), n: graph.n() });
+            return Err(GraphError::NodeOutOfRange {
+                node: sides.len(),
+                n: graph.n(),
+            });
         }
         for e in graph.edges() {
             let (a, b) = graph.endpoints(e);
             if sides[a.index()] == sides[b.index()] {
-                return Err(GraphError::InvalidBipartition { u: a.index(), v: b.index() });
+                return Err(GraphError::InvalidBipartition {
+                    u: a.index(),
+                    v: b.index(),
+                });
             }
         }
         Ok(BipartiteGraph { graph, sides })

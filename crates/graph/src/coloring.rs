@@ -84,12 +84,20 @@ impl VertexColoring {
     /// The *defect* of node `v`: the number of neighbors sharing `v`'s color.
     pub fn defect(&self, graph: &Graph, v: NodeId) -> usize {
         let cv = self.color(v);
-        graph.neighbors(v).iter().filter(|nb| self.color(nb.node) == cv).count()
+        graph
+            .neighbors(v)
+            .iter()
+            .filter(|nb| self.color(nb.node) == cv)
+            .count()
     }
 
     /// The maximum defect over all nodes (0 for an edgeless graph).
     pub fn max_defect(&self, graph: &Graph) -> usize {
-        graph.nodes().map(|v| self.defect(graph, v)).max().unwrap_or(0)
+        graph
+            .nodes()
+            .map(|v| self.defect(graph, v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -106,7 +114,9 @@ pub struct EdgeColoring {
 impl EdgeColoring {
     /// Creates an empty (entirely uncolored) edge coloring for `m` edges.
     pub fn empty(m: usize) -> Self {
-        EdgeColoring { colors: vec![None; m] }
+        EdgeColoring {
+            colors: vec![None; m],
+        }
     }
 
     /// Creates an edge coloring from an explicit vector.
@@ -169,7 +179,12 @@ impl EdgeColoring {
 
     /// The largest color value used plus one, 0 if nothing is colored.
     pub fn palette_size(&self) -> usize {
-        self.colors.iter().flatten().copied().max().map_or(0, |c| c + 1)
+        self.colors
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |c| c + 1)
     }
 
     /// Returns `true` if no two *colored* adjacent edges share a color.
@@ -207,7 +222,11 @@ impl EdgeColoring {
 
     /// The maximum edge defect over all edges.
     pub fn max_defect(&self, graph: &Graph) -> usize {
-        graph.edges().map(|e| self.defect(graph, e)).max().unwrap_or(0)
+        graph
+            .edges()
+            .map(|e| self.defect(graph, e))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The set of colors used by colored edges adjacent to `e`.
@@ -236,10 +255,12 @@ impl EdgeColoring {
     /// Panics if `map` is shorter than `other` or if a mapped edge already has
     /// a different color (the recursions must color disjoint edge sets).
     pub fn merge_mapped(&mut self, other: &EdgeColoring, map: &[EdgeId]) {
-        assert!(map.len() >= other.len(), "edge map shorter than sub-coloring");
-        for i in 0..other.len() {
+        assert!(
+            map.len() >= other.len(),
+            "edge map shorter than sub-coloring"
+        );
+        for (i, &target) in map.iter().enumerate().take(other.len()) {
             if let Some(c) = other.colors[i] {
-                let target = map[i];
                 match self.colors[target.index()] {
                     None => self.colors[target.index()] = Some(c),
                     Some(existing) => {

@@ -47,17 +47,26 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "node index {node} is out of range for a graph with {n} nodes")
+                write!(
+                    f,
+                    "node index {node} is out of range for a graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "duplicate edge between nodes {u} and {v}")
             }
             GraphError::NotBipartite => write!(f, "graph is not bipartite"),
             GraphError::InvalidBipartition { u, v } => {
-                write!(f, "edge between {u} and {v} has both endpoints on the same side")
+                write!(
+                    f,
+                    "edge between {u} and {v} has both endpoints on the same side"
+                )
             }
             GraphError::InfeasibleParameters { reason } => {
                 write!(f, "infeasible generator parameters: {reason}")
@@ -84,7 +93,9 @@ mod tests {
         assert!(e.to_string().contains("bipartite"));
         let e = GraphError::InvalidBipartition { u: 0, v: 1 };
         assert!(e.to_string().contains("same side"));
-        let e = GraphError::InfeasibleParameters { reason: "n*d is odd".into() };
+        let e = GraphError::InfeasibleParameters {
+            reason: "n*d is odd".into(),
+        };
         assert!(e.to_string().contains("infeasible"));
     }
 

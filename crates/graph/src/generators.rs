@@ -41,7 +41,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> BipartiteGraph {
         }
     }
     let g = Graph::from_edges(a + b, &edges).expect("complete bipartite edges are valid");
-    let sides = (0..a + b).map(|i| if i < a { Side::U } else { Side::V }).collect();
+    let sides = (0..a + b)
+        .map(|i| if i < a { Side::U } else { Side::V })
+        .collect();
     BipartiteGraph::new(g, sides).expect("bipartition is valid by construction")
 }
 
@@ -139,7 +141,9 @@ pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> BipartiteGraph
         }
     }
     let g = Graph::from_edges(a + b, &edges).expect("random bipartite edges are valid");
-    let sides = (0..a + b).map(|i| if i < a { Side::U } else { Side::V }).collect();
+    let sides = (0..a + b)
+        .map(|i| if i < a { Side::U } else { Side::V })
+        .collect();
     BipartiteGraph::new(g, sides).expect("bipartition is valid by construction")
 }
 
@@ -173,7 +177,9 @@ pub fn regular_bipartite(n: usize, d: usize, seed: u64) -> Result<BipartiteGraph
         }
     }
     let g = Graph::from_edges(2 * n, &edges)?;
-    let sides = (0..2 * n).map(|i| if i < n { Side::U } else { Side::V }).collect();
+    let sides = (0..2 * n)
+        .map(|i| if i < n { Side::U } else { Side::V })
+        .collect();
     BipartiteGraph::new(g, sides)
 }
 
@@ -182,7 +188,9 @@ pub fn regular_bipartite(n: usize, d: usize, seed: u64) -> Result<BipartiteGraph
 pub fn circulant_bipartite(n: usize, d: usize) -> Result<BipartiteGraph, GraphError> {
     if d > n {
         return Err(GraphError::InfeasibleParameters {
-            reason: format!("cannot build a {d}-regular circulant bipartite graph with {n} nodes per side"),
+            reason: format!(
+                "cannot build a {d}-regular circulant bipartite graph with {n} nodes per side"
+            ),
         });
     }
     let mut edges = Vec::with_capacity(n * d);
@@ -192,7 +200,9 @@ pub fn circulant_bipartite(n: usize, d: usize) -> Result<BipartiteGraph, GraphEr
         }
     }
     let g = Graph::from_edges(2 * n, &edges)?;
-    let sides = (0..2 * n).map(|i| if i < n { Side::U } else { Side::V }).collect();
+    let sides = (0..2 * n)
+        .map(|i| if i < n { Side::U } else { Side::V })
+        .collect();
     BipartiteGraph::new(g, sides)
 }
 
@@ -206,8 +216,10 @@ pub fn circulant_bipartite(n: usize, d: usize) -> Result<BipartiteGraph, GraphEr
 ///
 /// Returns an error if `n·d` is odd or `d ≥ n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if n * d % 2 != 0 {
-        return Err(GraphError::InfeasibleParameters { reason: "n*d must be even".to_string() });
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InfeasibleParameters {
+            reason: "n*d must be even".to_string(),
+        });
     }
     if d >= n {
         return Err(GraphError::InfeasibleParameters {
@@ -219,7 +231,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
     // Repeatedly shuffle the multiset of stubs and pair consecutive entries,
     // keeping only pairs that form new simple edges; iterate on the leftovers.
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     for _round in 0..60 {
         if stubs.len() < 2 {
             break;
@@ -331,7 +343,7 @@ impl Family {
             }
             Family::PowerLaw => power_law(target_n.max(4), 2.5, target_delta.max(2), seed),
             Family::Hypercube => {
-                let dim = target_delta.max(1).min(16);
+                let dim = target_delta.clamp(1, 16);
                 hypercube(dim)
             }
             Family::RandomTree => random_tree(target_n.max(2), seed),

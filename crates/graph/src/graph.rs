@@ -87,7 +87,10 @@ impl Graph {
         }
         let mut cursor = offsets.clone();
         let mut adj = vec![
-            Neighbor { node: NodeId::new(0), edge: EdgeId::new(0) };
+            Neighbor {
+                node: NodeId::new(0),
+                edge: EdgeId::new(0)
+            };
             offsets[n]
         ];
         for (idx, &(a, b)) in endpoints.iter().enumerate() {
@@ -102,7 +105,11 @@ impl Graph {
         for v in 0..n {
             adj[offsets[v]..offsets[v + 1]].sort_by_key(|nb| nb.node);
         }
-        Ok(Graph { offsets, adj, endpoints })
+        Ok(Graph {
+            offsets,
+            adj,
+            endpoints,
+        })
     }
 
     /// Builds a graph from edges given as `NodeId` pairs.
@@ -194,19 +201,29 @@ impl Graph {
 
     /// Maximum node degree Δ (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(NodeId::new(v))).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum edge degree Δ̄ over all edges (0 for an edgeless graph).
     ///
     /// The paper writes Δ̄ for this quantity and uses the bound Δ̄ ≤ 2Δ − 2.
     pub fn max_edge_degree(&self) -> usize {
-        (0..self.m()).map(|e| self.edge_degree(EdgeId::new(e))).max().unwrap_or(0)
+        (0..self.m())
+            .map(|e| self.edge_degree(EdgeId::new(e)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Looks up the edge between `u` and `v`, if it exists.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         let slice = self.neighbors(probe);
         slice
             .binary_search_by_key(&target, |nb| nb.node)
@@ -271,7 +288,11 @@ impl Graph {
                 }
             }
         }
-        Some(side.into_iter().map(|s| s.expect("all nodes visited")).collect())
+        Some(
+            side.into_iter()
+                .map(|s| s.expect("all nodes visited"))
+                .collect(),
+        )
     }
 
     /// Number of connected components.
@@ -312,8 +333,7 @@ impl Graph {
                 kept_edges.push(e);
             }
         }
-        let sub = Graph::from_edges(self.n(), &raw)
-            .expect("subgraph of a valid graph is valid");
+        let sub = Graph::from_edges(self.n(), &raw).expect("subgraph of a valid graph is valid");
         (sub, kept_edges)
     }
 
@@ -373,8 +393,14 @@ mod tests {
         assert_eq!(g.m(), 1);
         assert_eq!(g.degree(NodeId::new(0)), 1);
         assert_eq!(g.edge_degree(EdgeId::new(0)), 0);
-        assert_eq!(g.endpoints(EdgeId::new(0)), (NodeId::new(0), NodeId::new(1)));
-        assert_eq!(g.other_endpoint(EdgeId::new(0), NodeId::new(0)), NodeId::new(1));
+        assert_eq!(
+            g.endpoints(EdgeId::new(0)),
+            (NodeId::new(0), NodeId::new(1))
+        );
+        assert_eq!(
+            g.other_endpoint(EdgeId::new(0), NodeId::new(0)),
+            NodeId::new(1)
+        );
     }
 
     #[test]
@@ -432,7 +458,11 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
-        let order: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|nb| nb.node.index()).collect();
+        let order: Vec<usize> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|nb| nb.node.index())
+            .collect();
         assert_eq!(order, vec![0, 1, 3, 4]);
     }
 
@@ -442,7 +472,10 @@ mod tests {
         assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
         assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
         assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
-        assert_eq!(g.edge_between(NodeId::new(2), NodeId::new(3)), Some(EdgeId::new(1)));
+        assert_eq!(
+            g.edge_between(NodeId::new(2), NodeId::new(3)),
+            Some(EdgeId::new(1))
+        );
     }
 
     #[test]
@@ -516,7 +549,8 @@ mod tests {
 
     #[test]
     fn line_graph_degree_matches_edge_degree() {
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
         let lg = g.line_graph();
         for e in g.edges() {
             assert_eq!(lg.degree(NodeId::new(e.index())), g.edge_degree(e));
@@ -528,7 +562,10 @@ mod tests {
         let a = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let b = Graph::from_node_id_edges(
             3,
-            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))],
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2)),
+            ],
         )
         .unwrap();
         assert_eq!(a, b);

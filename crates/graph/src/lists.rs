@@ -41,7 +41,10 @@ impl ListAssignment {
     /// case of the list edge coloring problem").
     pub fn full_palette(graph: &Graph, k: usize) -> Self {
         let list: Vec<Color> = (0..k).collect();
-        ListAssignment { space_size: k, lists: vec![list; graph.m()] }
+        ListAssignment {
+            space_size: k,
+            lists: vec![list; graph.m()],
+        }
     }
 
     /// The `(degree+1)`-list instance with the canonical lists
@@ -52,7 +55,10 @@ impl ListAssignment {
             .edges()
             .map(|e| (0..=graph.edge_degree(e)).collect())
             .collect();
-        ListAssignment { space_size: space, lists }
+        ListAssignment {
+            space_size: space,
+            lists,
+        }
     }
 
     /// Size of the global color space `|C|`.
@@ -126,7 +132,10 @@ impl ListAssignment {
 
     /// Number of colors of `e`'s list inside `[lo, hi)`.
     pub fn count_in_range(&self, e: EdgeId, lo: Color, hi: Color) -> usize {
-        self.lists[e.index()].iter().filter(|c| **c >= lo && **c < hi).count()
+        self.lists[e.index()]
+            .iter()
+            .filter(|c| **c >= lo && **c < hi)
+            .count()
     }
 
     /// The slack of edge `e` relative to a degree `deg`: `|L_e| / max(deg, 1)`.
@@ -150,7 +159,9 @@ impl ListAssignment {
     /// Returns `true` if the instance satisfies the `(degree+1)` condition
     /// `|L_e| ≥ deg_G(e) + 1` for every edge.
     pub fn is_degree_plus_one(&self, graph: &Graph) -> bool {
-        graph.edges().all(|e| self.list_size(e) >= graph.edge_degree(e) + 1)
+        graph
+            .edges()
+            .all(|e| self.list_size(e) > graph.edge_degree(e))
     }
 }
 

@@ -26,7 +26,10 @@ pub struct Orientation {
 impl Orientation {
     /// Creates an all-unoriented orientation for `graph`.
     pub fn new(graph: &Graph) -> Self {
-        Orientation { head: vec![None; graph.m()], indegree: vec![0; graph.n()] }
+        Orientation {
+            head: vec![None; graph.m()],
+            indegree: vec![0; graph.n()],
+        }
     }
 
     /// Number of edges this orientation was created for.
@@ -62,7 +65,10 @@ impl Orientation {
     ///
     /// Panics if `towards` is not an endpoint of `e`.
     pub fn orient(&mut self, graph: &Graph, e: EdgeId, towards: NodeId) {
-        assert!(graph.is_endpoint(e, towards), "{towards} is not an endpoint of {e}");
+        assert!(
+            graph.is_endpoint(e, towards),
+            "{towards} is not an endpoint of {e}"
+        );
         if let Some(prev) = self.head[e.index()] {
             self.indegree[prev.index()] -= 1;
         }

@@ -19,7 +19,10 @@ pub struct IdAssignment {
 impl IdAssignment {
     /// Identifiers `1, ..., n` in node order (the simplest valid assignment).
     pub fn contiguous(n: usize) -> Self {
-        IdAssignment { ids: (1..=n as u64).collect(), space: (n as u64).max(1) }
+        IdAssignment {
+            ids: (1..=n as u64).collect(),
+            space: (n as u64).max(1),
+        }
     }
 
     /// Unique identifiers drawn deterministically (from `seed`) from the space
@@ -42,7 +45,10 @@ impl IdAssignment {
                 ids.push(candidate + 1);
             }
         }
-        IdAssignment { ids, space: space.max(n as u64) }
+        IdAssignment {
+            ids,
+            space: space.max(n as u64),
+        }
     }
 
     /// Creates an assignment from explicit identifiers.
@@ -98,12 +104,12 @@ fn is_prime(value: u64) -> bool {
     if value < 2 {
         return false;
     }
-    if value % 2 == 0 {
+    if value.is_multiple_of(2) {
         return value == 2;
     }
     let mut d = 3u64;
     while d * d <= value {
-        if value % d == 0 {
+        if value.is_multiple_of(d) {
             return false;
         }
         d += 2;

@@ -91,8 +91,20 @@ mod tests {
 
     #[test]
     fn sequential_composition_adds_rounds() {
-        let mut a = Metrics { rounds: 3, messages: 5, total_bits: 50, max_message_bits: 20, congest_violations: 1 };
-        let b = Metrics { rounds: 2, messages: 1, total_bits: 30, max_message_bits: 30, congest_violations: 0 };
+        let mut a = Metrics {
+            rounds: 3,
+            messages: 5,
+            total_bits: 50,
+            max_message_bits: 20,
+            congest_violations: 1,
+        };
+        let b = Metrics {
+            rounds: 2,
+            messages: 1,
+            total_bits: 30,
+            max_message_bits: 30,
+            congest_violations: 0,
+        };
         a.absorb_sequential(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.messages, 6);
@@ -105,8 +117,20 @@ mod tests {
     fn parallel_composition_takes_max_rounds() {
         let mut base = Metrics::new();
         let children = [
-            Metrics { rounds: 7, messages: 10, total_bits: 100, max_message_bits: 12, congest_violations: 0 },
-            Metrics { rounds: 3, messages: 20, total_bits: 200, max_message_bits: 16, congest_violations: 2 },
+            Metrics {
+                rounds: 7,
+                messages: 10,
+                total_bits: 100,
+                max_message_bits: 12,
+                congest_violations: 0,
+            },
+            Metrics {
+                rounds: 3,
+                messages: 20,
+                total_bits: 200,
+                max_message_bits: 16,
+                congest_violations: 2,
+            },
         ];
         base.absorb_parallel(&children);
         assert_eq!(base.rounds, 7);
@@ -118,7 +142,10 @@ mod tests {
 
     #[test]
     fn parallel_composition_with_no_children_is_noop() {
-        let mut base = Metrics { rounds: 1, ..Metrics::new() };
+        let mut base = Metrics {
+            rounds: 1,
+            ..Metrics::new()
+        };
         base.absorb_parallel(&[]);
         assert_eq!(base.rounds, 1);
         assert_eq!(base.messages, 0);

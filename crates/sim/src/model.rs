@@ -3,9 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// The communication model under which an execution is accounted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Model {
     /// The LOCAL model: unbounded message size and local computation.
+    #[default]
     Local,
     /// The CONGEST model: every message is limited to `bandwidth_bits` bits.
     ///
@@ -23,7 +24,9 @@ impl Model {
     /// (a message can carry a constant number of identifiers/counters).
     pub fn congest_for(n: usize) -> Model {
         let log_n = (usize::BITS - n.max(1).leading_zeros()) as u64;
-        Model::Congest { bandwidth_bits: 32 * log_n.max(1) }
+        Model::Congest {
+            bandwidth_bits: 32 * log_n.max(1),
+        }
     }
 
     /// The per-message bandwidth limit, if any.
@@ -37,12 +40,6 @@ impl Model {
     /// Returns `true` for the CONGEST model.
     pub fn is_congest(&self) -> bool {
         matches!(self, Model::Congest { .. })
-    }
-}
-
-impl Default for Model {
-    fn default() -> Self {
-        Model::Local
     }
 }
 

@@ -61,7 +61,11 @@ pub struct Network<'g> {
 impl<'g> Network<'g> {
     /// Creates a network over `graph` under the given model.
     pub fn new(graph: &'g Graph, model: Model) -> Self {
-        Network { graph, model, metrics: Metrics::new() }
+        Network {
+            graph,
+            model,
+            metrics: Metrics::new(),
+        }
     }
 
     /// The underlying graph.
@@ -112,7 +116,8 @@ impl<'g> Network<'g> {
                     "{v} sent two messages over {edge} in a single round"
                 );
                 used.push(edge);
-                self.metrics.record_message(msg.encoded_bits() as u64, limit);
+                self.metrics
+                    .record_message(msg.encoded_bits() as u64, limit);
                 let target = self.graph.other_endpoint(edge, v);
                 boxes[target.index()].push(Incoming { from: v, edge, msg });
             }
@@ -121,14 +126,15 @@ impl<'g> Network<'g> {
     }
 
     /// One round in which every node sends the same message to all neighbors.
-    pub fn broadcast<M: Payload>(
-        &mut self,
-        mut msg_of: impl FnMut(NodeId) -> M,
-    ) -> Mailboxes<M> {
+    pub fn broadcast<M: Payload>(&mut self, mut msg_of: impl FnMut(NodeId) -> M) -> Mailboxes<M> {
         let graph = self.graph;
         self.exchange(|v| {
             let msg = msg_of(v);
-            graph.neighbors(v).iter().map(|nb| (nb.edge, msg.clone())).collect()
+            graph
+                .neighbors(v)
+                .iter()
+                .map(|nb| (nb.edge, msg.clone()))
+                .collect()
         })
     }
 
@@ -237,7 +243,13 @@ mod tests {
         let g = generators::path(4);
         let mut net = Network::new(&g, Model::Local);
         // node 0 tries to send over edge 2 = (2,3)
-        net.exchange(|v| if v.index() == 0 { vec![(EdgeId::new(2), 1u32)] } else { vec![] });
+        net.exchange(|v| {
+            if v.index() == 0 {
+                vec![(EdgeId::new(2), 1u32)]
+            } else {
+                vec![]
+            }
+        });
     }
 
     #[test]
@@ -259,9 +271,21 @@ mod tests {
         let g = generators::path(2);
         let mut net = Network::new(&g, Model::Local);
         net.charge_rounds(5);
-        let child = Metrics { rounds: 3, messages: 2, total_bits: 10, max_message_bits: 6, congest_violations: 0 };
+        let child = Metrics {
+            rounds: 3,
+            messages: 2,
+            total_bits: 10,
+            max_message_bits: 6,
+            congest_violations: 0,
+        };
         net.absorb_sequential(&child);
-        net.absorb_parallel(&[child, Metrics { rounds: 9, ..Metrics::default() }]);
+        net.absorb_parallel(&[
+            child,
+            Metrics {
+                rounds: 9,
+                ..Metrics::default()
+            },
+        ]);
         assert_eq!(net.rounds(), 5 + 3 + 9);
         assert_eq!(net.metrics().messages, 4);
     }

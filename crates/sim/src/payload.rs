@@ -84,7 +84,10 @@ impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
 
 impl<A: Payload, B: Payload, C: Payload, D: Payload> Payload for (A, B, C, D) {
     fn encoded_bits(&self) -> usize {
-        self.0.encoded_bits() + self.1.encoded_bits() + self.2.encoded_bits() + self.3.encoded_bits()
+        self.0.encoded_bits()
+            + self.1.encoded_bits()
+            + self.2.encoded_bits()
+            + self.3.encoded_bits()
     }
 }
 
@@ -123,7 +126,7 @@ mod tests {
 
     #[test]
     fn composite_payload_sizes() {
-        assert_eq!(((3u32, true)).encoded_bits(), 2 + 1);
+        assert_eq!((3u32, true).encoded_bits(), 2 + 1);
         assert_eq!(Some(3u32).encoded_bits(), 1 + 2);
         assert_eq!(None::<u32>.encoded_bits(), 1);
         let v = vec![1u32, 2, 3];

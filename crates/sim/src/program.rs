@@ -60,7 +60,11 @@ pub trait NodeProgram {
     fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, Self::Msg)>;
 
     /// Called once per round with the messages received in that round.
-    fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<Self::Msg>]) -> Step<Self::Msg, Self::Output>;
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        inbox: &[Incoming<Self::Msg>],
+    ) -> Step<Self::Msg, Self::Output>;
 }
 
 /// The result of running a [`NodeProgram`] on every node of a graph.
@@ -128,7 +132,10 @@ where
     for v in graph.nodes() {
         let sends = programs[v.index()].init(&contexts[v.index()]);
         for (edge, msg) in sends {
-            assert!(graph.is_endpoint(edge, v), "{v} sent over non-incident edge {edge}");
+            assert!(
+                graph.is_endpoint(edge, v),
+                "{v} sent over non-incident edge {edge}"
+            );
             metrics.record_message(msg.encoded_bits() as u64, limit);
             let target = graph.other_endpoint(edge, v);
             pending[target.index()].push(Incoming { from: v, edge, msg });
@@ -203,13 +210,10 @@ mod tests {
         let g = generators::cycle(12);
         let ids = IdAssignment::scattered(12, 3);
         let expected = (0..12).map(|v| ids.id(NodeId::new(v))).max().unwrap();
-        let run = run_program(
-            &g,
-            &ids,
-            Model::Local,
-            64,
-            |_| MaxIdFlood { best: 0, rounds_left: 12 },
-        );
+        let run = run_program(&g, &ids, Model::Local, 64, |_| MaxIdFlood {
+            best: 0,
+            rounds_left: 12,
+        });
         assert!(run.all_halted());
         for out in run.expect_outputs() {
             assert_eq!(out, expected);
@@ -248,9 +252,7 @@ mod tests {
                 if let Some(min_in) = inbox.iter().map(|m| m.msg).min() {
                     self.dist = Some(min_in + 1);
                     self.announced = true;
-                    return Step::Send(
-                        ctx.ports.iter().map(|p| (p.edge, min_in + 1)).collect(),
-                    );
+                    return Step::Send(ctx.ports.iter().map(|p| (p.edge, min_in + 1)).collect());
                 }
             }
             Step::Send(vec![])
@@ -261,7 +263,10 @@ mod tests {
     fn bfs_computes_distances_on_a_path() {
         let g = generators::path(6);
         let ids = IdAssignment::contiguous(6); // node 0 has id 1
-        let run = run_program(&g, &ids, Model::Local, 32, |_| Bfs { dist: None, announced: false });
+        let run = run_program(&g, &ids, Model::Local, 32, |_| Bfs {
+            dist: None,
+            announced: false,
+        });
         assert!(run.all_halted());
         let outs = run.expect_outputs();
         for (v, d) in outs.iter().enumerate() {
@@ -273,7 +278,10 @@ mod tests {
     fn round_limit_leaves_nodes_unhalted() {
         let g = generators::path(50);
         let ids = IdAssignment::contiguous(50);
-        let run = run_program(&g, &ids, Model::Local, 3, |_| Bfs { dist: None, announced: false });
+        let run = run_program(&g, &ids, Model::Local, 3, |_| Bfs {
+            dist: None,
+            announced: false,
+        });
         assert!(!run.all_halted());
         assert_eq!(run.metrics.rounds, 3);
     }
@@ -282,13 +290,12 @@ mod tests {
     fn congest_accounting_in_program_runner() {
         let g = generators::cycle(8);
         let ids = IdAssignment::contiguous(8);
-        let run = run_program(
-            &g,
-            &ids,
-            Model::Congest { bandwidth_bits: 2 },
-            16,
-            |_| MaxIdFlood { best: 0, rounds_left: 8 },
-        );
+        let run = run_program(&g, &ids, Model::Congest { bandwidth_bits: 2 }, 16, |_| {
+            MaxIdFlood {
+                best: 0,
+                rounds_left: 8,
+            }
+        });
         // identifiers up to 8 need 4 bits > 2, so violations must be flagged
         assert!(run.metrics.congest_violations > 0);
         assert!(run.metrics.messages > 0);

@@ -17,7 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use distgraph::{BipartiteGraph, EdgeColoring, EdgeId, Graph, ListAssignment, NodeId, Orientation, VertexColoring};
+use distgraph::{
+    BipartiteGraph, EdgeColoring, EdgeId, Graph, ListAssignment, NodeId, Orientation,
+    VertexColoring,
+};
 use std::fmt;
 
 /// A single violated requirement found by a checker.
@@ -108,13 +111,31 @@ impl fmt::Display for Violation {
             Violation::AdjacentNodesShareColor { a, b, color } => {
                 write!(f, "adjacent nodes {a} and {b} both have color {color}")
             }
-            Violation::NodeDefectExceeded { node, defect, allowed } => {
-                write!(f, "node {node} has defect {defect} exceeding the allowed {allowed}")
+            Violation::NodeDefectExceeded {
+                node,
+                defect,
+                allowed,
+            } => {
+                write!(
+                    f,
+                    "node {node} has defect {defect} exceeding the allowed {allowed}"
+                )
             }
-            Violation::EdgeDefectExceeded { edge, defect, allowed } => {
-                write!(f, "edge {edge} has defect {defect} exceeding the allowed {allowed}")
+            Violation::EdgeDefectExceeded {
+                edge,
+                defect,
+                allowed,
+            } => {
+                write!(
+                    f,
+                    "edge {edge} has defect {defect} exceeding the allowed {allowed}"
+                )
             }
-            Violation::OrientationImbalance { edge, difference, allowed } => {
+            Violation::OrientationImbalance {
+                edge,
+                difference,
+                allowed,
+            } => {
                 write!(f, "edge {edge} has orientation imbalance {difference} exceeding the allowed {allowed}")
             }
             Violation::EdgeUnoriented { edge } => write!(f, "edge {edge} is unoriented"),
@@ -162,8 +183,12 @@ impl Report {
     #[track_caller]
     pub fn assert_ok(&self) {
         if !self.is_ok() {
-            let preview: Vec<String> =
-                self.violations.iter().take(5).map(ToString::to_string).collect();
+            let preview: Vec<String> = self
+                .violations
+                .iter()
+                .take(5)
+                .map(ToString::to_string)
+                .collect();
             panic!(
                 "verification failed with {} violations, first few: {}",
                 self.violations.len(),
@@ -192,7 +217,11 @@ pub fn check_proper_edge_coloring(graph: &Graph, coloring: &EdgeColoring) -> Rep
             if let Some(c) = coloring.color(nb.edge) {
                 if let Some(&prev) = seen.get(&c) {
                     if prev != nb.edge {
-                        report.push(Violation::AdjacentEdgesShareColor { a: prev, b: nb.edge, color: c });
+                        report.push(Violation::AdjacentEdgesShareColor {
+                            a: prev,
+                            b: nb.edge,
+                            color: c,
+                        });
                     }
                 } else {
                     seen.insert(c, nb.edge);
@@ -248,7 +277,11 @@ pub fn check_proper_vertex_coloring(graph: &Graph, coloring: &VertexColoring) ->
     for e in graph.edges() {
         let (u, v) = graph.endpoints(e);
         if coloring.color(u) == coloring.color(v) {
-            report.push(Violation::AdjacentNodesShareColor { a: u, b: v, color: coloring.color(u) });
+            report.push(Violation::AdjacentNodesShareColor {
+                a: u,
+                b: v,
+                color: coloring.color(u),
+            });
         }
     }
     report
@@ -266,7 +299,11 @@ pub fn check_vertex_defect(
         let defect = coloring.defect(graph, v);
         let bound = allowed(v);
         if (defect as f64) > bound + 1e-9 {
-            report.push(Violation::NodeDefectExceeded { node: v, defect, allowed: bound });
+            report.push(Violation::NodeDefectExceeded {
+                node: v,
+                defect,
+                allowed: bound,
+            });
         }
     }
     report
@@ -285,7 +322,11 @@ pub fn check_edge_defect(
             let defect = coloring.defect(graph, e);
             let bound = allowed(e);
             if (defect as f64) > bound + 1e-9 {
-                report.push(Violation::EdgeDefectExceeded { edge: e, defect, allowed: bound });
+                report.push(Violation::EdgeDefectExceeded {
+                    edge: e,
+                    defect,
+                    allowed: bound,
+                });
             }
         }
     }
@@ -318,7 +359,11 @@ pub fn check_relaxed_defective_two_coloring(
             (1.0 + eps) * (1.0 - lam) * deg + (1.0 - lam) * beta
         };
         if (same as f64) > allowed + 1e-9 {
-            report.push(Violation::EdgeDefectExceeded { edge: e, defect: same, allowed });
+            report.push(Violation::EdgeDefectExceeded {
+                edge: e,
+                defect: same,
+                allowed,
+            });
         }
     }
     report
@@ -363,7 +408,11 @@ pub fn check_balanced_orientation(
                     (xu - xv, -eta(e) + slack)
                 };
                 if (difference as f64) > allowed + 1e-9 {
-                    report.push(Violation::OrientationImbalance { edge: e, difference, allowed });
+                    report.push(Violation::OrientationImbalance {
+                        edge: e,
+                        difference,
+                        allowed,
+                    });
                 }
             }
         }
@@ -392,7 +441,10 @@ mod tests {
         c.set(EdgeId::new(2), 2);
         let report = check_proper_edge_coloring(&g, &c);
         assert!(!report.is_ok());
-        assert!(matches!(report.violations()[0], Violation::AdjacentEdgesShareColor { .. }));
+        assert!(matches!(
+            report.violations()[0],
+            Violation::AdjacentEdgesShareColor { .. }
+        ));
     }
 
     #[test]
@@ -456,7 +508,7 @@ mod tests {
         let bg = generators::complete_bipartite(3, 3);
         let g = bg.graph();
         // color edges red/blue alternating by edge id parity
-        let red = |e: EdgeId| e.index() % 2 == 0;
+        let red = |e: EdgeId| e.index().is_multiple_of(2);
         // with λ=1/2, ε=1 and β=deg the bound is generous enough to hold
         let report =
             check_relaxed_defective_two_coloring(g, red, |_| 0.5, 1.0, g.max_edge_degree() as f64);
@@ -495,7 +547,9 @@ mod tests {
         let mut a = Report::clean();
         assert!(a.is_ok());
         assert_eq!(a.to_string(), "valid");
-        a.push(Violation::EdgeUncolored { edge: EdgeId::new(0) });
+        a.push(Violation::EdgeUncolored {
+            edge: EdgeId::new(0),
+        });
         let mut b = Report::clean();
         b.merge(a.clone());
         assert_eq!(b.violations().len(), 1);
@@ -505,7 +559,8 @@ mod tests {
 
     impl Report {
         fn assert_ok_should_panic(&self) {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.assert_ok()));
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.assert_ok()));
             assert!(result.is_err(), "assert_ok should panic on a dirty report");
         }
     }
@@ -513,15 +568,45 @@ mod tests {
     #[test]
     fn violation_display_messages() {
         let samples = [
-            Violation::AdjacentEdgesShareColor { a: EdgeId::new(0), b: EdgeId::new(1), color: 2 },
-            Violation::EdgeUncolored { edge: EdgeId::new(3) },
-            Violation::ColorNotInList { edge: EdgeId::new(4), color: 5 },
-            Violation::AdjacentNodesShareColor { a: NodeId::new(0), b: NodeId::new(1), color: 0 },
-            Violation::NodeDefectExceeded { node: NodeId::new(2), defect: 3, allowed: 1.0 },
-            Violation::EdgeDefectExceeded { edge: EdgeId::new(2), defect: 3, allowed: 1.0 },
-            Violation::OrientationImbalance { edge: EdgeId::new(2), difference: 3, allowed: 1.0 },
-            Violation::EdgeUnoriented { edge: EdgeId::new(2) },
-            Violation::TooManyColors { used: 9, allowed: 3 },
+            Violation::AdjacentEdgesShareColor {
+                a: EdgeId::new(0),
+                b: EdgeId::new(1),
+                color: 2,
+            },
+            Violation::EdgeUncolored {
+                edge: EdgeId::new(3),
+            },
+            Violation::ColorNotInList {
+                edge: EdgeId::new(4),
+                color: 5,
+            },
+            Violation::AdjacentNodesShareColor {
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+                color: 0,
+            },
+            Violation::NodeDefectExceeded {
+                node: NodeId::new(2),
+                defect: 3,
+                allowed: 1.0,
+            },
+            Violation::EdgeDefectExceeded {
+                edge: EdgeId::new(2),
+                defect: 3,
+                allowed: 1.0,
+            },
+            Violation::OrientationImbalance {
+                edge: EdgeId::new(2),
+                difference: 3,
+                allowed: 1.0,
+            },
+            Violation::EdgeUnoriented {
+                edge: EdgeId::new(2),
+            },
+            Violation::TooManyColors {
+                used: 9,
+                allowed: 3,
+            },
         ];
         for v in samples {
             assert!(!v.to_string().is_empty());

@@ -1,0 +1,138 @@
+//! Adversarial tests for the checkers themselves: the verify layer guards
+//! every other test in the workspace, so each checker must actually reject
+//! the malformed inputs it exists to catch — and accept the good ones.
+
+use distgraph::{generators, EdgeColoring, EdgeId, Graph, ListAssignment, VertexColoring};
+use edgecolor_verify::{
+    check_complete, check_list_compliance, check_palette_size, check_proper_edge_coloring,
+    check_proper_vertex_coloring, Violation,
+};
+
+/// A triangle: every pair of edges is adjacent, so any repeated color is a
+/// properness violation.
+fn triangle() -> Graph {
+    generators::cycle(3)
+}
+
+#[test]
+fn improper_edge_coloring_is_rejected() {
+    let g = triangle();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 0); // adjacent to edge 0 — improper
+    coloring.set(EdgeId::new(2), 1);
+    let report = check_proper_edge_coloring(&g, &coloring);
+    assert!(!report.is_ok());
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| matches!(v, Violation::AdjacentEdgesShareColor { color: 0, .. })));
+}
+
+#[test]
+fn proper_edge_coloring_is_accepted() {
+    let g = triangle();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 1);
+    coloring.set(EdgeId::new(2), 2);
+    check_proper_edge_coloring(&g, &coloring).assert_ok();
+    check_complete(&g, &coloring).assert_ok();
+}
+
+#[test]
+fn incomplete_coloring_is_rejected_with_the_missing_edge() {
+    let g = generators::path(4); // edges 0,1,2
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(2), 0);
+    let report = check_complete(&g, &coloring);
+    assert!(!report.is_ok());
+    assert_eq!(
+        report.violations(),
+        &[Violation::EdgeUncolored {
+            edge: EdgeId::new(1)
+        }]
+    );
+    // Properness of the colored part is a separate question: the partial
+    // coloring above is proper, so the properness checker accepts it.
+    check_proper_edge_coloring(&g, &coloring).assert_ok();
+}
+
+#[test]
+fn out_of_list_color_is_rejected() {
+    let g = generators::path(3); // edges 0,1 sharing the middle node
+    let lists = ListAssignment::new(4, vec![vec![0, 1], vec![2, 3]]);
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 1); // proper, but 1 is not in edge 1's list
+    check_proper_edge_coloring(&g, &coloring).assert_ok();
+    let report = check_list_compliance(&g, &lists, &coloring);
+    assert!(!report.is_ok());
+    assert_eq!(
+        report.violations(),
+        &[Violation::ColorNotInList {
+            edge: EdgeId::new(1),
+            color: 1
+        }]
+    );
+    // The compliant assignment passes.
+    let mut ok = EdgeColoring::empty(g.m());
+    ok.set(EdgeId::new(0), 0);
+    ok.set(EdgeId::new(1), 2);
+    check_list_compliance(&g, &lists, &ok).assert_ok();
+}
+
+#[test]
+fn oversized_palette_is_rejected() {
+    let g = generators::star(3);
+    let mut coloring = EdgeColoring::empty(g.m());
+    for e in g.edges() {
+        coloring.set(e, e.index());
+    }
+    // Palette size is max color + 1 = 3 here.
+    check_palette_size(&coloring, 3).assert_ok();
+    let report = check_palette_size(&coloring, 2);
+    assert!(!report.is_ok());
+    assert_eq!(
+        report.violations(),
+        &[Violation::TooManyColors {
+            used: 3,
+            allowed: 2
+        }]
+    );
+}
+
+#[test]
+fn improper_vertex_coloring_is_rejected() {
+    let g = generators::path(2);
+    let same = VertexColoring::from_vec(vec![7, 7]);
+    let report = check_proper_vertex_coloring(&g, &same);
+    assert!(!report.is_ok());
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| matches!(v, Violation::AdjacentNodesShareColor { color: 7, .. })));
+    let distinct = VertexColoring::from_vec(vec![0, 1]);
+    check_proper_vertex_coloring(&g, &distinct).assert_ok();
+}
+
+#[test]
+fn empty_graph_trivially_passes_all_checks() {
+    let g = Graph::from_edges(3, &[]).expect("edgeless graph");
+    let coloring = EdgeColoring::empty(0);
+    check_proper_edge_coloring(&g, &coloring).assert_ok();
+    check_complete(&g, &coloring).assert_ok();
+    check_palette_size(&coloring, 0).assert_ok();
+}
+
+#[test]
+#[should_panic(expected = "verification failed")]
+fn assert_ok_panics_on_violations() {
+    let g = triangle();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 0);
+    coloring.set(EdgeId::new(2), 0);
+    check_proper_edge_coloring(&g, &coloring).assert_ok();
+}

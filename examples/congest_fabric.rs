@@ -17,7 +17,10 @@ fn main() {
     let params = ColoringParams::new(0.5);
     let workloads: Vec<(&str, distgraph::Graph)> = vec![
         ("hypercube dim 9", generators::hypercube(9)),
-        ("random 16-regular, n=512", generators::random_regular(512, 16, 9).unwrap()),
+        (
+            "random 16-regular, n=512",
+            generators::random_regular(512, 16, 9).unwrap(),
+        ),
         ("power-law n=600", generators::power_law(600, 2.5, 24, 4)),
         ("grid 32x32", generators::grid(32, 32)),
     ];

@@ -41,9 +41,15 @@ fn main() {
         game.total_tokens()
     );
 
-    println!("{:>6} {:>8} {:>8} {:>14} {:>12}", "δ", "phases", "rounds", "max final τ", "bound viol.");
+    println!(
+        "{:>6} {:>8} {:>8} {:>14} {:>12}",
+        "δ", "phases", "rounds", "max final τ", "bound viol."
+    );
     for delta in [1usize, 2, 4, 8, 16, 32] {
-        let params = TokenGameParams { alpha: vec![delta.max(1); game.n], delta };
+        let params = TokenGameParams {
+            alpha: vec![delta.max(1); game.n],
+            delta,
+        };
         let result = solve_distributed(&game, &params);
         assert!(check_invariants(&game, &result));
         let violations = check_theorem_4_3(&game, &params, &result);

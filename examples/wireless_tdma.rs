@@ -41,7 +41,8 @@ fn main() {
 
     let ids = IdAssignment::scattered(graph.n(), 5);
     let params = ColoringParams::new(0.5);
-    let outcome = list_edge_coloring(&graph, &lists, &ids, &params).expect("lists satisfy degree+1");
+    let outcome =
+        list_edge_coloring(&graph, &lists, &ids, &params).expect("lists satisfy degree+1");
 
     check_proper_edge_coloring(&graph, &outcome.coloring).assert_ok();
     check_complete(&graph, &outcome.coloring).assert_ok();

@@ -130,13 +130,19 @@ fn algorithms_and_baselines_agree_on_feasibility() {
     let classes = baselines::greedy_by_classes(&graph, &ids, distsim::Model::Local);
     let random = baselines::randomized_coloring(&graph, 4, distsim::Model::Local);
 
-    for coloring in [&ours.coloring, &greedy, &vizing, &classes.coloring, &random.coloring] {
+    for coloring in [
+        &ours.coloring,
+        &greedy,
+        &vizing,
+        &classes.coloring,
+        &random.coloring,
+    ] {
         verify_complete_proper(&graph, coloring);
     }
     // Color-count sanity ordering: Vizing ≤ Δ+1 ≤ ours/greedy ≤ 2Δ−1.
     assert!(vizing.palette_size() <= graph.max_degree() + 1);
-    assert!(ours.coloring.palette_size() <= 2 * graph.max_degree() - 1);
-    assert!(greedy.palette_size() <= 2 * graph.max_degree() - 1);
+    assert!(ours.coloring.palette_size() < 2 * graph.max_degree());
+    assert!(greedy.palette_size() < 2 * graph.max_degree());
 }
 
 #[test]
