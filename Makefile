@@ -1,6 +1,6 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify build test clippy fmt bench-check
+.PHONY: verify build test clippy fmt bench-check bench bench-smoke
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # and bench compilation.
@@ -20,3 +20,13 @@ fmt:
 
 bench-check:
 	cargo bench --no-run
+
+# The measured baseline: quick E1–E11 sweeps plus the full-size SCALE
+# experiment (million-edge graphs at 1/2/4/8 threads), serialized to
+# BENCH_1.json at the repo root (schema: README.md "Benchmark JSON schema").
+bench:
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale --emit-json BENCH_1.json
+
+# CI-sized variant: tiny sweeps and down-scaled SCALE graphs.
+bench-smoke:
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale --emit-json /tmp/bench.json

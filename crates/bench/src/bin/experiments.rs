@@ -1,74 +1,214 @@
-//! Prints the evaluation suite E1–E11 (see DESIGN.md and EXPERIMENTS.md).
+//! Prints the evaluation suite E1–E11 plus the SCALE experiment (see
+//! DESIGN.md and EXPERIMENTS.md) and optionally serializes everything —
+//! tables and per-experiment wall-clock timings — to a machine-readable
+//! JSON file (the `BENCH_*.json` schema documented in README.md).
 //!
 //! Usage:
-//!   cargo run --release -p edgecolor-bench --bin experiments            # all experiments
-//!   cargo run --release -p edgecolor-bench --bin experiments -- e1 e4   # a subset
-//!   cargo run --release -p edgecolor-bench --bin experiments -- quick   # smaller sweeps
+//!   cargo run --release -p edgecolor-bench --bin experiments                # all experiments
+//!   cargo run --release -p edgecolor-bench --bin experiments -- e1 e4      # a subset
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick      # smaller sweeps (no SCALE)
+//!   cargo run --release -p edgecolor-bench --bin experiments -- scale      # million-edge SCALE only
+//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale  # CI: tiny sweeps + tiny SCALE
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale --emit-json BENCH_1.json
 
 use edgecolor_bench as bench;
+use edgecolor_bench::json::JsonValue;
+use std::time::Instant;
+
+struct TimedTable {
+    table: bench::Table,
+    wall_ms: f64,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let quick = args.iter().any(|a| a == "quick");
-    let want =
-        |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all" || a == "quick");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut emit_json: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--emit-json" {
+            let path = iter
+                .next()
+                .unwrap_or_else(|| panic!("--emit-json requires a path argument"));
+            emit_json = Some(path);
+        } else {
+            selectors.push(arg.to_lowercase());
+        }
+    }
+    let quick = selectors.iter().any(|a| a == "quick");
+    let smoke = selectors.iter().any(|a| a == "smoke");
+    let small = quick || smoke;
+    // An experiment runs when no selector is given or a broad selector
+    // (all/quick/smoke) or its own id appears.
+    let want = |id: &str| {
+        selectors.is_empty()
+            || selectors
+                .iter()
+                .any(|a| a == id || a == "all" || a == "quick" || a == "smoke")
+    };
 
-    let deltas: &[usize] = if quick {
+    let deltas: &[usize] = if small {
         &[8, 16, 32]
     } else {
         &[8, 16, 32, 64]
     };
-    let small_deltas: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-    let ns: &[usize] = if quick {
+    let small_deltas: &[usize] = if small { &[8, 16] } else { &[8, 16, 32, 64] };
+    let ns: &[usize] = if small {
         &[128, 256, 512]
     } else {
         &[128, 256, 512, 1024, 2048]
     };
-    let congest_ns: &[usize] = if quick {
+    let congest_ns: &[usize] = if small {
         &[128, 256]
     } else {
         &[128, 256, 512, 1024]
     };
-    let orientation_deltas: &[usize] = if quick {
+    let orientation_deltas: &[usize] = if small {
         &[16, 32, 64]
     } else {
         &[16, 32, 64, 128]
     };
-    let orientation_eps: &[f64] = if quick { &[0.5] } else { &[0.25, 0.5, 1.0] };
+    let orientation_eps: &[f64] = if small { &[0.5] } else { &[0.25, 0.5, 1.0] };
 
-    let mut tables = Vec::new();
+    let mut tables: Vec<TimedTable> = Vec::new();
+    let mut timed = |run: &mut dyn FnMut() -> bench::Table| {
+        let started = Instant::now();
+        let table = run();
+        tables.push(TimedTable {
+            table,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+    };
     if want("e1") {
-        tables.push(bench::run_e1(deltas));
+        timed(&mut || bench::run_e1(deltas));
     }
     if want("e2") {
-        tables.push(bench::run_e2(ns));
+        timed(&mut || bench::run_e2(ns));
     }
     if want("e3") {
-        tables.push(bench::run_e3(small_deltas, &[0.25, 0.5, 1.0]));
+        timed(&mut || bench::run_e3(small_deltas, &[0.25, 0.5, 1.0]));
     }
     if want("e4") || want("e8") {
-        tables.push(bench::run_e4(&[64, 256, 1024], &[1, 4, 16, 64]));
+        timed(&mut || bench::run_e4(&[64, 256, 1024], &[1, 4, 16, 64]));
     }
     if want("e5") {
-        tables.push(bench::run_e5(orientation_deltas, orientation_eps));
+        timed(&mut || bench::run_e5(orientation_deltas, orientation_eps));
     }
     if want("e6") {
-        tables.push(bench::run_e6(orientation_deltas));
+        timed(&mut || bench::run_e6(orientation_deltas));
     }
     if want("e7") {
-        tables.push(bench::run_e7(congest_ns));
+        timed(&mut || bench::run_e7(congest_ns));
     }
     if want("e9") {
-        tables.push(bench::run_e9());
+        timed(&mut || bench::run_e9());
     }
     if want("e10") {
-        tables.push(bench::run_e10());
+        timed(&mut || bench::run_e10());
     }
     if want("e11") {
-        tables.push(bench::run_e11(small_deltas));
+        timed(&mut || bench::run_e11(small_deltas));
     }
 
-    for table in &tables {
-        println!("{table}");
+    // The SCALE experiment runs only when explicitly named (or on a bare
+    // full run): its million-edge graphs would turn `quick`/`smoke` sweeps
+    // into multi-minute runs. Graph sizes stay down-scaled under `smoke`.
+    let scale_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "scale" || a == "all");
+    let mut scale_measurements = Vec::new();
+    if scale_wanted {
+        timed(&mut || {
+            let (table, measurements) = bench::run_scale(&[1, 2, 4, 8], !smoke);
+            scale_measurements = measurements;
+            table
+        });
     }
+
+    for entry in &tables {
+        println!("{}", entry.table);
+        println!("(wall clock: {:.1} ms)\n", entry.wall_ms);
+    }
+
+    if let Some(path) = emit_json {
+        let doc = build_json(&tables, &scale_measurements);
+        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Assembles the `edgecolor-bench/v1` JSON document (schema in README.md).
+fn build_json(tables: &[TimedTable], scale: &[bench::ScaleMeasurement]) -> JsonValue {
+    let experiments = tables
+        .iter()
+        .map(|entry| {
+            JsonValue::obj(vec![
+                ("id", JsonValue::str(entry.table.id.clone())),
+                ("title", JsonValue::str(entry.table.title.clone())),
+                ("wall_ms", JsonValue::Num(entry.wall_ms)),
+                (
+                    "headers",
+                    JsonValue::Arr(
+                        entry
+                            .table
+                            .headers
+                            .iter()
+                            .map(|h| JsonValue::str(h.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "rows",
+                    JsonValue::Arr(
+                        entry
+                            .table
+                            .rows
+                            .iter()
+                            .map(|row| {
+                                JsonValue::Arr(
+                                    row.iter().map(|c| JsonValue::str(c.clone())).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let scale_entries = scale
+        .iter()
+        .map(|m| {
+            JsonValue::obj(vec![
+                ("graph", JsonValue::str(m.graph.clone())),
+                ("n", JsonValue::Int(m.n as i64)),
+                ("m", JsonValue::Int(m.m as i64)),
+                ("threads", JsonValue::Int(m.threads as i64)),
+                ("wall_ms", JsonValue::Num(m.wall_ms)),
+                (
+                    "speedup_vs_sequential",
+                    JsonValue::Num(m.speedup_vs_sequential),
+                ),
+                (
+                    "identical_to_sequential",
+                    JsonValue::Bool(m.identical_to_sequential),
+                ),
+                ("rounds", JsonValue::Int(m.rounds as i64)),
+                ("messages", JsonValue::Int(m.messages as i64)),
+            ])
+        })
+        .collect();
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get() as i64)
+        .unwrap_or(1);
+    JsonValue::obj(vec![
+        ("schema", JsonValue::str("edgecolor-bench/v1")),
+        (
+            "host",
+            JsonValue::obj(vec![
+                ("available_parallelism", JsonValue::Int(available)),
+                ("os", JsonValue::str(std::env::consts::OS)),
+                ("arch", JsonValue::str(std::env::consts::ARCH)),
+            ]),
+        ),
+        ("experiments", JsonValue::Arr(experiments)),
+        ("scale", JsonValue::Arr(scale_entries)),
+    ])
 }

@@ -1,0 +1,178 @@
+//! A minimal JSON writer for the machine-readable benchmark artifacts.
+//!
+//! The workspace's offline `serde` stand-in provides marker traits only (see
+//! `crates/compat/README.md`), so the `BENCH_*.json` files are rendered by
+//! this hand-rolled emitter instead. It covers exactly what the bench schema
+//! needs: objects, arrays, strings (with escaping), integers, finite floats
+//! and booleans.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (rendered without a fractional part).
+    Int(i64),
+    /// A float; non-finite values are rendered as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // Always include a decimal point so the field is
+                    // unambiguously a float.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null\n");
+        assert_eq!(JsonValue::Bool(true).render(), "true\n");
+        assert_eq!(JsonValue::Int(-7).render(), "-7\n");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5\n");
+        assert_eq!(JsonValue::Num(3.0).render(), "3.0\n");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::str("hi").render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::obj(vec![
+            ("id", JsonValue::str("E1")),
+            (
+                "rows",
+                JsonValue::Arr(vec![
+                    JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+                    JsonValue::Arr(vec![]),
+                ]),
+            ),
+            ("empty", JsonValue::Obj(vec![])),
+        ]);
+        let rendered = v.render();
+        assert!(rendered.contains("\"id\": \"E1\""));
+        assert!(rendered.contains("\"rows\": ["));
+        assert!(rendered.contains("\"empty\": {}"));
+        // Valid bracket balance (cheap sanity check).
+        let opens = rendered.matches(['[', '{']).count();
+        let closes = rendered.matches([']', '}']).count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -9,8 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use distgraph::{generators, Graph, ListAssignment, NodeId};
-use distsim::{IdAssignment, Model, Network};
+use distgraph::{generators, EdgeId, Graph, ListAssignment, NodeId};
+use distsim::{
+    run_program_with, ExecutionPolicy, IdAssignment, Incoming, Model, Network, NodeCtx,
+    NodeProgram, Step,
+};
 use edgecolor::balanced_orientation::compute_balanced_orientation;
 use edgecolor::defective_edge::{
     defective_two_edge_coloring, measure_defect_ratio, uniform_lambda,
@@ -24,6 +27,9 @@ use edgecolor::{
 use edgecolor_baselines as baselines;
 use edgecolor_verify::{check_complete, check_proper_edge_coloring};
 use serde::Serialize;
+use std::time::Instant;
+
+pub mod json;
 
 /// A printable result table.
 #[derive(Debug, Clone, Serialize)]
@@ -472,6 +478,198 @@ pub fn run_e10() -> Table {
     table
 }
 
+/// One measured configuration of the `run_scale` experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleMeasurement {
+    /// Graph description, e.g. `grid_torus(1000x500)`.
+    pub graph: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Worker threads of the measured [`ExecutionPolicy`] (1 = sequential).
+    pub threads: usize,
+    /// Wall-clock time of the simulated execution, in milliseconds.
+    pub wall_ms: f64,
+    /// `sequential wall / this wall` (1.0 for the sequential row itself).
+    pub speedup_vs_sequential: f64,
+    /// Whether outputs and metrics were bit-identical to the sequential run.
+    pub identical_to_sequential: bool,
+    /// Rounds charged by the simulated execution.
+    pub rounds: u64,
+    /// Messages delivered by the simulated execution.
+    pub messages: u64,
+}
+
+/// The per-node program driven by the scale experiment: `rounds` rounds of
+/// max-identifier flooding. Every round every node scans its inbox and
+/// re-broadcasts the largest identifier seen, which makes each round's work
+/// proportional to the node's degree — the same profile as the paper's
+/// proposal/accept building blocks.
+struct ScaleFlood {
+    best: u64,
+    rounds_left: u32,
+}
+
+impl NodeProgram for ScaleFlood {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, u64)> {
+        self.best = ctx.id;
+        ctx.ports.iter().map(|p| (p.edge, self.best)).collect()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Step<u64, u64> {
+        for m in inbox {
+            if m.msg > self.best {
+                self.best = m.msg;
+            }
+        }
+        if self.rounds_left == 0 {
+            return Step::Halt(self.best);
+        }
+        self.rounds_left -= 1;
+        Step::Send(ctx.ports.iter().map(|p| (p.edge, self.best)).collect())
+    }
+}
+
+/// The graph suite of the scale experiment. With `million = true` the first
+/// two members have ≥ 10⁶ edges; with `million = false` the suite is scaled
+/// down for CI smoke runs.
+pub fn scale_graphs(million: bool) -> Vec<(String, Graph)> {
+    if million {
+        vec![
+            ("grid_torus(1000x500)".to_string(), {
+                generators::grid_torus(1000, 500)
+            }),
+            (
+                "random_regular(262144,8)".to_string(),
+                generators::random_regular(262_144, 8, 42).expect("feasible"),
+            ),
+            (
+                "power_law(1000000,2.5,256)".to_string(),
+                generators::power_law(1_000_000, 2.5, 256, 7),
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "grid_torus(60x50)".to_string(),
+                generators::grid_torus(60, 50),
+            ),
+            (
+                "random_regular(4096,8)".to_string(),
+                generators::random_regular(4096, 8, 42).expect("feasible"),
+            ),
+            (
+                "power_law(20000,2.5,64)".to_string(),
+                generators::power_law(20_000, 2.5, 64, 7),
+            ),
+        ]
+    }
+}
+
+/// Scale — wall-clock of the parallel round-execution engine versus thread
+/// count on large graphs (the `BENCH_*.json` speed baseline).
+///
+/// For every graph the same fixed flooding program runs once per requested
+/// thread count (1 = `ExecutionPolicy::Sequential`); the harness asserts that
+/// outputs and metrics are bit-identical across all thread counts and
+/// records wall-clock milliseconds plus the speedup relative to the
+/// sequential run.
+pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMeasurement>) {
+    const FLOOD_ROUNDS: u32 = 6;
+    let mut table = Table::new(
+        "SCALE",
+        "Parallel engine wall-clock vs threads (6 flooding rounds per graph)",
+        &[
+            "graph",
+            "n",
+            "m",
+            "threads",
+            "wall ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    // The first configuration seeds the reference the `*_vs_sequential`
+    // fields are computed against, so it must be the sequential baseline.
+    assert!(
+        thread_counts.first().is_some_and(|&t| t <= 1),
+        "thread_counts must start with the sequential baseline (1)"
+    );
+    let mut measurements = Vec::new();
+    // Best-of-N wall clock per configuration to damp scheduler noise on the
+    // big runs.
+    let reps = if million { 2 } else { 1 };
+    for (name, graph) in scale_graphs(million) {
+        let ids = IdAssignment::scattered(graph.n(), 1);
+        let mut reference: Option<(Vec<Option<u64>>, distsim::Metrics, f64)> = None;
+        for &threads in thread_counts {
+            let policy = if threads <= 1 {
+                ExecutionPolicy::Sequential
+            } else {
+                ExecutionPolicy::parallel(threads)
+            };
+            let mut wall_ms = f64::INFINITY;
+            let mut run = None;
+            for _ in 0..reps {
+                let started = Instant::now();
+                let this_run = run_program_with(
+                    &graph,
+                    &ids,
+                    Model::Local,
+                    policy,
+                    u64::from(FLOOD_ROUNDS) + 2,
+                    |_| ScaleFlood {
+                        best: 0,
+                        rounds_left: FLOOD_ROUNDS,
+                    },
+                );
+                wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                run = Some(this_run);
+            }
+            let run = run.expect("at least one repetition");
+            let (identical, speedup) = match &reference {
+                None => {
+                    reference = Some((run.outputs.clone(), run.metrics, wall_ms));
+                    (true, 1.0)
+                }
+                Some((ref_outputs, ref_metrics, ref_wall)) => (
+                    *ref_outputs == run.outputs && *ref_metrics == run.metrics,
+                    ref_wall / wall_ms,
+                ),
+            };
+            assert!(
+                identical,
+                "{name}: {threads}-thread run diverged from the sequential run"
+            );
+            table.push_row(vec![
+                name.clone(),
+                graph.n().to_string(),
+                graph.m().to_string(),
+                threads.to_string(),
+                format!("{wall_ms:.1}"),
+                format!("{speedup:.2}"),
+                identical.to_string(),
+            ]);
+            measurements.push(ScaleMeasurement {
+                graph: name.clone(),
+                n: graph.n(),
+                m: graph.m(),
+                threads,
+                wall_ms,
+                speedup_vs_sequential: speedup,
+                identical_to_sequential: identical,
+                rounds: run.metrics.rounds,
+                messages: run.metrics.messages,
+            });
+        }
+    }
+    (table, measurements)
+}
+
 /// E11 — baseline color-count comparison.
 pub fn run_e11(deltas: &[usize]) -> Table {
     let mut table = Table::new(
@@ -541,6 +739,24 @@ mod tests {
         assert_eq!(e6.rows.len(), 1);
         let e7 = run_e7(&[64]);
         assert_eq!(e7.rows[0][3], "0");
+    }
+
+    #[test]
+    fn scale_experiment_smoke_runs_and_is_deterministic() {
+        let (table, measurements) = run_scale(&[1, 2, 3], false);
+        assert_eq!(table.rows.len(), measurements.len());
+        assert_eq!(measurements.len(), 3 * 3);
+        for m in &measurements {
+            assert!(m.identical_to_sequential, "{}: diverged", m.graph);
+            assert!(m.wall_ms >= 0.0);
+            assert!(m.rounds > 0);
+            assert!(m.messages > 0);
+        }
+        // The sequential row of each graph has speedup exactly 1.
+        for chunk in measurements.chunks(3) {
+            assert_eq!(chunk[0].threads, 1);
+            assert!((chunk[0].speedup_vs_sequential - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

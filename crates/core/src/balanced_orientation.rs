@@ -17,7 +17,7 @@
 //! which tokens moved.
 
 use crate::params::OrientationParams;
-use crate::token_dropping::{solve_distributed, TokenGame, TokenGameParams};
+use crate::token_dropping::{solve_distributed_with, TokenGame, TokenGameParams};
 use distgraph::{BipartiteGraph, EdgeId, NodeId, Orientation};
 use distsim::{bits_for, Network};
 
@@ -208,7 +208,7 @@ pub fn compute_balanced_orientation(
                 alpha,
                 delta: delta_phi,
             };
-            let result = solve_distributed(&game, &tg_params);
+            let result = solve_distributed_with(&game, &tg_params, params.policy);
             game_rounds = result.rounds;
             // Step 7: flip every edge over which a token moved.
             for (i, &e) in violating.iter().enumerate() {

@@ -90,7 +90,7 @@ pub fn color_bipartite(
             let sub_graph = leaf.graph.graph();
             let lambda = uniform_lambda(sub_graph.m());
             let orientation_params = params.orientation(chi);
-            let mut child_net = Network::new(sub_graph, net.model());
+            let mut child_net = net.child(sub_graph);
             let split = defective_two_edge_coloring(
                 &leaf.graph,
                 &lambda,
@@ -133,7 +133,7 @@ pub fn color_bipartite(
         if sub_graph.m() == 0 {
             continue;
         }
-        let mut child_net = Network::new(sub_graph, net.model());
+        let mut child_net = net.child(sub_graph);
         let schedule = port_pair_edge_coloring(&leaf.graph, &mut child_net);
         let palette = sub_graph.max_edge_degree() + 1;
         let mut sub_coloring = EdgeColoring::empty(sub_graph.m());

@@ -56,7 +56,7 @@ pub fn color_congest(
     ids: &IdAssignment,
     params: &ColoringParams,
 ) -> CongestColoringResult {
-    let mut net = Network::new(graph, Model::congest_for(graph.n()));
+    let mut net = Network::with_policy(graph, Model::congest_for(graph.n()), params.policy);
     let mut coloring = EdgeColoring::empty(graph.m());
     if graph.m() == 0 {
         return CongestColoringResult {
@@ -121,7 +121,7 @@ pub fn color_congest(
             let sides: Vec<Side> = piece.nodes().map(|v| side_of(four.color(v))).collect();
             let bipartite = BipartiteGraph::new(piece, sides)
                 .expect("edges cross the bipartition by construction");
-            let mut child_net = Network::new(bipartite.graph(), net.model());
+            let mut child_net = net.child(bipartite.graph());
             let result = color_bipartite(&bipartite, &bipartite_params, &mut child_net);
             net.absorb_sequential(&child_net.metrics());
             for e in bipartite.graph().edges() {
@@ -138,7 +138,7 @@ pub fn color_congest(
     let (rest, rest_map) = graph.edge_subgraph(|e| !coloring.is_colored(e));
     if rest.m() > 0 {
         let rest_ids = IdAssignment::from_vec(rest.nodes().map(|v| ids.id(v)).collect());
-        let mut child_net = Network::new(&rest, net.model());
+        let mut child_net = net.child(&rest);
         let schedule = linial_edge_coloring(&rest, &rest_ids, &mut child_net);
         let palette = (2 * rest.max_degree()).saturating_sub(1).max(1);
         let mut rest_coloring = EdgeColoring::empty(rest.m());

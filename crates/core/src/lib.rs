@@ -27,7 +27,7 @@
 //! ```
 //! use distgraph::generators;
 //! use distsim::IdAssignment;
-//! use edgecolor::{color_edges_local, ColoringParams};
+//! use edgecolor::{color_edges_local, ColoringParams, ExecutionPolicy, ParamProfile};
 //!
 //! // A random 6-regular graph on 40 nodes.
 //! let graph = generators::random_regular(40, 6, 7).unwrap();
@@ -35,6 +35,19 @@
 //! let outcome = color_edges_local(&graph, &ids, &ColoringParams::new(0.5))?;
 //! assert!(outcome.coloring.is_complete());
 //! assert!(outcome.coloring.palette_size() <= 2 * graph.max_degree() - 1);
+//!
+//! // The same run with the practical-profile parameters spelled out and the
+//! // per-round node work executed on a 2-thread worker pool. Execution
+//! // policies never change results — colorings, metrics and mailboxes are
+//! // bit-identical to the sequential run — only wall-clock time.
+//! let params = ColoringParams {
+//!     profile: ParamProfile::Practical,
+//!     ..ColoringParams::new(0.5)
+//! }
+//! .with_policy(ExecutionPolicy::parallel(2));
+//! let parallel = color_edges_local(&graph, &ids, &params)?;
+//! assert_eq!(parallel.coloring, outcome.coloring);
+//! assert_eq!(parallel.metrics, outcome.metrics);
 //! # Ok::<(), edgecolor::ColoringError>(())
 //! ```
 
@@ -54,6 +67,7 @@ pub mod params;
 pub mod token_dropping;
 
 pub use congest_coloring::{color_congest, CongestColoringResult};
+pub use distsim::ExecutionPolicy;
 pub use error::ColoringError;
 pub use list_coloring::{color_edges_local, list_edge_coloring, ListColoringOutcome};
 pub use params::{ColoringParams, OrientationParams, ParamProfile};

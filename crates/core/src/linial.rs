@@ -204,7 +204,7 @@ pub fn linial_edge_coloring(
         })
         .collect();
     let line_ids = IdAssignment::from_vec(edge_ids);
-    let mut line_net = Network::new(&line, net.model());
+    let mut line_net = net.child(&line);
     let result = linial_coloring(&line, &line_ids, &mut line_net);
     // Each line-graph round costs two rounds on the host graph; message sizes
     // are whatever the line-graph nodes sent (relayed by the endpoints).

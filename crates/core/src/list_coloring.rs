@@ -189,7 +189,7 @@ fn solve_slack_instance(
             );
             let lambda = lambda_from_lists(sub.graph(), &sub_lists, lo, mid, hi);
             let orientation_params = params.orientation(eps_level);
-            let mut child_net = Network::new(sub.graph(), net.model());
+            let mut child_net = net.child(sub.graph());
             let split =
                 defective_two_edge_coloring(&sub, &lambda, &orientation_params, &mut child_net);
             group_metrics.push(child_net.metrics());
@@ -322,7 +322,7 @@ fn amplify_slack(
             }
             let lambda = vec![0.5; sub.graph().m()];
             let orientation_params = params.orientation(split_eps);
-            let mut child_net = Network::new(sub.graph(), net.model());
+            let mut child_net = net.child(sub.graph());
             let split =
                 defective_two_edge_coloring(&sub, &lambda, &orientation_params, &mut child_net);
             level_metrics.push(child_net.metrics());
@@ -372,7 +372,7 @@ fn amplify_slack(
                 .map(|e| avail_list(host, host_lists, coloring, sub_to_host[e.index()]))
                 .collect(),
         );
-        let mut child_net = Network::new(sub.graph(), net.model());
+        let mut child_net = net.child(sub.graph());
         solve_slack_instance(
             host,
             &sub_lists_as_host_view(host, &sub_lists, &sub_to_host),
@@ -471,7 +471,7 @@ pub fn list_edge_coloring(
         });
     }
 
-    let mut net = Network::new(graph, Model::Local);
+    let mut net = Network::with_policy(graph, Model::Local, params.policy);
     let mut coloring = EdgeColoring::empty(graph.m());
     let mut solver_calls = 0u64;
     let mut fallback_rounds = 0u64;

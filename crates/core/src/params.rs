@@ -12,6 +12,7 @@
 //! defect/slack *bounds* are guaranteed only for the paper profile and are
 //! measured empirically for the practical one (see DESIGN.md, substitutions).
 
+use distsim::ExecutionPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which constant-factor regime to use for the paper's parameter formulas.
@@ -37,6 +38,10 @@ pub struct OrientationParams {
     pub nu: f64,
     /// The constant-factor profile.
     pub profile: ParamProfile,
+    /// How the per-round node work of the orientation machinery (including
+    /// its token dropping games) is executed. Does not affect results, only
+    /// wall-clock time.
+    pub policy: ExecutionPolicy,
 }
 
 impl OrientationParams {
@@ -45,7 +50,18 @@ impl OrientationParams {
         let eps = eps.clamp(1e-6, 1.0);
         // Equation (4): ν ≤ 1/8, and the analysis sets ε = 8ν.
         let nu = (eps / 8.0).clamp(1e-7, 0.125);
-        OrientationParams { eps, nu, profile }
+        OrientationParams {
+            eps,
+            nu,
+            profile,
+            policy: ExecutionPolicy::Sequential,
+        }
+    }
+
+    /// Same parameters with a different execution policy.
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Natural logarithm of Δ̄, floored at 1 so the formulas never divide by 0.
@@ -156,6 +172,11 @@ pub struct ColoringParams {
     /// Safety cap on outer iterations (the theory needs `O(log Δ)`; the cap is
     /// generous so that it never binds unless something is wrong).
     pub max_outer_iterations: u32,
+    /// How the simulator executes each round's per-node work
+    /// ([`ExecutionPolicy::Sequential`] or a worker pool). The produced
+    /// colorings, metrics and mailboxes are bit-identical under every
+    /// policy; only wall-clock time changes.
+    pub policy: ExecutionPolicy,
 }
 
 impl ColoringParams {
@@ -166,6 +187,7 @@ impl ColoringParams {
             profile: ParamProfile::Practical,
             low_degree_cutoff: 16,
             max_outer_iterations: 64,
+            policy: ExecutionPolicy::Sequential,
         }
     }
 
@@ -177,10 +199,16 @@ impl ColoringParams {
         }
     }
 
+    /// Same parameters with a different execution policy.
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The orientation parameters induced by these coloring parameters for a
-    /// given per-level `ε` value.
+    /// given per-level `ε` value (the execution policy is inherited).
     pub fn orientation(&self, eps: f64) -> OrientationParams {
-        OrientationParams::new(eps, self.profile)
+        OrientationParams::new(eps, self.profile).with_policy(self.policy)
     }
 
     /// The degree threshold below which an edge stops being split further.
@@ -308,6 +336,19 @@ mod tests {
         assert_eq!(p.profile, ParamProfile::Paper);
         assert_eq!(ColoringParams::default().profile, ParamProfile::Practical);
         assert!(c.orientation(0.25).nu > 0.0);
+    }
+
+    #[test]
+    fn execution_policy_defaults_and_propagates() {
+        let c = ColoringParams::new(0.5);
+        assert_eq!(c.policy, ExecutionPolicy::Sequential);
+        let par = c.with_policy(ExecutionPolicy::parallel(4));
+        assert_eq!(par.policy, ExecutionPolicy::parallel(4));
+        // The induced orientation parameters inherit the policy.
+        assert_eq!(par.orientation(0.25).policy, ExecutionPolicy::parallel(4));
+        let o =
+            OrientationParams::new(0.5, ParamProfile::Paper).with_policy(ExecutionPolicy::auto());
+        assert!(o.policy.threads() >= 1);
     }
 
     #[test]

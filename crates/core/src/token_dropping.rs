@@ -17,6 +17,7 @@
 //!   rounds each and guarantees the bound of Theorem 4.3 on every active arc.
 
 use distgraph::NodeId;
+use distsim::{map_node_chunks, ExecutionPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Index of an arc of a [`TokenGame`].
@@ -161,7 +162,7 @@ pub fn solve_sequential(
     }
 }
 
-/// Runs the distributed algorithm of Section 4.1.
+/// Runs the distributed algorithm of Section 4.1 sequentially.
 ///
 /// Each of the `⌊k/δ⌋ − 1` phases costs three communication rounds (state
 /// announcement, proposals, token transfers); the returned
@@ -172,6 +173,25 @@ pub fn solve_sequential(
 ///
 /// Panics if `params.alpha` has the wrong length or `δ = 0`.
 pub fn solve_distributed(game: &TokenGame, params: &TokenGameParams) -> TokenGameResult {
+    solve_distributed_with(game, params, ExecutionPolicy::Sequential)
+}
+
+/// Runs the distributed algorithm of Section 4.1 under the given
+/// [`ExecutionPolicy`].
+///
+/// The per-node work of every phase (activity test, proposal selection,
+/// proposal acceptance) is evaluated over contiguous node chunks and the
+/// per-chunk results are applied in node order, so the outcome is
+/// bit-identical to [`solve_distributed`] at every thread count.
+///
+/// # Panics
+///
+/// Same contract as [`solve_distributed`].
+pub fn solve_distributed_with(
+    game: &TokenGame,
+    params: &TokenGameParams,
+    policy: ExecutionPolicy,
+) -> TokenGameResult {
     assert_eq!(params.alpha.len(), game.n, "one alpha per node");
     assert!(params.delta >= 1, "delta must be at least 1");
     let delta = params.delta;
@@ -198,8 +218,18 @@ pub fn solve_distributed(game: &TokenGame, params: &TokenGameParams) -> TokenGam
 
     for t in 1..=total_phases {
         phases_run += 1;
-        // Step 1: active nodes A(t).
-        let active: Vec<bool> = (0..n).map(|v| x[v] >= params.alpha[v] + delta).collect();
+        // Step 1: active nodes A(t) (per-node test, chunked).
+        let active: Vec<bool> = {
+            let x = &x;
+            map_node_chunks(n, policy, |range| {
+                range
+                    .map(|v| x[v] >= params.alpha[v] + delta)
+                    .collect::<Vec<bool>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         // Step 2: move δ tokens from active to passive at active nodes.
         let mut x_prime = x.clone();
         for v in 0..n {
@@ -210,49 +240,83 @@ pub fn solve_distributed(game: &TokenGame, params: &TokenGameParams) -> TokenGam
         }
         // Step 3 + 4: every node v with spare capacity sends proposals to the
         // active in-neighbors over still-active arcs, preferring in-neighbors
-        // with the smallest deg(w)/α_w ratio.
+        // with the smallest deg(w)/α_w ratio. The per-node selection (filter
+        // + sort) runs chunked; the chunk results are concatenated in node
+        // order, so the proposal lists match the sequential schedule exactly.
         let t_delta = t as usize * delta;
-        // proposals[w] = list of arc ids over which w received a proposal this phase.
+        let chosen: Vec<Vec<(ArcId, NodeId)>> = {
+            let (x_prime, active, arc_active) = (&x_prime, &active, &arc_active);
+            let (in_arcs, degree) = (&in_arcs, &degree);
+            map_node_chunks(n, policy, |range| {
+                let mut out: Vec<Vec<(ArcId, NodeId)>> = Vec::with_capacity(range.len());
+                for v in range {
+                    let capacity_bound = k as i64 - t_delta as i64 - params.alpha[v] as i64;
+                    if (x_prime[v] as i64) > capacity_bound {
+                        out.push(Vec::new());
+                        continue;
+                    }
+                    let mut senders: Vec<(ArcId, NodeId)> = in_arcs[v]
+                        .iter()
+                        .copied()
+                        .filter(|(arc, w)| arc_active[*arc] && active[w.index()])
+                        .collect();
+                    // Priority: smaller deg(w)/α_w first; tie-break on node id
+                    // for determinism.
+                    senders.sort_by(|(_, a), (_, b)| {
+                        let ra = degree[a.index()] as f64 / params.alpha[a.index()] as f64;
+                        let rb = degree[b.index()] as f64 / params.alpha[b.index()] as f64;
+                        ra.partial_cmp(&rb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(b))
+                    });
+                    let budget = (k as i64 - t_delta as i64 - x_prime[v] as i64).max(0) as usize;
+                    senders.truncate(budget);
+                    out.push(senders);
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        // proposals[w] = list of arc ids over which w received a proposal
+        // this phase, scattered in proposer order.
         let mut proposals: Vec<Vec<ArcId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            let capacity_bound = k as i64 - t_delta as i64 - params.alpha[v] as i64;
-            if (x_prime[v] as i64) > capacity_bound {
-                continue;
-            }
-            let mut senders: Vec<(ArcId, NodeId)> = in_arcs[v]
-                .iter()
-                .copied()
-                .filter(|(arc, w)| arc_active[*arc] && active[w.index()])
-                .collect();
-            if senders.is_empty() {
-                continue;
-            }
-            // Priority: smaller deg(w)/α_w first; tie-break on node id for determinism.
-            senders.sort_by(|(_, a), (_, b)| {
-                let ra = degree[a.index()] as f64 / params.alpha[a.index()] as f64;
-                let rb = degree[b.index()] as f64 / params.alpha[b.index()] as f64;
-                ra.partial_cmp(&rb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(b))
-            });
-            let budget = (k as i64 - t_delta as i64 - x_prime[v] as i64).max(0) as usize;
-            for (arc, w) in senders.into_iter().take(budget) {
+        for picks in &chosen {
+            for &(arc, w) in picks {
                 proposals[w.index()].push(arc);
             }
         }
         // Step 5: each proposed-to node w accepts q_w = min(p_w, x'_w)
-        // proposals and sends a token over those arcs.
+        // proposals (smallest arc ids first, chunked per node) and sends a
+        // token over those arcs; the acceptances are applied in node order.
+        let accepted_by: Vec<Vec<ArcId>> = {
+            let (proposals, x_prime) = (&proposals, &x_prime);
+            map_node_chunks(n, policy, |range| {
+                let mut out: Vec<Vec<ArcId>> = Vec::with_capacity(range.len());
+                for w in range {
+                    if proposals[w].is_empty() {
+                        out.push(Vec::new());
+                        continue;
+                    }
+                    let q = proposals[w].len().min(x_prime[w]);
+                    // Deterministic choice: accept the proposals with the
+                    // smallest arc ids.
+                    let mut accepted = proposals[w].clone();
+                    accepted.sort_unstable();
+                    accepted.truncate(q);
+                    out.push(accepted);
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         let mut received: Vec<usize> = vec![0; n];
         let mut sent: Vec<usize> = vec![0; n];
-        for w in 0..n {
-            if proposals[w].is_empty() {
-                continue;
-            }
-            let q = proposals[w].len().min(x_prime[w]);
-            // Deterministic choice: accept the proposals with smallest arc id.
-            let mut accepted = proposals[w].clone();
-            accepted.sort_unstable();
-            for &arc in accepted.iter().take(q) {
+        for (w, accepted) in accepted_by.iter().enumerate() {
+            for &arc in accepted {
                 let (tail, head) = game.arcs[arc];
                 debug_assert_eq!(tail.index(), w);
                 arc_active[arc] = false;
@@ -472,6 +536,36 @@ mod tests {
         let seq = solve_sequential(&game, |_, _| 0.0);
         assert_eq!(seq.tokens, vec![0, 0, 1]);
         assert_eq!(seq.phases, 2);
+    }
+
+    #[test]
+    fn parallel_solver_is_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for trial in 0..6 {
+            let n = 40;
+            let k = 24;
+            let mut arcs = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.06) {
+                        arcs.push((node(u), node(v)));
+                    }
+                }
+            }
+            let tokens: Vec<usize> = (0..n).map(|_| rng.gen_range(0..=k)).collect();
+            let game = TokenGame::new(n, arcs, k, tokens);
+            let delta = 1 + trial % 4;
+            let params = uniform_params(&game, delta + 1, delta);
+            let reference = solve_distributed(&game, &params);
+            for threads in [2usize, 3, 8] {
+                let result =
+                    solve_distributed_with(&game, &params, ExecutionPolicy::parallel(threads));
+                assert_eq!(
+                    result, reference,
+                    "trial {trial}: {threads}-thread run diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,30 @@ pub fn hypercube(dim: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("hypercube edges are valid")
 }
 
+/// The `rows × cols` grid torus (wrap-around grid): every node has degree 4,
+/// so the graph has exactly `2 · rows · cols` edges. Deterministic, and cheap
+/// enough to build million-edge instances for the scale experiments.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 3 (wrap-around edges would
+/// collapse into duplicates or self-loops).
+pub fn grid_torus(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "a grid torus needs both dimensions at least 3"
+    );
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("torus edges are valid")
+}
+
 /// The `rows × cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Graph {
     let idx = |r: usize, c: usize| r * cols + c;
@@ -261,9 +285,17 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
 
 /// A Chung–Lu style power-law random graph with exponent `gamma` and maximum
 /// expected degree `max_degree`.
+///
+/// Each potential edge `{u, v}` is present independently with probability
+/// `min(1, w_u w_v / Σw)` for the expected degree sequence
+/// `w_i = max_degree · (i+1)^{−1/(γ−1)}` (floored at 1). The sampler uses the
+/// Miller–Hagberg geometric-skipping algorithm over the non-increasing weight
+/// sequence, so generation costs `O(n + m)` expected time instead of the
+/// naive `O(n²)` coin flips — million-edge instances are practical.
 pub fn power_law(n: usize, gamma: f64, max_degree: usize, seed: u64) -> Graph {
     let mut rng = rng_from_seed(seed);
-    // Expected degree sequence w_i = max_degree * (i+1)^{-1/(gamma-1)}.
+    // Expected degree sequence w_i = max_degree * (i+1)^{-1/(gamma-1)},
+    // non-increasing in i.
     let exponent = 1.0 / (gamma - 1.0).max(1e-9);
     let weights: Vec<f64> = (0..n)
         .map(|i| (max_degree as f64) * ((i + 1) as f64).powf(-exponent))
@@ -271,13 +303,32 @@ pub fn power_law(n: usize, gamma: f64, max_degree: usize, seed: u64) -> Graph {
         .collect();
     let total: f64 = weights.iter().sum();
     let mut edges = Vec::new();
-    let mut present = HashSet::new();
     for u in 0..n {
-        for v in (u + 1)..n {
-            let p = (weights[u] * weights[v] / total).min(1.0);
-            if rng.gen_bool(p) && present.insert((u, v)) {
+        // Walk candidates v = u+1, u+2, ... with geometric skips: `p` is the
+        // acceptance probability of the previous candidate, an upper bound on
+        // every later candidate's probability because the weights are sorted
+        // non-increasingly; each skipped-to candidate is accepted with the
+        // exact ratio q/p.
+        let mut v = u + 1;
+        if v >= n {
+            break;
+        }
+        let mut p = (weights[u] * weights[v] / total).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / (1.0 - p).ln()).floor();
+                if !skip.is_finite() || skip >= (n - v) as f64 {
+                    break;
+                }
+                v += skip as usize;
+            }
+            let q = (weights[u] * weights[v] / total).min(1.0);
+            if rng.gen::<f64>() < q / p {
                 edges.push((u, v));
             }
+            p = q;
+            v += 1;
         }
     }
     Graph::from_edges(n, &edges).expect("power-law edges are valid")
@@ -298,11 +349,13 @@ pub enum Family {
     RandomTree,
     /// Two-dimensional grids.
     Grid,
+    /// Wrap-around grids (4-regular tori).
+    GridTorus,
 }
 
 impl Family {
     /// All families, in a fixed order.
-    pub fn all() -> [Family; 6] {
+    pub fn all() -> [Family; 7] {
         [
             Family::RegularBipartite,
             Family::ErdosRenyi,
@@ -310,6 +363,7 @@ impl Family {
             Family::Hypercube,
             Family::RandomTree,
             Family::Grid,
+            Family::GridTorus,
         ]
     }
 
@@ -322,6 +376,7 @@ impl Family {
             Family::Hypercube => "hypercube",
             Family::RandomTree => "random-tree",
             Family::Grid => "grid",
+            Family::GridTorus => "grid-torus",
         }
     }
 
@@ -350,6 +405,10 @@ impl Family {
             Family::Grid => {
                 let side = (target_n as f64).sqrt().ceil() as usize;
                 grid(side.max(2), side.max(2))
+            }
+            Family::GridTorus => {
+                let side = (target_n as f64).sqrt().ceil() as usize;
+                grid_torus(side.max(3), side.max(3))
             }
         }
     }
@@ -481,6 +540,60 @@ mod tests {
         let g = power_law(200, 2.5, 20, 9);
         assert!(g.max_degree() <= 200);
         assert!(g.m() > 0);
+    }
+
+    #[test]
+    fn power_law_is_deterministic_and_skewed() {
+        let a = power_law(300, 2.5, 24, 5);
+        let b = power_law(300, 2.5, 24, 5);
+        assert_eq!(a, b);
+        let c = power_law(300, 2.5, 24, 6);
+        assert_ne!(a, c);
+        // The heaviest node (index 0) should out-degree the lightest ones.
+        let head = a.degree(NodeId::new(0));
+        let tail_max = (250..300).map(|v| a.degree(NodeId::new(v))).max().unwrap();
+        assert!(
+            head > tail_max,
+            "head degree {head} not above tail degree {tail_max}"
+        );
+    }
+
+    #[test]
+    fn power_law_edge_count_tracks_expectation() {
+        // Expected m = Σ_{u<v} min(1, w_u w_v / Σw) ≈ Σw / 2 when no pair
+        // saturates; check the sampled count is within a loose factor.
+        let n = 2000;
+        let g = power_law(n, 2.5, 16, 3);
+        let exponent = 1.0 / 1.5;
+        let total: f64 = (0..n)
+            .map(|i| (16.0 * ((i + 1) as f64).powf(-exponent)).max(1.0))
+            .sum();
+        let expected = total / 2.0;
+        assert!(
+            (g.m() as f64) > expected * 0.6 && (g.m() as f64) < expected * 1.6,
+            "m = {} far from expectation {expected:.0}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn grid_torus_is_four_regular_with_exact_edge_count() {
+        let g = grid_torus(5, 7);
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.m(), 2 * 35);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Smallest legal torus.
+        let t = grid_torus(3, 3);
+        assert_eq!(t.m(), 18);
+        assert_eq!(t.max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn grid_torus_rejects_thin_dimensions() {
+        grid_torus(2, 10);
     }
 
     #[test]

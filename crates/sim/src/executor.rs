@@ -1,0 +1,346 @@
+//! The parallel round-execution engine.
+//!
+//! A node's action in one synchronous round of the LOCAL/CONGEST models is a
+//! pure function of its own state and its inbox (Section 2 of the paper), so
+//! executing a round over all nodes is embarrassingly parallel. This module
+//! provides the machinery the simulator uses to exploit that:
+//!
+//! * [`ExecutionPolicy`] — the knob selecting sequential or multi-threaded
+//!   round execution; carried by [`Network`](crate::Network) and accepted by
+//!   [`run_program_with`](crate::run_program_with).
+//! * [`map_node_chunks`] — the chunked fork/join primitive: the node range
+//!   `0..n` is split into contiguous chunks, one `std::thread::scope` worker
+//!   per chunk, and the per-chunk results are returned **in chunk order** so
+//!   callers can merge them deterministically.
+//! * [`Chunks`] — the deterministic chunk geometry, including the inverse
+//!   `chunk_of` map used to bucket outgoing messages by destination chunk.
+//!
+//! Determinism contract: for a fixed input, the sequential path and the
+//! parallel path at *any* thread count produce byte-identical mailboxes,
+//! metrics and outputs. The engine guarantees this by (a) giving every worker
+//! a read-only snapshot of the round's inputs, (b) merging per-chunk message
+//! lists in global sender order (chunk order × in-chunk order), and
+//! (c) folding per-chunk [`Metrics`](crate::Metrics) with the same
+//! commutative/associative operations the sequential loop applies.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// How the simulator executes the per-node work of one synchronous round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutionPolicy {
+    /// One thread walks all nodes in index order (the reference semantics).
+    #[default]
+    Sequential,
+    /// A `std::thread::scope` worker pool over contiguous node chunks.
+    ///
+    /// Results are bit-identical to [`ExecutionPolicy::Sequential`] for every
+    /// thread count; only wall-clock time changes.
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// A parallel policy with the given number of worker threads.
+    pub fn parallel(threads: usize) -> Self {
+        ExecutionPolicy::Parallel {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A parallel policy sized to the host's available parallelism
+    /// (1 thread when the host does not report it).
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        ExecutionPolicy::parallel(threads)
+    }
+
+    /// The number of worker threads this policy uses (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Parallel { threads } => (*threads).max(1),
+        }
+    }
+
+    /// Returns `true` if this policy actually spawns workers.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+}
+
+impl std::fmt::Display for ExecutionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPolicy::Sequential => write!(f, "sequential"),
+            ExecutionPolicy::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+/// The deterministic chunk geometry for `n` items split into (at most)
+/// `chunks` contiguous near-equal ranges.
+///
+/// The first `n % chunks` ranges have `⌈n/chunks⌉` items, the rest
+/// `⌊n/chunks⌋`; empty ranges are never produced, so for `n < chunks` there
+/// are exactly `n` singleton ranges.
+#[derive(Debug, Clone)]
+pub struct Chunks {
+    n: usize,
+    base: usize,
+    long: usize,
+    count: usize,
+}
+
+impl Chunks {
+    /// Chunk geometry for `n` items and the requested chunk count.
+    pub fn new(n: usize, chunks: usize) -> Self {
+        let count = chunks.max(1).min(n.max(1));
+        Chunks {
+            n,
+            base: n / count,
+            long: n % count,
+            count,
+        }
+    }
+
+    /// Number of chunks (0 items still yield one empty chunk).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The half-open item range of chunk `c`.
+    pub fn range(&self, c: usize) -> Range<usize> {
+        debug_assert!(c < self.count);
+        let start = if c < self.long {
+            c * (self.base + 1)
+        } else {
+            self.long * (self.base + 1) + (c - self.long) * self.base
+        };
+        let len = if c < self.long {
+            self.base + 1
+        } else {
+            self.base
+        };
+        start..(start + len).min(self.n)
+    }
+
+    /// All chunk ranges in order.
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.count).map(|c| self.range(c)).collect()
+    }
+
+    /// The chunk an item index belongs to (inverse of [`Chunks::range`]).
+    pub fn chunk_of(&self, item: usize) -> usize {
+        debug_assert!(item < self.n.max(1));
+        let boundary = self.long * (self.base + 1);
+        if item < boundary {
+            item / (self.base + 1)
+        } else {
+            // `base` is 0 only for n = 0, where no valid item exists.
+            self.long + (item - boundary).checked_div(self.base).unwrap_or(0)
+        }
+    }
+}
+
+/// Applies `f` to every chunk of `0..n` and returns the results in chunk
+/// order.
+///
+/// With a sequential policy (or a single chunk) `f` runs on the calling
+/// thread; otherwise one scoped worker per chunk runs `f` concurrently. A
+/// panic inside a worker is re-raised on the calling thread with its original
+/// payload (the first panicking chunk in chunk order wins), so assertion
+/// messages match the sequential path.
+pub fn map_node_chunks<T, F>(n: usize, policy: ExecutionPolicy, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let chunks = Chunks::new(n, policy.threads());
+    if !policy.is_parallel() || chunks.count() <= 1 {
+        return chunks.ranges().into_iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .ranges()
+            .into_iter()
+            .map(|range| scope.spawn(move || f(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(value) => value,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Runs `f` over disjoint mutable chunk slices of `items`, pairing each chunk
+/// with the matching element of `per_chunk` (which must have one entry per
+/// chunk of `Chunks::new(items.len(), policy.threads())`).
+///
+/// Used for the delivery phase of a parallel round: each worker owns the
+/// mailboxes of a contiguous node range and drains the per-sender-chunk
+/// buckets addressed to it, in sender-chunk order.
+pub fn for_each_chunk_mut<T, U, F>(
+    items: &mut [T],
+    policy: ExecutionPolicy,
+    per_chunk: Vec<U>,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(Range<usize>, &mut [T], U) + Sync,
+{
+    let chunks = Chunks::new(items.len(), policy.threads());
+    assert_eq!(
+        per_chunk.len(),
+        chunks.count(),
+        "one payload per chunk required"
+    );
+    let ranges = chunks.ranges();
+    // Split `items` into the chunk slices up front so workers own disjoint
+    // mutable views.
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+    let mut rest = items;
+    for range in &ranges {
+        let (head, tail) = rest.split_at_mut(range.len());
+        slices.push(head);
+        rest = tail;
+    }
+    if !policy.is_parallel() || ranges.len() <= 1 {
+        for ((range, slice), payload) in ranges.into_iter().zip(slices).zip(per_chunk) {
+            f(range, slice, payload);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for ((range, slice), payload) in ranges.into_iter().zip(slices).zip(per_chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || f(range, slice, payload)));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_thread_counts() {
+        assert_eq!(ExecutionPolicy::Sequential.threads(), 1);
+        assert_eq!(ExecutionPolicy::parallel(0).threads(), 1);
+        assert_eq!(ExecutionPolicy::parallel(4).threads(), 4);
+        assert!(!ExecutionPolicy::Sequential.is_parallel());
+        assert!(!ExecutionPolicy::parallel(1).is_parallel());
+        assert!(ExecutionPolicy::parallel(2).is_parallel());
+        assert!(ExecutionPolicy::auto().threads() >= 1);
+        assert_eq!(ExecutionPolicy::default(), ExecutionPolicy::Sequential);
+        assert_eq!(format!("{}", ExecutionPolicy::parallel(3)), "parallel(3)");
+        assert_eq!(format!("{}", ExecutionPolicy::Sequential), "sequential");
+    }
+
+    #[test]
+    fn chunk_geometry_covers_range_exactly() {
+        for n in [0usize, 1, 2, 3, 7, 16, 100, 101] {
+            for c in [1usize, 2, 3, 4, 8, 64] {
+                let chunks = Chunks::new(n, c);
+                let ranges = chunks.ranges();
+                assert_eq!(ranges.len(), chunks.count());
+                let mut expected = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, expected, "contiguous chunks for n={n} c={c}");
+                    assert!(r.end > r.start || n == 0, "no empty chunks for n={n} c={c}");
+                    expected = r.end;
+                }
+                assert_eq!(expected, n, "chunks cover 0..{n} for c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_of_inverts_range() {
+        for n in [1usize, 2, 5, 17, 64, 100] {
+            for c in [1usize, 2, 3, 7, 200] {
+                let chunks = Chunks::new(n, c);
+                for chunk in 0..chunks.count() {
+                    for item in chunks.range(chunk) {
+                        assert_eq!(
+                            chunks.chunk_of(item),
+                            chunk,
+                            "chunk_of({item}) for n={n} c={c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_node_chunks_preserves_chunk_order() {
+        for policy in [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::parallel(2),
+            ExecutionPolicy::parallel(5),
+        ] {
+            let sums = map_node_chunks(20, policy, |range| range.sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), (0..20).sum::<usize>());
+            // Each chunk's sum corresponds to a contiguous range, and the
+            // chunk order matches the range order.
+            let chunks = Chunks::new(20, policy.threads());
+            let expected: Vec<usize> = chunks
+                .ranges()
+                .into_iter()
+                .map(|r| r.sum::<usize>())
+                .collect();
+            assert_eq!(sums, expected);
+        }
+    }
+
+    #[test]
+    fn map_node_chunks_handles_empty_input() {
+        let out = map_node_chunks(0, ExecutionPolicy::parallel(4), |range| range.len());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_partitions_items() {
+        for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::parallel(3)] {
+            let mut items = vec![0usize; 11];
+            let chunks = Chunks::new(items.len(), policy.threads());
+            let payloads: Vec<usize> = (0..chunks.count()).map(|c| c + 1).collect();
+            for_each_chunk_mut(&mut items, policy, payloads, |range, slice, payload| {
+                assert_eq!(slice.len(), range.len());
+                for (offset, item) in slice.iter_mut().enumerate() {
+                    *item = payload * 1000 + range.start + offset;
+                }
+            });
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(item % 1000, i, "item {i} written by its owner chunk");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom 3")]
+    fn worker_panics_propagate_with_payload() {
+        map_node_chunks(8, ExecutionPolicy::parallel(4), |range| {
+            if range.contains(&3) {
+                panic!("boom 3");
+            }
+            range.len()
+        });
+    }
+}

@@ -17,6 +17,14 @@
 //!   dropping phases) are implemented against this layer to demonstrate
 //!   locality.
 //!
+//! Both layers execute rounds under an [`ExecutionPolicy`]: the default
+//! `Sequential` walks all nodes on one thread, while `Parallel { threads }`
+//! runs each round's per-node work on a scoped worker pool over contiguous
+//! node chunks ([`Network::with_policy`], [`run_program_with`]). Because a
+//! node's round action depends only on its own state and inbox, the parallel
+//! engine merges per-chunk messages and metrics deterministically and its
+//! results are bit-identical to the sequential path at any thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod executor;
 mod identifiers;
 mod metrics;
 mod model;
@@ -41,9 +50,10 @@ mod network;
 mod payload;
 mod program;
 
+pub use executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
 pub use identifiers::IdAssignment;
 pub use metrics::Metrics;
 pub use model::Model;
 pub use network::{Incoming, Mailboxes, Network};
 pub use payload::{bits_for, Payload};
-pub use program::{run_program, NodeCtx, NodeProgram, ProgramRun, Step};
+pub use program::{run_program, run_program_with, NodeCtx, NodeProgram, ProgramRun, Step};

@@ -10,11 +10,26 @@
 //! explicitly (via [`Network::exchange`] or [`Network::broadcast`]), so the
 //! round counts reported in the experiments are exactly the number of
 //! `exchange`/`broadcast` calls plus explicitly charged sub-protocol rounds.
+//!
+//! # Execution policies
+//!
+//! Every network carries an [`ExecutionPolicy`]. Rounds issued through
+//! [`Network::exchange_sync`] or [`Network::broadcast`] honor it: under
+//! `Parallel { threads }` the per-node send closures run on a scoped worker
+//! pool over contiguous node chunks and the per-chunk mailboxes and metrics
+//! are merged in chunk order, which makes the result **byte-identical** to
+//! the sequential execution at any thread count. [`Network::exchange`] takes
+//! a stateful `FnMut` closure and therefore always runs sequentially.
 
+use crate::executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
 use crate::metrics::Metrics;
 use crate::model::Model;
 use crate::payload::Payload;
 use distgraph::{EdgeId, Graph, NodeId};
+
+/// One undelivered message: the destination node index paired with the
+/// [`Incoming`] entry its inbox will receive.
+type Targeted<M> = (usize, Incoming<M>);
 
 /// A message received by a node in a round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,20 +43,30 @@ pub struct Incoming<M> {
 }
 
 /// Per-node inboxes produced by one round of communication.
-#[derive(Debug, Clone)]
+///
+/// The number of delivered messages is cached at delivery time, so
+/// [`Mailboxes::total`] is O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mailboxes<M> {
     boxes: Vec<Vec<Incoming<M>>>,
+    total: usize,
 }
 
 impl<M> Mailboxes<M> {
+    /// Wraps per-node inboxes, recording the delivered-message count once.
+    pub(crate) fn from_boxes(boxes: Vec<Vec<Incoming<M>>>) -> Self {
+        let total = boxes.iter().map(Vec::len).sum();
+        Mailboxes { boxes, total }
+    }
+
     /// The messages received by node `v` this round.
     pub fn inbox(&self, v: NodeId) -> &[Incoming<M>] {
         &self.boxes[v.index()]
     }
 
-    /// Total number of messages delivered.
+    /// Total number of messages delivered (O(1): cached at delivery time).
     pub fn total(&self) -> usize {
-        self.boxes.iter().map(Vec::len).sum()
+        self.total
     }
 
     /// Consumes the mailboxes and returns the per-node vectors.
@@ -55,17 +80,34 @@ impl<M> Mailboxes<M> {
 pub struct Network<'g> {
     graph: &'g Graph,
     model: Model,
+    policy: ExecutionPolicy,
     metrics: Metrics,
 }
 
 impl<'g> Network<'g> {
-    /// Creates a network over `graph` under the given model.
+    /// Creates a network over `graph` under the given model, executing rounds
+    /// sequentially.
     pub fn new(graph: &'g Graph, model: Model) -> Self {
+        Self::with_policy(graph, model, ExecutionPolicy::Sequential)
+    }
+
+    /// Creates a network over `graph` under the given model and execution
+    /// policy.
+    pub fn with_policy(graph: &'g Graph, model: Model, policy: ExecutionPolicy) -> Self {
         Network {
             graph,
             model,
+            policy,
             metrics: Metrics::new(),
         }
+    }
+
+    /// A fresh network over `child_graph` inheriting this network's model and
+    /// execution policy. Used by composed algorithms that recurse on
+    /// subgraphs; absorb the child's metrics afterwards with
+    /// [`Network::absorb_sequential`] or [`Network::absorb_parallel`].
+    pub fn child<'h>(&self, child_graph: &'h Graph) -> Network<'h> {
+        Network::with_policy(child_graph, self.model, self.policy)
     }
 
     /// The underlying graph.
@@ -78,6 +120,16 @@ impl<'g> Network<'g> {
         self.model
     }
 
+    /// The execution policy rounds are run under.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// Replaces the execution policy (subsequent rounds use it).
+    pub fn set_policy(&mut self, policy: ExecutionPolicy) {
+        self.policy = policy;
+    }
+
     /// Number of rounds charged so far.
     pub fn rounds(&self) -> u64 {
         self.metrics.rounds
@@ -88,9 +140,12 @@ impl<'g> Network<'g> {
         self.metrics
     }
 
-    /// Executes one synchronous round: for every node, `outgoing` returns the
-    /// list of `(edge, message)` pairs the node sends; each message is
-    /// delivered to the other endpoint of the edge.
+    /// Executes one synchronous round with a *stateful* send closure: for
+    /// every node, `outgoing` returns the list of `(edge, message)` pairs the
+    /// node sends; each message is delivered to the other endpoint of the
+    /// edge. Because `outgoing` may mutate shared state between nodes, this
+    /// entry point always runs sequentially regardless of the policy; use
+    /// [`Network::exchange_sync`] for policy-aware execution.
     ///
     /// # Panics
     ///
@@ -122,13 +177,119 @@ impl<'g> Network<'g> {
                 boxes[target.index()].push(Incoming { from: v, edge, msg });
             }
         }
-        Mailboxes { boxes }
+        Mailboxes::from_boxes(boxes)
+    }
+
+    /// Executes one synchronous round with a *pure* per-node send function,
+    /// honoring the network's [`ExecutionPolicy`]: under a parallel policy
+    /// the closure is evaluated on a worker pool over contiguous node chunks
+    /// and the mailboxes/metrics are merged deterministically, producing
+    /// results byte-identical to the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Network::exchange`].
+    pub fn exchange_sync<M>(
+        &mut self,
+        outgoing: impl Fn(NodeId) -> Vec<(EdgeId, M)> + Sync,
+    ) -> Mailboxes<M>
+    where
+        M: Payload + Send,
+    {
+        if !self.policy.is_parallel() {
+            return self.exchange(outgoing);
+        }
+        self.metrics.rounds += 1;
+        let limit = self.model.bandwidth_limit();
+        let graph = self.graph;
+        let n = graph.n();
+        let chunks = Chunks::new(n, self.policy.threads());
+        let chunk_count = chunks.count();
+
+        // Phase A (parallel over sender chunks): evaluate the send closures,
+        // validate, account metrics, and bucket deliveries by target chunk.
+        // Within each bucket the messages appear in sender order.
+        struct ChunkOut<M> {
+            buckets: Vec<Vec<Targeted<M>>>,
+            metrics: Metrics,
+        }
+        let outs: Vec<ChunkOut<M>> = map_node_chunks(n, self.policy, |range| {
+            let mut metrics = Metrics::new();
+            let mut buckets: Vec<Vec<Targeted<M>>> = Vec::new();
+            buckets.resize_with(chunk_count, Vec::new);
+            for raw_v in range {
+                let v = NodeId::new(raw_v);
+                let sends = outgoing(v);
+                let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+                for (edge, msg) in sends {
+                    assert!(
+                        graph.is_endpoint(edge, v),
+                        "{v} attempted to send over non-incident edge {edge}"
+                    );
+                    assert!(
+                        !used.contains(&edge),
+                        "{v} sent two messages over {edge} in a single round"
+                    );
+                    used.push(edge);
+                    metrics.record_message(msg.encoded_bits() as u64, limit);
+                    let target = graph.other_endpoint(edge, v).index();
+                    buckets[chunks.chunk_of(target)]
+                        .push((target, Incoming { from: v, edge, msg }));
+                }
+            }
+            ChunkOut { buckets, metrics }
+        });
+
+        // Merge metrics in chunk order: sums and maxima, exactly the
+        // operations the sequential loop applies message by message.
+        for out in &outs {
+            self.metrics.messages += out.metrics.messages;
+            self.metrics.total_bits += out.metrics.total_bits;
+            self.metrics.max_message_bits = self
+                .metrics
+                .max_message_bits
+                .max(out.metrics.max_message_bits);
+            self.metrics.congest_violations += out.metrics.congest_violations;
+        }
+
+        // Transpose: per target chunk, the buckets of every sender chunk in
+        // sender-chunk order.
+        let mut per_target: Vec<Vec<Vec<Targeted<M>>>> = Vec::new();
+        per_target.resize_with(chunk_count, Vec::new);
+        for out in outs {
+            for (tc, bucket) in out.buckets.into_iter().enumerate() {
+                per_target[tc].push(bucket);
+            }
+        }
+
+        // Phase B (parallel over target chunks): each worker owns the inboxes
+        // of a contiguous node range and drains the buckets addressed to it
+        // in sender-chunk order, i.e. global sender order.
+        let mut boxes: Vec<Vec<Incoming<M>>> = Vec::with_capacity(n);
+        boxes.resize_with(n, Vec::new);
+        for_each_chunk_mut(
+            &mut boxes,
+            self.policy,
+            per_target,
+            |range, slice, lists| {
+                for bucket in lists {
+                    for (target, incoming) in bucket {
+                        slice[target - range.start].push(incoming);
+                    }
+                }
+            },
+        );
+        Mailboxes::from_boxes(boxes)
     }
 
     /// One round in which every node sends the same message to all neighbors.
-    pub fn broadcast<M: Payload>(&mut self, mut msg_of: impl FnMut(NodeId) -> M) -> Mailboxes<M> {
+    /// Honors the network's execution policy (see [`Network::exchange_sync`]).
+    pub fn broadcast<M>(&mut self, msg_of: impl Fn(NodeId) -> M + Sync) -> Mailboxes<M>
+    where
+        M: Payload + Send,
+    {
         let graph = self.graph;
-        self.exchange(|v| {
+        self.exchange_sync(|v| {
             let msg = msg_of(v);
             graph
                 .neighbors(v)
@@ -253,6 +414,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-incident")]
+    fn parallel_sending_over_foreign_edge_panics() {
+        let g = generators::path(4);
+        let mut net = Network::with_policy(&g, Model::Local, ExecutionPolicy::parallel(3));
+        net.exchange_sync(|v| {
+            if v.index() == 0 {
+                vec![(EdgeId::new(2), 1u32)]
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "two messages")]
     fn sending_twice_over_same_edge_panics() {
         let g = generators::path(2);
@@ -264,6 +439,74 @@ mod tests {
                 vec![]
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn parallel_sending_twice_over_same_edge_panics() {
+        let g = generators::path(2);
+        let mut net = Network::with_policy(&g, Model::Local, ExecutionPolicy::parallel(2));
+        net.exchange_sync(|v| {
+            if v.index() == 0 {
+                vec![(EdgeId::new(0), 1u32), (EdgeId::new(0), 2u32)]
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_exchange_is_bit_identical_to_sequential() {
+        let g = generators::random_regular(48, 6, 11).unwrap();
+        let send = |v: NodeId| -> Vec<(EdgeId, u64)> {
+            g.neighbors(v)
+                .iter()
+                .filter(|nb| !(v.index() + nb.node.index()).is_multiple_of(3))
+                .map(|nb| (nb.edge, (v.index() * 31 + nb.edge.index()) as u64))
+                .collect()
+        };
+        let mut seq_net = Network::new(&g, Model::Congest { bandwidth_bits: 8 });
+        let seq_mail = seq_net.exchange_sync(send);
+        for threads in [2usize, 3, 8, 64] {
+            let mut par_net = Network::with_policy(
+                &g,
+                Model::Congest { bandwidth_bits: 8 },
+                ExecutionPolicy::parallel(threads),
+            );
+            let par_mail = par_net.exchange_sync(send);
+            assert_eq!(seq_mail, par_mail, "mailboxes differ at {threads} threads");
+            assert_eq!(
+                seq_net.metrics(),
+                par_net.metrics(),
+                "metrics differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn child_network_inherits_model_and_policy() {
+        let g = generators::path(4);
+        let sub = generators::path(3);
+        let net = Network::with_policy(
+            &g,
+            Model::Congest { bandwidth_bits: 9 },
+            ExecutionPolicy::parallel(4),
+        );
+        let child = net.child(&sub);
+        assert_eq!(child.model(), net.model());
+        assert_eq!(child.policy(), net.policy());
+        assert_eq!(child.rounds(), 0);
+    }
+
+    #[test]
+    fn set_policy_switches_execution() {
+        let g = generators::cycle(6);
+        let mut net = Network::new(&g, Model::Local);
+        assert_eq!(net.policy(), ExecutionPolicy::Sequential);
+        net.set_policy(ExecutionPolicy::parallel(2));
+        assert!(net.policy().is_parallel());
+        let mail = net.broadcast(|v| v.index() as u32);
+        assert_eq!(mail.total(), 2 * g.m());
     }
 
     #[test]

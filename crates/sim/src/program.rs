@@ -13,6 +13,7 @@
 //! that fit in a page (flooding, BFS, proposal/accept steps, token dropping)
 //! have strict implementations running on it.
 
+use crate::executor::{for_each_chunk_mut, Chunks, ExecutionPolicy};
 use crate::identifiers::IdAssignment;
 use crate::metrics::Metrics;
 use crate::model::Model;
@@ -172,6 +173,188 @@ where
     ProgramRun { outputs, metrics }
 }
 
+/// Like [`run_program`], but executes each round's node actions under the
+/// given [`ExecutionPolicy`].
+///
+/// Under `Parallel { threads }` the still-running programs are split into
+/// contiguous node chunks, one scoped worker per chunk calls
+/// [`NodeProgram::round`] against a read-only snapshot of the round's
+/// inboxes, and the outgoing messages and metrics are merged in chunk order
+/// (i.e. global node order). The produced outputs, pending messages and
+/// [`Metrics`] are therefore **byte-identical** to the sequential execution
+/// at every thread count; only wall-clock time changes.
+pub fn run_program_with<P, F>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    model: Model,
+    policy: ExecutionPolicy,
+    max_rounds: u64,
+    make_program: F,
+) -> ProgramRun<P::Output>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+    P::Output: Send,
+    F: FnMut(NodeId) -> P,
+{
+    if !policy.is_parallel() {
+        return run_program(graph, ids, model, max_rounds, make_program);
+    }
+    let mut make_program = make_program;
+    let n = graph.n();
+    let max_degree = graph.max_degree();
+    let mut metrics = Metrics::new();
+    let limit = model.bandwidth_limit();
+    let chunks = Chunks::new(n, policy.threads());
+    let chunk_count = chunks.count();
+
+    let contexts: Vec<NodeCtx> = graph
+        .nodes()
+        .map(|v| NodeCtx {
+            node: v,
+            id: ids.id(v),
+            degree: graph.degree(v),
+            ports: graph.neighbors(v).to_vec(),
+            n,
+            max_degree,
+        })
+        .collect();
+
+    let mut programs: Vec<P> = graph.nodes().map(&mut make_program).collect();
+    let mut outputs: Vec<Option<P::Output>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || None);
+
+    // Round 0: init (sequential — one pass, identical to `run_program`).
+    let mut pending: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        let sends = programs[v.index()].init(&contexts[v.index()]);
+        for (edge, msg) in sends {
+            assert!(
+                graph.is_endpoint(edge, v),
+                "{v} sent over non-incident edge {edge}"
+            );
+            metrics.record_message(msg.encoded_bits() as u64, limit);
+            let target = graph.other_endpoint(edge, v);
+            pending[target.index()].push(Incoming { from: v, edge, msg });
+        }
+    }
+
+    /// One undelivered message: destination node index plus inbox entry.
+    type Targeted<M> = (usize, Incoming<M>);
+
+    /// Per-chunk result of one parallel round.
+    struct RoundOut<M> {
+        buckets: Vec<Vec<Targeted<M>>>,
+        metrics: Metrics,
+    }
+
+    for _round in 0..max_rounds {
+        if outputs.iter().all(Option::is_some) {
+            break;
+        }
+        metrics.rounds += 1;
+        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+
+        // Split programs and outputs into disjoint per-chunk mutable slices.
+        let ranges = chunks.ranges();
+        let mut prog_slices: Vec<&mut [P]> = Vec::with_capacity(ranges.len());
+        let mut out_slices: Vec<&mut [Option<P::Output>]> = Vec::with_capacity(ranges.len());
+        let mut prog_rest: &mut [P] = &mut programs;
+        let mut out_rest: &mut [Option<P::Output>] = &mut outputs;
+        for range in &ranges {
+            let (ph, pt) = prog_rest.split_at_mut(range.len());
+            prog_slices.push(ph);
+            prog_rest = pt;
+            let (oh, ot) = out_rest.split_at_mut(range.len());
+            out_slices.push(oh);
+            out_rest = ot;
+        }
+
+        let outs: Vec<RoundOut<P::Msg>> = std::thread::scope(|scope| {
+            let contexts = &contexts;
+            let inboxes = &inboxes;
+            let chunks = &chunks;
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .zip(prog_slices)
+                .zip(out_slices)
+                .map(|((range, progs), outs)| {
+                    scope.spawn(move || {
+                        let mut chunk_metrics = Metrics::new();
+                        let mut buckets: Vec<Vec<Targeted<P::Msg>>> = Vec::new();
+                        buckets.resize_with(chunk_count, Vec::new);
+                        for (offset, (program, output)) in
+                            progs.iter_mut().zip(outs.iter_mut()).enumerate()
+                        {
+                            if output.is_some() {
+                                continue;
+                            }
+                            let raw_v = range.start + offset;
+                            let v = NodeId::new(raw_v);
+                            match program.round(&contexts[raw_v], &inboxes[raw_v]) {
+                                Step::Halt(out) => *output = Some(out),
+                                Step::Send(sends) => {
+                                    for (edge, msg) in sends {
+                                        assert!(
+                                            graph.is_endpoint(edge, v),
+                                            "{v} sent over non-incident edge {edge}"
+                                        );
+                                        chunk_metrics
+                                            .record_message(msg.encoded_bits() as u64, limit);
+                                        let target = graph.other_endpoint(edge, v).index();
+                                        buckets[chunks.chunk_of(target)]
+                                            .push((target, Incoming { from: v, edge, msg }));
+                                    }
+                                }
+                            }
+                        }
+                        RoundOut {
+                            buckets,
+                            metrics: chunk_metrics,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Merge the per-chunk metrics in chunk order (sums and maxima, the
+        // same operations the sequential loop applies per message).
+        for out in &outs {
+            metrics.messages += out.metrics.messages;
+            metrics.total_bits += out.metrics.total_bits;
+            metrics.max_message_bits = metrics.max_message_bits.max(out.metrics.max_message_bits);
+            metrics.congest_violations += out.metrics.congest_violations;
+        }
+
+        // Deliver: per target chunk, drain the sender-chunk buckets in order,
+        // which reproduces the sequential (global sender order) delivery.
+        let mut per_target: Vec<Vec<Vec<Targeted<P::Msg>>>> = Vec::new();
+        per_target.resize_with(chunk_count, Vec::new);
+        for out in outs {
+            for (tc, bucket) in out.buckets.into_iter().enumerate() {
+                per_target[tc].push(bucket);
+            }
+        }
+        for_each_chunk_mut(&mut pending, policy, per_target, |range, slice, lists| {
+            for bucket in lists {
+                for (target, incoming) in bucket {
+                    slice[target - range.start].push(incoming);
+                }
+            }
+        });
+    }
+
+    ProgramRun { outputs, metrics }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +467,79 @@ mod tests {
         });
         assert!(!run.all_halted());
         assert_eq!(run.metrics.rounds, 3);
+    }
+
+    #[test]
+    fn parallel_program_run_matches_sequential_bit_for_bit() {
+        let g = generators::random_regular(64, 6, 9).unwrap();
+        let ids = IdAssignment::scattered(64, 5);
+        let reference = run_program(&g, &ids, Model::Local, 48, |_| MaxIdFlood {
+            best: 0,
+            rounds_left: 20,
+        });
+        for threads in [2usize, 3, 8] {
+            let run = run_program_with(
+                &g,
+                &ids,
+                Model::Local,
+                ExecutionPolicy::parallel(threads),
+                48,
+                |_| MaxIdFlood {
+                    best: 0,
+                    rounds_left: 20,
+                },
+            );
+            assert_eq!(run.outputs, reference.outputs, "{threads} threads");
+            assert_eq!(run.metrics, reference.metrics, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_with_halting() {
+        // BFS halts nodes at different rounds, exercising the halted-node
+        // skip logic of the parallel round loop.
+        let g = generators::path(37);
+        let ids = IdAssignment::contiguous(37);
+        let reference = run_program(&g, &ids, Model::Local, 64, |_| Bfs {
+            dist: None,
+            announced: false,
+        });
+        let run = run_program_with(
+            &g,
+            &ids,
+            Model::Local,
+            ExecutionPolicy::parallel(4),
+            64,
+            |_| Bfs {
+                dist: None,
+                announced: false,
+            },
+        );
+        assert_eq!(run.outputs, reference.outputs);
+        assert_eq!(run.metrics, reference.metrics);
+    }
+
+    #[test]
+    fn run_program_with_sequential_policy_is_run_program() {
+        let g = generators::cycle(10);
+        let ids = IdAssignment::contiguous(10);
+        let a = run_program(&g, &ids, Model::Local, 16, |_| MaxIdFlood {
+            best: 0,
+            rounds_left: 10,
+        });
+        let b = run_program_with(
+            &g,
+            &ids,
+            Model::Local,
+            ExecutionPolicy::Sequential,
+            16,
+            |_| MaxIdFlood {
+                best: 0,
+                rounds_left: 10,
+            },
+        );
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

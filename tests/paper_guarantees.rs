@@ -9,10 +9,14 @@
 //! * bipartite algorithm (Lemma 6.1) — at most `(2 + ε)Δ` colors;
 //! * CONGEST algorithm (Theorem 1.2) — at most `(8 + ε)Δ` colors.
 
-use distgraph::{generators, BipartiteGraph, Graph};
+use distgraph::{generators, BipartiteGraph, Graph, NodeId};
 use distsim::{IdAssignment, Model, Network};
+use edgecolor::balanced_orientation::compute_balanced_orientation;
 use edgecolor::bipartite_coloring::color_bipartite;
-use edgecolor::{color_congest, color_edges_local, ColoringParams};
+use edgecolor::token_dropping::{solve_distributed, TokenGame, TokenGameParams};
+use edgecolor::{
+    color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile,
+};
 use edgecolor_baselines as baselines;
 use edgecolor_verify::{check_complete, check_palette_size, check_proper_edge_coloring};
 
@@ -144,6 +148,101 @@ fn bipartite_algorithm_stays_within_two_plus_eps_delta() {
             "{name}: bipartite coloring used {} colors, budget (2+ε)Δ = {budget}",
             result.colors_used
         );
+    }
+}
+
+/// Round-count regression pins: the execution engine charges rounds in a
+/// fully deterministic way, so any engine refactor that silently changes the
+/// round accounting (or the algorithms' schedules) trips these exact values.
+/// If a change *intentionally* alters round charging, update the constants
+/// and say why in the commit message.
+#[test]
+fn local_round_counts_are_pinned_on_the_seeded_matrix() {
+    let params = ColoringParams::new(0.5);
+    let pinned: &[(usize, usize, u64, u64, usize)] = &[
+        // (n, d, generator seed, expected rounds, expected colors)
+        (10, 3, 1, 14, 4),
+        (24, 4, 2, 28, 6),
+        (36, 6, 3, 52, 8),
+    ];
+    for &(n, d, seed, rounds, colors) in pinned {
+        let g = generators::random_regular(n, d, seed).expect("feasible regular instance");
+        let ids = IdAssignment::scattered(g.n(), 17);
+        let outcome = color_edges_local(&g, &ids, &params).expect("full palette is feasible");
+        assert_eq!(
+            outcome.metrics.rounds, rounds,
+            "random_regular({n},{d},{seed}): LOCAL round count drifted"
+        );
+        assert_eq!(
+            outcome.coloring.palette_size(),
+            colors,
+            "random_regular({n},{d},{seed}): LOCAL palette drifted"
+        );
+    }
+}
+
+#[test]
+fn balanced_orientation_round_counts_are_pinned() {
+    let pinned: &[(usize, usize, u64, u64, u32)] = &[
+        // (n per side, d, generator seed, expected rounds, expected phases)
+        (16, 5, 3, 103, 34),
+        (24, 8, 9, 127, 42),
+    ];
+    for &(n, d, seed, rounds, phases) in pinned {
+        let bg = generators::regular_bipartite(n, d, seed).expect("feasible bipartite instance");
+        let eta = vec![0.0; bg.graph().m()];
+        let params = OrientationParams::new(0.5, ParamProfile::Practical);
+        let mut net = Network::new(bg.graph(), Model::Local);
+        let result = compute_balanced_orientation(&bg, &eta, &params, &mut net);
+        assert_eq!(
+            result.rounds, rounds,
+            "regular_bipartite({n},{d},{seed}): orientation round count drifted"
+        );
+        assert_eq!(
+            result.phases, phases,
+            "regular_bipartite({n},{d},{seed}): orientation phase count drifted"
+        );
+    }
+}
+
+#[test]
+fn token_dropping_round_counts_are_pinned() {
+    // Layered "waterfall" instances (the original token dropping setting).
+    let pinned: &[(usize, usize, usize, usize, u64, u64)] = &[
+        // (layers, width, k, δ, expected rounds, expected phases)
+        (4, 4, 32, 2, 45, 15),
+        (6, 8, 64, 4, 45, 15),
+    ];
+    for &(layers, width, k, delta, rounds, phases) in pinned {
+        let n = layers * width;
+        let mut arcs = Vec::new();
+        for l in 0..layers - 1 {
+            for a in 0..width {
+                for b in 0..width {
+                    arcs.push((NodeId::new(l * width + a), NodeId::new((l + 1) * width + b)));
+                }
+            }
+        }
+        let mut tokens = vec![0usize; n];
+        for t in tokens.iter_mut().take(width) {
+            *t = k;
+        }
+        let game = TokenGame::new(n, arcs, k, tokens);
+        let params = TokenGameParams {
+            alpha: vec![delta + 1; n],
+            delta,
+        };
+        let result = solve_distributed(&game, &params);
+        assert_eq!(
+            result.rounds, rounds,
+            "layered({layers},{width},k={k},δ={delta}): token dropping rounds drifted"
+        );
+        assert_eq!(
+            result.phases, phases,
+            "layered({layers},{width},k={k},δ={delta}): token dropping phases drifted"
+        );
+        // The 3-rounds-per-phase charging of Section 4.1 must stay intact.
+        assert_eq!(result.rounds, 3 * result.phases);
     }
 }
 
