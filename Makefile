@@ -22,11 +22,12 @@ bench-check:
 	cargo bench --no-run
 
 # The measured baseline: quick E1–E11 sweeps plus the full-size SCALE
-# experiment (million-edge graphs at 1/2/4/8 threads), serialized to
+# experiment (million-edge graphs at 1/2/4/8 threads) and the DYN dynamic
+# recoloring experiment (million-edge update streams), serialized to
 # BENCH_1.json at the repo root (schema: README.md "Benchmark JSON schema").
 bench:
-	cargo run --release -p edgecolor-bench --bin experiments -- quick scale --emit-json BENCH_1.json
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn --emit-json BENCH_1.json
 
-# CI-sized variant: tiny sweeps and down-scaled SCALE graphs.
+# CI-sized variant: tiny sweeps and down-scaled SCALE/DYN graphs.
 bench-smoke:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale --emit-json /tmp/bench.json
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn --emit-json /tmp/bench.json

@@ -8,8 +8,9 @@
 //!   cargo run --release -p edgecolor-bench --bin experiments -- e1 e4      # a subset
 //!   cargo run --release -p edgecolor-bench --bin experiments -- quick      # smaller sweeps (no SCALE)
 //!   cargo run --release -p edgecolor-bench --bin experiments -- scale      # million-edge SCALE only
-//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale  # CI: tiny sweeps + tiny SCALE
-//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale --emit-json BENCH_1.json
+//!   cargo run --release -p edgecolor-bench --bin experiments -- dyn        # million-edge dynamic recoloring
+//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn  # CI: tiny sweeps + tiny SCALE/DYN
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn --emit-json BENCH_1.json
 
 use edgecolor_bench as bench;
 use edgecolor_bench::json::JsonValue;
@@ -110,9 +111,10 @@ fn main() {
         timed(&mut || bench::run_e11(small_deltas));
     }
 
-    // The SCALE experiment runs only when explicitly named (or on a bare
-    // full run): its million-edge graphs would turn `quick`/`smoke` sweeps
-    // into multi-minute runs. Graph sizes stay down-scaled under `smoke`.
+    // The SCALE and DYN experiments run only when explicitly named (or on a
+    // bare full run): their million-edge graphs would turn `quick`/`smoke`
+    // sweeps into multi-minute runs. Graph sizes stay down-scaled under
+    // `smoke`.
     let scale_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "scale" || a == "all");
     let mut scale_measurements = Vec::new();
     if scale_wanted {
@@ -121,6 +123,10 @@ fn main() {
             scale_measurements = measurements;
             table
         });
+    }
+    let dyn_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "dyn" || a == "all");
+    if dyn_wanted {
+        timed(&mut || bench::run_dyn(!smoke));
     }
 
     for entry in &tables {
@@ -192,6 +198,11 @@ fn build_json(tables: &[TimedTable], scale: &[bench::ScaleMeasurement]) -> JsonV
                 ),
                 ("rounds", JsonValue::Int(m.rounds as i64)),
                 ("messages", JsonValue::Int(m.messages as i64)),
+                (
+                    "speedup_floor",
+                    m.speedup_floor.map_or(JsonValue::Null, JsonValue::Num),
+                ),
+                ("meets_floor", JsonValue::Bool(m.meets_floor)),
             ])
         })
         .collect();

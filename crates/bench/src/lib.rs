@@ -9,7 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use distgraph::{generators, EdgeId, Graph, ListAssignment, NodeId};
+use distgraph::{
+    generators::{self, UpdateScenario, UpdateStream},
+    DynamicGraph, EdgeId, Graph, ListAssignment, NodeId,
+};
 use distsim::{
     run_program_with, ExecutionPolicy, IdAssignment, Incoming, Model, Network, NodeCtx,
     NodeProgram, Step,
@@ -22,10 +25,10 @@ use edgecolor::token_dropping::{
     check_theorem_4_3, solve_distributed, theorem_4_3_bound, TokenGame, TokenGameParams,
 };
 use edgecolor::{
-    color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile,
+    color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile, Recoloring,
 };
 use edgecolor_baselines as baselines;
-use edgecolor_verify::{check_complete, check_proper_edge_coloring};
+use edgecolor_verify::{check_complete, check_delta, check_proper_edge_coloring};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -499,6 +502,33 @@ pub struct ScaleMeasurement {
     pub rounds: u64,
     /// Messages delivered by the simulated execution.
     pub messages: u64,
+    /// The minimum speedup this configuration is *expected* to reach on the
+    /// measuring host, per [`expected_speedup_floor`]; `None` when the host
+    /// cannot parallelize that far (or the run is a down-scaled smoke run),
+    /// in which case `speedup_vs_sequential` carries no expectation at all.
+    pub speedup_floor: Option<f64>,
+    /// `speedup_vs_sequential >= speedup_floor` (trivially `true` when no
+    /// floor applies). Informational: determinism is the hard guarantee,
+    /// wall-clock is host-dependent.
+    pub meets_floor: bool,
+}
+
+/// The minimum SCALE speedup a `threads`-worker run is expected to reach on
+/// a host with `host_parallelism` hardware threads, or `None` when no
+/// expectation applies.
+///
+/// A single-CPU container (like the one that recorded `BENCH_1.json`, see
+/// `host.available_parallelism`) time-slices every worker onto one core, so
+/// sub-1.0 "speedups" there are scheduling noise, not regressions — the
+/// bit-identity of the parallel engine is asserted unconditionally, the
+/// wall-clock expectation only where the hardware can express it. The floors
+/// are deliberately conservative (oversubscribed or 2-thread runs just must
+/// not lose; ≥4 effective workers must show a visible win).
+pub fn expected_speedup_floor(threads: usize, host_parallelism: usize) -> Option<f64> {
+    if threads <= 1 || host_parallelism < 2 || threads > host_parallelism {
+        return None;
+    }
+    Some(if threads >= 4 { 1.3 } else { 1.05 })
 }
 
 /// The per-node program driven by the scale experiment: `rounds` rounds of
@@ -590,9 +620,13 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
             "threads",
             "wall ms",
             "speedup",
+            "floor",
             "identical",
         ],
     );
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     // The first configuration seeds the reference the `*_vs_sequential`
     // fields are computed against, so it must be the sequential baseline.
     assert!(
@@ -641,10 +675,19 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                     ref_wall / wall_ms,
                 ),
             };
+            // Determinism is asserted unconditionally — it holds on any
+            // hardware. Wall-clock expectations are gated on the host (and
+            // only for the full-size suite): see `expected_speedup_floor`.
             assert!(
                 identical,
                 "{name}: {threads}-thread run diverged from the sequential run"
             );
+            let speedup_floor = if million {
+                expected_speedup_floor(threads, host_parallelism)
+            } else {
+                None
+            };
+            let meets_floor = speedup_floor.is_none_or(|floor| speedup >= floor);
             table.push_row(vec![
                 name.clone(),
                 graph.n().to_string(),
@@ -652,6 +695,7 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                 threads.to_string(),
                 format!("{wall_ms:.1}"),
                 format!("{speedup:.2}"),
+                speedup_floor.map_or("-".to_string(), |f| format!("{f:.2}")),
                 identical.to_string(),
             ]);
             measurements.push(ScaleMeasurement {
@@ -664,10 +708,161 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                 identical_to_sequential: identical,
                 rounds: run.metrics.rounds,
                 messages: run.metrics.messages,
+                speedup_floor,
+                meets_floor,
             });
         }
     }
     (table, measurements)
+}
+
+/// DYN — dynamic recoloring: per-batch local repair cost versus what a
+/// recolor-from-scratch-per-batch policy would touch.
+///
+/// For each mutation scenario the harness colors the initial graph once
+/// (`Recoloring::color_initial`), then plays `batches` update batches from a
+/// seeded [`UpdateStream`], repairing after each one. Every repair is
+/// re-validated incrementally (`check_delta` over the repair's touched set)
+/// and the final coloring passes the full `O(m)` checkers. The `touched
+/// frac` column is `repaired edges / (batches · m)` — the fraction of the
+/// work a naive full-recolor-per-batch policy would have done; on the
+/// million-edge churn stream it is ~10⁻⁵.
+pub fn run_dyn(million: bool) -> Table {
+    let mut table = Table::new(
+        "DYN",
+        "Dynamic recoloring: local repair vs full recolor per batch",
+        &[
+            "scenario",
+            "n",
+            "m",
+            "batches",
+            "repaired edges",
+            "full recolors",
+            "full-recolor edges",
+            "touched frac",
+            "repair wall ms",
+            "initial color ms",
+        ],
+    );
+    let params = ColoringParams::new(0.5);
+    type Config = (&'static str, Graph, UpdateScenario, usize, u64);
+    let configs: Vec<Config> = if million {
+        let torus = generators::grid_torus(1000, 500); // exactly 10⁶ edges
+        let window = torus.m();
+        vec![
+            (
+                "churn",
+                torus.clone(),
+                UpdateScenario::Churn {
+                    inserts: 64,
+                    deletes: 64,
+                },
+                16,
+                17,
+            ),
+            (
+                "sliding-window",
+                torus,
+                UpdateScenario::SlidingWindow { window, rate: 96 },
+                16,
+                19,
+            ),
+            (
+                "hub-attack",
+                generators::grid_torus(40, 40),
+                UpdateScenario::HubAttack {
+                    hub: 0,
+                    burst: 6,
+                    deletes: 2,
+                },
+                12,
+                23,
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "churn",
+                generators::grid_torus(40, 40),
+                UpdateScenario::Churn {
+                    inserts: 8,
+                    deletes: 8,
+                },
+                12,
+                17,
+            ),
+            (
+                "sliding-window",
+                generators::grid_torus(40, 40),
+                UpdateScenario::SlidingWindow {
+                    window: 3200,
+                    rate: 12,
+                },
+                12,
+                19,
+            ),
+            (
+                "hub-attack",
+                generators::grid_torus(12, 12),
+                UpdateScenario::HubAttack {
+                    hub: 0,
+                    burst: 5,
+                    deletes: 1,
+                },
+                8,
+                23,
+            ),
+        ]
+    };
+    for (name, graph, scenario, batches, seed) in configs {
+        let ids = IdAssignment::scattered(graph.n(), 3);
+        let mut dg = DynamicGraph::from_graph(graph.clone());
+        let started = Instant::now();
+        // Steady-state scenarios provision palette headroom for Δ + 2 (the
+        // capacity-planning knob); the hub attack deliberately runs with the
+        // tight 2Δ−1 budget so the full-recolor fallback is exercised.
+        let budget = match scenario {
+            UpdateScenario::HubAttack { .. } => edgecolor::default_palette(graph.max_degree()),
+            _ => edgecolor::default_palette(graph.max_degree() + 2),
+        };
+        let (mut rec, _) =
+            Recoloring::with_budget(&dg, &ids, &params, budget).expect("valid initial instance");
+        let initial_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut stream = UpdateStream::new(graph, scenario, seed);
+        let mut repaired: u64 = 0;
+        let mut full_recolors: u64 = 0;
+        let mut full_equivalent: u64 = 0;
+        let mut repair_ms = 0.0;
+        for _ in 0..batches {
+            let batch = stream.next_batch();
+            let diff = dg.apply(&batch).expect("stream batches are valid");
+            let started = Instant::now();
+            let report = rec.repair(&dg, &diff, &ids, &params).expect("repairable");
+            repair_ms += started.elapsed().as_secs_f64() * 1e3;
+            repaired += report.repaired_edges as u64;
+            full_equivalent += dg.m() as u64;
+            if report.full_recolor {
+                full_recolors += 1;
+            }
+            check_delta(dg.graph(), rec.coloring(), &report.touched, rec.palette()).assert_ok();
+        }
+        check_proper_edge_coloring(dg.graph(), rec.coloring()).assert_ok();
+        check_complete(dg.graph(), rec.coloring()).assert_ok();
+        let frac = repaired as f64 / (full_equivalent.max(1)) as f64;
+        table.push_row(vec![
+            name.to_string(),
+            dg.n().to_string(),
+            dg.m().to_string(),
+            batches.to_string(),
+            repaired.to_string(),
+            full_recolors.to_string(),
+            full_equivalent.to_string(),
+            format!("{frac:.6}"),
+            format!("{repair_ms:.1}"),
+            format!("{initial_ms:.1}"),
+        ]);
+    }
+    table
 }
 
 /// E11 — baseline color-count comparison.
@@ -747,16 +942,64 @@ mod tests {
         assert_eq!(table.rows.len(), measurements.len());
         assert_eq!(measurements.len(), 3 * 3);
         for m in &measurements {
+            // Determinism is the unconditional guarantee, on any host.
             assert!(m.identical_to_sequential, "{}: diverged", m.graph);
             assert!(m.wall_ms >= 0.0);
             assert!(m.rounds > 0);
             assert!(m.messages > 0);
+            // Down-scaled smoke runs never carry a wall-clock expectation.
+            assert_eq!(m.speedup_floor, None);
+            assert!(m.meets_floor);
         }
         // The sequential row of each graph has speedup exactly 1.
         for chunk in measurements.chunks(3) {
             assert_eq!(chunk[0].threads, 1);
             assert!((chunk[0].speedup_vs_sequential - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn speedup_floor_is_gated_on_host_parallelism() {
+        // The sequential baseline and any host that cannot run the workers
+        // on real cores carry no expectation: a 1-CPU container (the host
+        // that recorded BENCH_1.json) must not read ~0.9× as a regression.
+        assert_eq!(expected_speedup_floor(1, 64), None);
+        assert_eq!(expected_speedup_floor(4, 1), None);
+        assert_eq!(expected_speedup_floor(8, 4), None); // oversubscribed
+        assert_eq!(expected_speedup_floor(2, 1), None);
+        // With enough hardware the floors are conservative but real.
+        assert_eq!(expected_speedup_floor(2, 2), Some(1.05));
+        assert_eq!(expected_speedup_floor(4, 8), Some(1.3));
+        assert_eq!(expected_speedup_floor(8, 8), Some(1.3));
+    }
+
+    #[test]
+    fn dyn_experiment_repairs_far_less_than_full_recolor() {
+        let table = run_dyn(false);
+        assert_eq!(table.rows.len(), 3);
+        // Steady-state scenarios (churn, sliding window) repair locally:
+        // orders of magnitude fewer edges than recoloring per batch, and no
+        // full-recolor fallback thanks to the provisioned headroom.
+        for row in table.rows.iter().take(2) {
+            let repaired: u64 = row[4].parse().unwrap();
+            let full_recolors: u64 = row[5].parse().unwrap();
+            let full_equivalent: u64 = row[6].parse().unwrap();
+            let frac: f64 = row[7].parse().unwrap();
+            assert!(
+                repaired < full_equivalent / 10,
+                "{}: repair touched {repaired} of {full_equivalent} edges",
+                row[0]
+            );
+            assert!(frac < 0.1);
+            assert_eq!(full_recolors, 0, "{}: fell back to a full recolor", row[0]);
+        }
+        // The hub attack runs with the tight budget and keeps breaking it:
+        // the fallback accounting must show up.
+        let hub = &table.rows[2];
+        assert!(
+            hub[5].parse::<u64>().unwrap() >= 1,
+            "hub attack never broke the palette"
+        );
     }
 
     #[test]

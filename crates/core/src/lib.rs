@@ -20,7 +20,10 @@
 //! * the **`(8+ε)Δ`-edge coloring in CONGEST** (Theorem 1.2) —
 //!   [`congest_coloring`];
 //! * the **`(degree+1)`-list edge coloring in LOCAL** (Theorem 1.1) —
-//!   [`list_coloring`].
+//!   [`list_coloring`];
+//! * the **dynamic recoloring subsystem** — local repair of a maintained
+//!   coloring after edge insert/delete batches, reusing the Theorem 1.1
+//!   machinery on the affected subgraph only — [`recolor`].
 //!
 //! # Quick start
 //!
@@ -64,10 +67,14 @@ pub mod greedy_finish;
 pub mod linial;
 pub mod list_coloring;
 pub mod params;
+pub mod recolor;
 pub mod token_dropping;
 
 pub use congest_coloring::{color_congest, CongestColoringResult};
 pub use distsim::ExecutionPolicy;
 pub use error::ColoringError;
-pub use list_coloring::{color_edges_local, list_edge_coloring, ListColoringOutcome};
+pub use list_coloring::{
+    color_edges_local, default_palette, list_edge_coloring, ListColoringOutcome,
+};
 pub use params::{ColoringParams, OrientationParams, ParamProfile};
+pub use recolor::{Recoloring, RepairReport};

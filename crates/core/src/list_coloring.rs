@@ -592,6 +592,16 @@ pub fn list_edge_coloring(
     })
 }
 
+/// The default palette budget for a graph of maximum degree `delta`:
+/// `max(2Δ − 1, 1)`, the classical bound of Theorem 1.1's special case.
+///
+/// [`color_edges_local`] and every layer of the dynamic recoloring subsystem
+/// (repair, benches, differential tests) derive their budgets from this one
+/// function so they cannot drift apart.
+pub fn default_palette(delta: usize) -> usize {
+    (2 * delta).saturating_sub(1).max(1)
+}
+
 /// Computes a `(2Δ−1)`-edge coloring of `graph` in the LOCAL model
 /// (the classical special case of Theorem 1.1: every edge's list is the full
 /// palette `{0, ..., 2Δ−2}`).
@@ -600,7 +610,7 @@ pub fn color_edges_local(
     ids: &IdAssignment,
     params: &ColoringParams,
 ) -> Result<ListColoringOutcome, ColoringError> {
-    let palette = (2 * graph.max_degree()).saturating_sub(1).max(1);
+    let palette = default_palette(graph.max_degree());
     let lists = ListAssignment::full_palette(graph, palette);
     list_edge_coloring(graph, &lists, ids, params)
 }

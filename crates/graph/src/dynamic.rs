@@ -1,0 +1,544 @@
+//! A dynamic-graph mutation layer over the CSR substrate.
+//!
+//! The paper's algorithms color a *static* graph, but serving workloads see
+//! edges arriving and leaving continuously. [`DynamicGraph`] applies
+//! insert/delete batches ([`UpdateBatch`]) on top of the immutable [`Graph`]
+//! CSR representation and maintains a **stable edge identity**: every edge
+//! ever inserted gets a stable [`EdgeId`] that survives arbitrary later
+//! mutations, while the underlying CSR keeps its dense `0..m` internal ids.
+//! Each committed batch yields a [`BatchDiff`] describing exactly how the
+//! dense id space moved, which is what the incremental recoloring layer
+//! (`edgecolor::recolor`) and the incremental verifier
+//! (`edgecolor_verify::check_delta`) consume.
+//!
+//! Batches are applied atomically: if any operation in the batch is invalid
+//! (unknown stable id, self loop, duplicate edge) the whole batch is rejected
+//! and the graph is left untouched. Within a batch, deletions are applied
+//! before insertions, so a batch may delete an edge `{u, v}` and re-insert it
+//! (the re-inserted edge receives a *fresh* stable id).
+//!
+//! Rebuilding the CSR costs `O(n + m)` per batch; the point of the dynamic
+//! layer is not to make the *graph* update sublinear but to make the
+//! *recoloring* after the update proportional to the batch, not to `m`.
+
+use crate::coloring::EdgeColoring;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// One atomic batch of edge mutations.
+///
+/// Deletions refer to **stable** edge ids (as returned in
+/// [`BatchDiff::inserted`] or assigned at construction time); insertions are
+/// raw endpoint pairs. Deletions are applied before insertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Stable ids of edges to remove.
+    pub delete: Vec<EdgeId>,
+    /// Endpoint pairs of edges to add.
+    pub insert: Vec<(usize, usize)>,
+}
+
+impl UpdateBatch {
+    /// A batch with no operations.
+    pub fn empty() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Returns `true` if the batch performs no mutation.
+    pub fn is_empty(&self) -> bool {
+        self.delete.is_empty() && self.insert.is_empty()
+    }
+
+    /// Total number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.delete.len() + self.insert.len()
+    }
+}
+
+/// The result of committing one [`UpdateBatch`]: how the dense (internal) edge
+/// id space of the CSR moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchDiff {
+    /// Number of edges before the batch.
+    pub old_m: usize,
+    /// Number of edges after the batch.
+    pub new_m: usize,
+    /// Stable ids of the deleted edges (batch order, deduplicated).
+    pub deleted: Vec<EdgeId>,
+    /// Stable ids assigned to the inserted edges (batch order).
+    pub inserted: Vec<EdgeId>,
+    /// New **internal** ids of the inserted edges (batch order; parallel to
+    /// `inserted`). These are the "dirty" edges a local repair must color.
+    pub inserted_internal: Vec<EdgeId>,
+    /// For every old internal id, the new internal id of the same edge, or
+    /// `None` if the edge was deleted by this batch.
+    pub survivor_map: Vec<Option<EdgeId>>,
+    /// Endpoints touched by the batch (sorted, deduplicated): the nodes whose
+    /// incident edge set changed.
+    pub touched_nodes: Vec<NodeId>,
+}
+
+impl BatchDiff {
+    /// Carries a coloring of the pre-batch graph over to the post-batch dense
+    /// id space: surviving edges keep their colors, inserted edges are
+    /// uncolored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` does not have exactly [`BatchDiff::old_m`] entries.
+    pub fn carry_coloring(&self, old: &EdgeColoring) -> EdgeColoring {
+        assert_eq!(
+            old.len(),
+            self.old_m,
+            "coloring does not match the pre-batch edge count"
+        );
+        let mut fresh = EdgeColoring::empty(self.new_m);
+        for (old_idx, target) in self.survivor_map.iter().enumerate() {
+            if let (Some(new_id), Some(c)) = (target, old.color(EdgeId::new(old_idx))) {
+                fresh.set(*new_id, c);
+            }
+        }
+        fresh
+    }
+}
+
+/// An undirected simple graph under edge insert/delete batches, with stable
+/// edge identities layered over the dense CSR ids of [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use distgraph::{DynamicGraph, UpdateBatch};
+///
+/// let mut dg = DynamicGraph::new(4);
+/// let diff = dg
+///     .apply(&UpdateBatch { delete: vec![], insert: vec![(0, 1), (1, 2)] })
+///     .unwrap();
+/// assert_eq!(dg.graph().m(), 2);
+/// // Delete the first edge by its stable id; the second edge keeps its
+/// // stable id even though its internal (dense) id shifts to 0.
+/// let stable = diff.inserted[1];
+/// let diff2 = dg
+///     .apply(&UpdateBatch { delete: vec![diff.inserted[0]], insert: vec![] })
+///     .unwrap();
+/// assert_eq!(dg.graph().m(), 1);
+/// assert_eq!(dg.internal_id(stable), Some(distgraph::EdgeId::new(0)));
+/// assert_eq!(diff2.survivor_map, vec![None, Some(distgraph::EdgeId::new(0))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    graph: Graph,
+    /// Internal (dense) id → stable id; length `m`.
+    stable_of: Vec<EdgeId>,
+    /// Stable id → internal id for the edges currently alive.
+    internal_of: HashMap<EdgeId, EdgeId>,
+    /// Next never-used stable id.
+    next_stable: usize,
+}
+
+impl DynamicGraph {
+    /// An edgeless dynamic graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            graph: Graph::from_edges(n, &[]).expect("edgeless graph is valid"),
+            stable_of: Vec::new(),
+            internal_of: HashMap::new(),
+            next_stable: 0,
+        }
+    }
+
+    /// Wraps an existing static graph; every edge's stable id starts equal to
+    /// its internal id.
+    pub fn from_graph(graph: Graph) -> Self {
+        let m = graph.m();
+        let stable_of: Vec<EdgeId> = (0..m).map(EdgeId::new).collect();
+        let internal_of = stable_of.iter().map(|&e| (e, e)).collect();
+        DynamicGraph {
+            graph,
+            stable_of,
+            internal_of,
+            next_stable: m,
+        }
+    }
+
+    /// The current CSR snapshot. Internal (dense) ids of this graph are only
+    /// valid until the next [`DynamicGraph::apply`] call.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes (fixed for the lifetime of the dynamic graph).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of currently live edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// The stable id of the edge with internal id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the current graph.
+    #[inline]
+    pub fn stable_id(&self, e: EdgeId) -> EdgeId {
+        self.stable_of[e.index()]
+    }
+
+    /// The current internal id of the edge with stable id `stable`, or `None`
+    /// if that edge is not alive.
+    #[inline]
+    pub fn internal_id(&self, stable: EdgeId) -> Option<EdgeId> {
+        self.internal_of.get(&stable).copied()
+    }
+
+    /// Returns `true` if the edge with stable id `stable` is currently alive.
+    pub fn is_live(&self, stable: EdgeId) -> bool {
+        self.internal_of.contains_key(&stable)
+    }
+
+    /// Iterator over the stable ids of the live edges, in internal id order.
+    pub fn stable_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.stable_of.iter().copied()
+    }
+
+    /// Endpoints of a live edge addressed by stable id.
+    pub fn endpoints_stable(&self, stable: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.internal_id(stable).map(|e| self.graph.endpoints(e))
+    }
+
+    /// Applies one batch atomically: all deletions, then all insertions.
+    ///
+    /// # Errors
+    ///
+    /// The whole batch is rejected (and the graph left untouched) if any
+    /// deletion names a stable id that is not alive (or repeats within the
+    /// batch), or any insertion is a self loop, out of range, or duplicates an
+    /// edge that exists after the deletions (including earlier insertions of
+    /// the same batch).
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<BatchDiff, GraphError> {
+        let n = self.n();
+        let old_m = self.m();
+
+        // Validate deletions and mark doomed internal ids.
+        let mut doomed = vec![false; old_m];
+        let mut deleted = Vec::with_capacity(batch.delete.len());
+        for &stable in &batch.delete {
+            let internal = self
+                .internal_id(stable)
+                .ok_or(GraphError::UnknownEdge { id: stable.index() })?;
+            if doomed[internal.index()] {
+                return Err(GraphError::UnknownEdge { id: stable.index() });
+            }
+            doomed[internal.index()] = true;
+            deleted.push(stable);
+        }
+
+        // Validate insertions against the post-deletion edge set.
+        let mut present: std::collections::HashSet<(usize, usize)> = self
+            .graph
+            .edges()
+            .filter(|e| !doomed[e.index()])
+            .map(|e| {
+                let (u, v) = self.graph.endpoints(e);
+                (u.index(), v.index())
+            })
+            .collect();
+        for &(u, v) in &batch.insert {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if !present.insert((u.min(v), u.max(v))) {
+                return Err(GraphError::DuplicateEdge { u, v });
+            }
+        }
+
+        // Build the new edge list: survivors in internal order, then inserts
+        // in batch order. This makes the remapping deterministic.
+        let mut raw: Vec<(usize, usize)> =
+            Vec::with_capacity(old_m - deleted.len() + batch.insert.len());
+        let mut new_stable_of: Vec<EdgeId> = Vec::with_capacity(raw.capacity());
+        let mut survivor_map: Vec<Option<EdgeId>> = vec![None; old_m];
+        for e in self.graph.edges() {
+            if doomed[e.index()] {
+                continue;
+            }
+            let (u, v) = self.graph.endpoints(e);
+            survivor_map[e.index()] = Some(EdgeId::new(raw.len()));
+            raw.push((u.index(), v.index()));
+            new_stable_of.push(self.stable_of[e.index()]);
+        }
+        let mut inserted = Vec::with_capacity(batch.insert.len());
+        let mut inserted_internal = Vec::with_capacity(batch.insert.len());
+        let mut next_stable = self.next_stable;
+        for &(u, v) in &batch.insert {
+            let stable = EdgeId::new(next_stable);
+            next_stable += 1;
+            inserted.push(stable);
+            inserted_internal.push(EdgeId::new(raw.len()));
+            raw.push((u, v));
+            new_stable_of.push(stable);
+        }
+
+        let graph = Graph::from_edges(n, &raw).expect("validated batch builds a simple graph");
+
+        // Touched endpoints: every endpoint of a deleted or inserted edge.
+        let mut touched: Vec<NodeId> = Vec::with_capacity(2 * (deleted.len() + inserted.len()));
+        for e in self.graph.edges() {
+            if doomed[e.index()] {
+                let (u, v) = self.graph.endpoints(e);
+                touched.push(u);
+                touched.push(v);
+            }
+        }
+        for &(u, v) in &batch.insert {
+            touched.push(NodeId::new(u));
+            touched.push(NodeId::new(v));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Commit.
+        self.graph = graph;
+        self.stable_of = new_stable_of;
+        self.internal_of = self
+            .stable_of
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, EdgeId::new(i)))
+            .collect();
+        self.next_stable = next_stable;
+
+        Ok(BatchDiff {
+            old_m,
+            new_m: self.m(),
+            deleted,
+            inserted,
+            inserted_internal,
+            survivor_map,
+            touched_nodes: touched,
+        })
+    }
+
+    /// Checks the stable↔internal id bookkeeping invariants; intended for the
+    /// fuzz-style test battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stable_of.len() != self.graph.m() {
+            return Err(format!(
+                "stable_of has {} entries for {} edges",
+                self.stable_of.len(),
+                self.graph.m()
+            ));
+        }
+        if self.internal_of.len() != self.stable_of.len() {
+            return Err(format!(
+                "internal_of has {} entries for {} live edges (stable ids not unique?)",
+                self.internal_of.len(),
+                self.stable_of.len()
+            ));
+        }
+        for (i, &stable) in self.stable_of.iter().enumerate() {
+            if stable.index() >= self.next_stable {
+                return Err(format!(
+                    "live stable id {stable} is not below the allocator watermark {}",
+                    self.next_stable
+                ));
+            }
+            match self.internal_of.get(&stable) {
+                Some(&internal) if internal == EdgeId::new(i) => {}
+                other => {
+                    return Err(format!(
+                        "stable id {stable} maps to {other:?}, expected internal e{i}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(delete: Vec<EdgeId>, insert: Vec<(usize, usize)>) -> UpdateBatch {
+        UpdateBatch { delete, insert }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut dg = DynamicGraph::new(3);
+        let diff = dg.apply(&UpdateBatch::empty()).unwrap();
+        assert!(UpdateBatch::empty().is_empty());
+        assert_eq!(UpdateBatch::empty().len(), 0);
+        assert_eq!(diff.new_m, 0);
+        assert!(diff.touched_nodes.is_empty());
+        dg.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_then_delete_keeps_stable_ids() {
+        let mut dg = DynamicGraph::new(5);
+        let d1 = dg
+            .apply(&batch(vec![], vec![(0, 1), (1, 2), (2, 3)]))
+            .unwrap();
+        assert_eq!(d1.inserted.len(), 3);
+        assert_eq!(dg.m(), 3);
+        let keep = d1.inserted[2];
+        let d2 = dg
+            .apply(&batch(vec![d1.inserted[0]], vec![(3, 4)]))
+            .unwrap();
+        assert_eq!(dg.m(), 3);
+        // Edge (2,3) survived with a shifted internal id but the same stable id.
+        let internal = dg.internal_id(keep).unwrap();
+        assert_eq!(
+            dg.graph().endpoints(internal),
+            (NodeId::new(2), NodeId::new(3))
+        );
+        assert_eq!(dg.stable_id(internal), keep);
+        // The deleted id is dead; the new edge got a fresh stable id.
+        assert!(!dg.is_live(d1.inserted[0]));
+        assert_eq!(d2.inserted[0], EdgeId::new(3));
+        dg.validate().unwrap();
+    }
+
+    #[test]
+    fn from_graph_seeds_identity_mapping() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let dg = DynamicGraph::from_graph(g);
+        for e in dg.graph().edges() {
+            assert_eq!(dg.stable_id(e), e);
+            assert_eq!(dg.internal_id(e), Some(e));
+            assert!(dg.is_live(e));
+        }
+        assert_eq!(dg.stable_edges().count(), 3);
+        assert_eq!(
+            dg.endpoints_stable(EdgeId::new(1)),
+            Some((NodeId::new(1), NodeId::new(2)))
+        );
+        dg.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_is_atomic_on_error() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let before = dg.graph().clone();
+        // Valid delete followed by an invalid insert: nothing may change.
+        let err = dg
+            .apply(&batch(vec![EdgeId::new(0)], vec![(2, 2)]))
+            .unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 2 });
+        assert_eq!(dg.graph(), &before);
+        assert!(dg.is_live(EdgeId::new(0)));
+        dg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_and_double_deletes() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let err = dg.apply(&batch(vec![EdgeId::new(7)], vec![])).unwrap_err();
+        assert_eq!(err, GraphError::UnknownEdge { id: 7 });
+        let err = dg
+            .apply(&batch(vec![EdgeId::new(0), EdgeId::new(0)], vec![]))
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownEdge { id: 0 });
+        assert_eq!(dg.m(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_inserts_against_live_and_batch_edges() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        assert_eq!(
+            dg.apply(&batch(vec![], vec![(1, 0)])).unwrap_err(),
+            GraphError::DuplicateEdge { u: 1, v: 0 }
+        );
+        assert_eq!(
+            dg.apply(&batch(vec![], vec![(1, 2), (2, 1)])).unwrap_err(),
+            GraphError::DuplicateEdge { u: 2, v: 1 }
+        );
+        assert_eq!(
+            dg.apply(&batch(vec![], vec![(0, 9)])).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 9, n: 3 }
+        );
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_batch_gets_fresh_id() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let diff = dg
+            .apply(&batch(vec![EdgeId::new(0)], vec![(0, 1)]))
+            .unwrap();
+        assert_eq!(diff.deleted, vec![EdgeId::new(0)]);
+        assert_eq!(diff.inserted, vec![EdgeId::new(1)]);
+        assert_eq!(dg.m(), 1);
+        assert!(!dg.is_live(EdgeId::new(0)));
+        assert!(dg.is_live(EdgeId::new(1)));
+        dg.validate().unwrap();
+    }
+
+    #[test]
+    fn diff_reports_touched_nodes_and_survivors() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let diff = dg
+            .apply(&batch(vec![EdgeId::new(1)], vec![(0, 4)]))
+            .unwrap();
+        assert_eq!(diff.old_m, 3);
+        assert_eq!(diff.new_m, 3);
+        assert_eq!(
+            diff.survivor_map,
+            vec![Some(EdgeId::new(0)), None, Some(EdgeId::new(1))]
+        );
+        assert_eq!(diff.inserted_internal, vec![EdgeId::new(2)]);
+        let touched: Vec<usize> = diff.touched_nodes.iter().map(|v| v.index()).collect();
+        assert_eq!(touched, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn carry_coloring_preserves_survivors_and_blanks_inserts() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let mut coloring = EdgeColoring::empty(3);
+        coloring.set(EdgeId::new(0), 5);
+        coloring.set(EdgeId::new(1), 6);
+        coloring.set(EdgeId::new(2), 7);
+        let diff = dg
+            .apply(&batch(vec![EdgeId::new(1)], vec![(0, 2)]))
+            .unwrap();
+        let carried = diff.carry_coloring(&coloring);
+        assert_eq!(carried.len(), 3);
+        assert_eq!(carried.color(EdgeId::new(0)), Some(5)); // old e0
+        assert_eq!(carried.color(EdgeId::new(1)), Some(7)); // old e2 shifted down
+        assert_eq!(carried.color(EdgeId::new(2)), None); // the inserted edge
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-batch edge count")]
+    fn carry_coloring_rejects_wrong_length() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut dg = DynamicGraph::from_graph(g);
+        let diff = dg.apply(&UpdateBatch::empty()).unwrap();
+        diff.carry_coloring(&EdgeColoring::empty(5));
+    }
+}

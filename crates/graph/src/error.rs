@@ -41,6 +41,13 @@ pub enum GraphError {
         /// Human-readable description of the infeasibility.
         reason: String,
     },
+    /// A dynamic-graph operation referenced a stable edge id that is not
+    /// alive (never assigned, already deleted, or deleted earlier in the same
+    /// batch).
+    UnknownEdge {
+        /// The stable edge id.
+        id: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -71,6 +78,9 @@ impl fmt::Display for GraphError {
             GraphError::InfeasibleParameters { reason } => {
                 write!(f, "infeasible generator parameters: {reason}")
             }
+            GraphError::UnknownEdge { id } => {
+                write!(f, "stable edge id e{id} does not name a live edge")
+            }
         }
     }
 }
@@ -97,6 +107,8 @@ mod tests {
             reason: "n*d is odd".into(),
         };
         assert!(e.to_string().contains("infeasible"));
+        let e = GraphError::UnknownEdge { id: 12 };
+        assert!(e.to_string().contains("e12"));
     }
 
     #[test]

@@ -7,14 +7,15 @@
 //! seed and are fully deterministic given the seed.
 
 use crate::bipartite::BipartiteGraph;
+use crate::dynamic::{DynamicGraph, UpdateBatch};
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::ids::Side;
+use crate::ids::{EdgeId, NodeId, Side};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// Returns a deterministic RNG for the given seed.
 fn rng_from_seed(seed: u64) -> ChaCha8Rng {
@@ -334,6 +335,226 @@ pub fn power_law(n: usize, gamma: f64, max_degree: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges).expect("power-law edges are valid")
 }
 
+/// The mutation scenario an [`UpdateStream`] plays against a dynamic graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateScenario {
+    /// Steady-state churn: every batch deletes `deletes` uniformly random
+    /// live edges and inserts `inserts` uniformly random non-edges. Edge
+    /// count and Δ stay roughly stationary — the common serving workload.
+    Churn {
+        /// Edges inserted per batch.
+        inserts: usize,
+        /// Edges deleted per batch.
+        deletes: usize,
+    },
+    /// Adversarial hub attack: every batch attaches `burst` new edges to the
+    /// single node `hub` (plus `deletes` random deletions elsewhere), driving
+    /// Δ up monotonically until the repair layer's palette budget breaks and
+    /// a full recolor is forced.
+    HubAttack {
+        /// The node under attack.
+        hub: usize,
+        /// Edges attached to the hub per batch.
+        burst: usize,
+        /// Random background deletions per batch.
+        deletes: usize,
+    },
+    /// Sliding window: every batch inserts `rate` random edges and then
+    /// expires the oldest live edges until at most `window` remain — the
+    /// time-decayed log/stream shape.
+    SlidingWindow {
+        /// Maximum number of live edges after each batch.
+        window: usize,
+        /// Edges inserted per batch.
+        rate: usize,
+    },
+}
+
+/// A deterministic generator of [`UpdateBatch`]es that are always valid
+/// against the evolving graph.
+///
+/// The stream owns a private [`DynamicGraph`] mirror seeded from the initial
+/// graph; every generated batch is applied to the mirror before being handed
+/// out, so a consumer that starts from the same initial graph and applies the
+/// batches in order sees exactly the mirror's stable-id assignment.
+///
+/// # Examples
+///
+/// ```
+/// use distgraph::{generators, DynamicGraph};
+/// use distgraph::generators::{UpdateScenario, UpdateStream};
+///
+/// let g = generators::grid_torus(4, 5);
+/// let mut consumer = DynamicGraph::from_graph(g.clone());
+/// let mut stream = UpdateStream::new(
+///     g,
+///     UpdateScenario::Churn { inserts: 3, deletes: 3 },
+///     42,
+/// );
+/// for _ in 0..5 {
+///     let batch = stream.next_batch();
+///     consumer.apply(&batch).expect("stream batches are always valid");
+/// }
+/// assert_eq!(consumer.graph(), stream.graph());
+/// ```
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    mirror: DynamicGraph,
+    scenario: UpdateScenario,
+    rng: ChaCha8Rng,
+    /// Live stable ids in insertion order (oldest first), driving the
+    /// sliding-window expiry policy. Only maintained for
+    /// [`UpdateScenario::SlidingWindow`] — the other scenarios never expire
+    /// by age, and an ever-growing ledger would leak on long churn streams.
+    fifo: VecDeque<EdgeId>,
+}
+
+impl UpdateStream {
+    /// Creates a stream mutating `initial` according to `scenario`,
+    /// deterministically for a given `seed`.
+    pub fn new(initial: Graph, scenario: UpdateScenario, seed: u64) -> Self {
+        let mirror = DynamicGraph::from_graph(initial);
+        let fifo = if matches!(scenario, UpdateScenario::SlidingWindow { .. }) {
+            mirror.stable_edges().collect()
+        } else {
+            VecDeque::new()
+        };
+        UpdateStream {
+            mirror,
+            scenario,
+            rng: rng_from_seed(seed),
+            fifo,
+        }
+    }
+
+    /// The current state of the mirrored graph (after all batches handed out
+    /// so far).
+    pub fn graph(&self) -> &Graph {
+        self.mirror.graph()
+    }
+
+    /// The mirrored dynamic graph (stable-id view).
+    pub fn dynamic(&self) -> &DynamicGraph {
+        &self.mirror
+    }
+
+    /// Picks `count` distinct live stable ids uniformly at random.
+    fn random_live_edges(&mut self, count: usize) -> Vec<EdgeId> {
+        let m = self.mirror.m();
+        let count = count.min(m);
+        let mut picked = HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        // Rejection sampling over internal ids; bounded because count ≤ m.
+        while out.len() < count {
+            let internal = EdgeId::new(self.rng.gen_range(0..m));
+            if picked.insert(internal) {
+                out.push(self.mirror.stable_id(internal));
+            }
+        }
+        out
+    }
+
+    /// Tries to pick `count` random non-edges; gives up on a pair after a
+    /// bounded number of rejections so dense graphs cannot hang the stream.
+    fn random_non_edges(&mut self, count: usize) -> Vec<(usize, usize)> {
+        let n = self.mirror.n();
+        let mut fresh: HashSet<(usize, usize)> = HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        let budget = 30 * count + 100;
+        while out.len() < count && attempts < budget {
+            attempts += 1;
+            let u = self.rng.gen_range(0..n);
+            let v = self.rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if self
+                .mirror
+                .graph()
+                .has_edge(NodeId::new(key.0), NodeId::new(key.1))
+                || fresh.contains(&key)
+            {
+                continue;
+            }
+            fresh.insert(key);
+            out.push(key);
+        }
+        out
+    }
+
+    /// Generates the next batch, applies it to the internal mirror, and
+    /// returns it. The batch is always valid for a consumer graph that has
+    /// applied every earlier batch of this stream.
+    pub fn next_batch(&mut self) -> UpdateBatch {
+        let batch = match self.scenario {
+            UpdateScenario::Churn { inserts, deletes } => UpdateBatch {
+                delete: self.random_live_edges(deletes),
+                insert: self.random_non_edges(inserts),
+            },
+            UpdateScenario::HubAttack {
+                hub,
+                burst,
+                deletes,
+            } => {
+                let n = self.mirror.n();
+                let hub = hub.min(n.saturating_sub(1));
+                let delete = self.random_live_edges(deletes);
+                let doomed: HashSet<EdgeId> = delete.iter().copied().collect();
+                let mut insert = Vec::with_capacity(burst);
+                let mut fresh: HashSet<usize> = HashSet::new();
+                let mut attempts = 0usize;
+                while insert.len() < burst && attempts < 30 * burst + 100 {
+                    attempts += 1;
+                    let v = self.rng.gen_range(0..n);
+                    if v == hub || fresh.contains(&v) {
+                        continue;
+                    }
+                    // Respect edges that survive this batch's deletions.
+                    if let Some(e) = self
+                        .mirror
+                        .graph()
+                        .edge_between(NodeId::new(hub), NodeId::new(v))
+                    {
+                        if !doomed.contains(&self.mirror.stable_id(e)) {
+                            continue;
+                        }
+                    }
+                    fresh.insert(v);
+                    insert.push((hub, v));
+                }
+                UpdateBatch { delete, insert }
+            }
+            UpdateScenario::SlidingWindow { window, rate } => {
+                let insert = self.random_non_edges(rate);
+                let live_after = self.mirror.m() + insert.len();
+                let mut delete = Vec::new();
+                let mut excess = live_after.saturating_sub(window);
+                while excess > 0 {
+                    match self.fifo.pop_front() {
+                        Some(stable) if self.mirror.is_live(stable) => {
+                            delete.push(stable);
+                            excess -= 1;
+                        }
+                        Some(_) => {} // expired out of band (not in this scenario, but safe)
+                        None => break,
+                    }
+                }
+                UpdateBatch { delete, insert }
+            }
+        };
+        let diff = self
+            .mirror
+            .apply(&batch)
+            .expect("stream batches are valid by construction");
+        if matches!(self.scenario, UpdateScenario::SlidingWindow { .. }) {
+            self.fifo.extend(diff.inserted.iter().copied());
+        }
+        batch
+    }
+}
+
 /// The graph families used by the experiment harness (experiment E9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
@@ -594,6 +815,97 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn grid_torus_rejects_thin_dimensions() {
         grid_torus(2, 10);
+    }
+
+    #[test]
+    fn churn_stream_keeps_edge_count_roughly_stationary() {
+        let g = grid_torus(6, 6);
+        let m0 = g.m();
+        let mut stream = UpdateStream::new(
+            g,
+            UpdateScenario::Churn {
+                inserts: 4,
+                deletes: 4,
+            },
+            7,
+        );
+        for _ in 0..20 {
+            let batch = stream.next_batch();
+            assert!(batch.delete.len() <= 4);
+            assert!(batch.insert.len() <= 4);
+        }
+        let m = stream.graph().m();
+        assert!(
+            m.abs_diff(m0) <= 20 * 4,
+            "churn drifted too far: {m0} -> {m}"
+        );
+        stream.dynamic().validate().unwrap();
+    }
+
+    #[test]
+    fn hub_attack_grows_the_hub_degree() {
+        let g = grid_torus(8, 8);
+        let before = g.degree(NodeId::new(0));
+        let mut stream = UpdateStream::new(
+            g,
+            UpdateScenario::HubAttack {
+                hub: 0,
+                burst: 5,
+                deletes: 1,
+            },
+            3,
+        );
+        for _ in 0..6 {
+            stream.next_batch();
+        }
+        let after = stream.graph().degree(NodeId::new(0));
+        assert!(
+            after > before + 10,
+            "hub degree only went {before} -> {after}"
+        );
+        assert_eq!(stream.graph().max_degree(), after);
+    }
+
+    #[test]
+    fn sliding_window_bounds_the_live_edge_count() {
+        let g = grid_torus(5, 5); // 50 edges
+        let mut stream = UpdateStream::new(
+            g,
+            UpdateScenario::SlidingWindow {
+                window: 40,
+                rate: 6,
+            },
+            11,
+        );
+        for _ in 0..15 {
+            stream.next_batch();
+            assert!(stream.graph().m() <= 40);
+        }
+        // The window stays saturated once reached.
+        assert!(stream.graph().m() >= 30);
+    }
+
+    #[test]
+    fn update_streams_are_deterministic_and_replayable() {
+        let make = || {
+            UpdateStream::new(
+                grid_torus(5, 7),
+                UpdateScenario::Churn {
+                    inserts: 3,
+                    deletes: 2,
+                },
+                99,
+            )
+        };
+        let (mut a, mut b) = (make(), make());
+        let mut consumer = crate::dynamic::DynamicGraph::from_graph(grid_torus(5, 7));
+        for _ in 0..12 {
+            let ba = a.next_batch();
+            let bb = b.next_batch();
+            assert_eq!(ba, bb);
+            consumer.apply(&ba).expect("stream batches are valid");
+        }
+        assert_eq!(consumer.graph(), a.graph());
     }
 
     #[test]

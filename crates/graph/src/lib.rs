@@ -15,7 +15,12 @@
 //!   properness and defect measures;
 //! * [`ListAssignment`] — per-edge color lists, slack and the `P(Δ̄, S, C)`
 //!   instance family of Section 2;
-//! * [`generators`] — deterministic graph generators for the experiments.
+//! * [`DynamicGraph`] — edge insert/delete batches over the CSR substrate
+//!   with stable edge identities and per-batch diffs, the input layer of the
+//!   dynamic recoloring subsystem;
+//! * [`generators`] — deterministic graph generators for the experiments,
+//!   including [`generators::UpdateStream`] mutation-scenario generators
+//!   (churn, hub attack, sliding window) for the dynamic workloads.
 //!
 //! # Examples
 //!
@@ -36,6 +41,7 @@
 
 mod bipartite;
 mod coloring;
+mod dynamic;
 mod error;
 pub mod generators;
 mod graph;
@@ -45,6 +51,7 @@ mod orientation;
 
 pub use bipartite::BipartiteGraph;
 pub use coloring::{EdgeColoring, VertexColoring};
+pub use dynamic::{BatchDiff, DynamicGraph, UpdateBatch};
 pub use error::GraphError;
 pub use graph::{Graph, Neighbor};
 pub use ids::{Color, EdgeId, NodeId, Side};

@@ -12,7 +12,9 @@
 //! * defective vertex colorings (`d`-defective `c`-colorings, Section 2),
 //! * generalized `(1+ε, β)`-relaxed defective 2-edge colorings
 //!   (Definition 5.1),
-//! * generalized `(ε, β)`-balanced edge orientations (Definition 5.2).
+//! * generalized `(ε, β)`-balanced edge orientations (Definition 5.2),
+//! * incremental re-validation after a mutation/repair batch
+//!   ([`check_delta`]: `O(batch · Δ)` instead of `O(m)`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -226,6 +228,61 @@ pub fn check_proper_edge_coloring(graph: &Graph, coloring: &EdgeColoring) -> Rep
                 } else {
                     seen.insert(c, nb.edge);
                 }
+            }
+        }
+    }
+    report
+}
+
+/// Incrementally re-validates a coloring after a mutation/repair batch: only
+/// the `touched` edges (and their line-graph neighborhoods) are inspected,
+/// in `O(|touched| · Δ)` instead of the full checkers' `O(m)`.
+///
+/// For every touched edge the checker asserts that it is colored, that its
+/// color is below `allowed_palette`, and that no adjacent edge (touched or
+/// not) carries the same color. Conflicting pairs are reported once even if
+/// both endpoints of the conflict are in `touched`.
+///
+/// # Contract
+///
+/// `check_delta` certifies exactly the *delta*: if the pre-batch coloring was
+/// valid and every edge whose color changed (or was assigned) since is listed
+/// in `touched`, a clean report implies the whole coloring is still valid. A
+/// **stale** violation between two edges outside `touched` is out of contract
+/// and deliberately not detected — that is what the `O(m)` full checkers are
+/// for (see `crates/verify/tests/adversarial.rs`).
+pub fn check_delta(
+    graph: &Graph,
+    coloring: &EdgeColoring,
+    touched: &[EdgeId],
+    allowed_palette: usize,
+) -> Report {
+    let mut report = Report::clean();
+    let mut seen_pairs: std::collections::HashSet<(EdgeId, EdgeId)> =
+        std::collections::HashSet::new();
+    for &e in touched {
+        let Some(c) = coloring.color(e) else {
+            report.push(Violation::EdgeUncolored { edge: e });
+            continue;
+        };
+        if c >= allowed_palette {
+            report.push(Violation::TooManyColors {
+                used: c + 1,
+                allowed: allowed_palette,
+            });
+        }
+        let (u, v) = graph.endpoints(e);
+        for nb in graph.neighbors(u).iter().chain(graph.neighbors(v)) {
+            if nb.edge == e || coloring.color(nb.edge) != Some(c) {
+                continue;
+            }
+            let key = (e.min(nb.edge), e.max(nb.edge));
+            if seen_pairs.insert(key) {
+                report.push(Violation::AdjacentEdgesShareColor {
+                    a: key.0,
+                    b: key.1,
+                    color: c,
+                });
             }
         }
     }
@@ -563,6 +620,58 @@ mod tests {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.assert_ok()));
             assert!(result.is_err(), "assert_ok should panic on a dirty report");
         }
+    }
+
+    #[test]
+    fn check_delta_validates_touched_neighborhoods() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut c = EdgeColoring::empty(3);
+        c.set(EdgeId::new(0), 0);
+        c.set(EdgeId::new(1), 1);
+        c.set(EdgeId::new(2), 0);
+        assert!(check_delta(&g, &c, &[EdgeId::new(2)], 2).is_ok());
+        // A conflict with the touched edge is found from either side.
+        c.set(EdgeId::new(2), 1);
+        let report = check_delta(&g, &c, &[EdgeId::new(2)], 2);
+        assert_eq!(report.violations().len(), 1);
+        // Both conflicting edges touched: still reported once.
+        let report = check_delta(&g, &c, &[EdgeId::new(1), EdgeId::new(2)], 2);
+        assert_eq!(report.violations().len(), 1);
+    }
+
+    #[test]
+    fn check_delta_flags_uncolored_and_out_of_palette_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut c = EdgeColoring::empty(2);
+        let report = check_delta(&g, &c, &[EdgeId::new(0)], 4);
+        assert!(matches!(
+            report.violations()[0],
+            Violation::EdgeUncolored { .. }
+        ));
+        c.set(EdgeId::new(0), 9);
+        let report = check_delta(&g, &c, &[EdgeId::new(0)], 4);
+        assert!(matches!(
+            report.violations()[0],
+            Violation::TooManyColors {
+                used: 10,
+                allowed: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn check_delta_with_empty_touched_set_is_clean() {
+        let g = triangle();
+        let mono = {
+            let mut c = EdgeColoring::empty(3);
+            for e in g.edges() {
+                c.set(e, 0);
+            }
+            c
+        };
+        // Everything conflicts, but nothing is touched: clean by contract.
+        assert!(check_delta(&g, &mono, &[], 1).is_ok());
+        assert!(!check_proper_edge_coloring(&g, &mono).is_ok());
     }
 
     #[test]

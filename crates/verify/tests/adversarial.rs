@@ -4,8 +4,8 @@
 
 use distgraph::{generators, EdgeColoring, EdgeId, Graph, ListAssignment, VertexColoring};
 use edgecolor_verify::{
-    check_complete, check_list_compliance, check_palette_size, check_proper_edge_coloring,
-    check_proper_vertex_coloring, Violation,
+    check_complete, check_delta, check_list_compliance, check_palette_size,
+    check_proper_edge_coloring, check_proper_vertex_coloring, Violation,
 };
 
 /// A triangle: every pair of edges is adjacent, so any repeated color is a
@@ -135,4 +135,100 @@ fn assert_ok_panics_on_violations() {
     coloring.set(EdgeId::new(1), 0);
     coloring.set(EdgeId::new(2), 0);
     check_proper_edge_coloring(&g, &coloring).assert_ok();
+}
+
+// ---- check_delta: the incremental verifier's adversarial paths -------------
+
+/// A path on five nodes: edges 0-1-2-3 in a row, so edges 0/1, 1/2, 2/3 are
+/// the adjacent pairs.
+fn path5() -> Graph {
+    generators::path(5)
+}
+
+#[test]
+fn check_delta_catches_conflicts_introduced_by_the_touched_edge() {
+    let g = path5();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 1);
+    coloring.set(EdgeId::new(2), 0);
+    coloring.set(EdgeId::new(3), 2);
+    check_delta(&g, &coloring, &[EdgeId::new(2)], 3).assert_ok();
+    // Repainting edge 2 to clash with its neighbor edge 1 is caught when
+    // edge 2 is in the touched set...
+    coloring.set(EdgeId::new(2), 1);
+    let report = check_delta(&g, &coloring, &[EdgeId::new(2)], 3);
+    assert!(!report.is_ok());
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| matches!(v, Violation::AdjacentEdgesShareColor { color: 1, .. })));
+    // ...and equally when only the *other* side of the conflict is touched.
+    let report = check_delta(&g, &coloring, &[EdgeId::new(1)], 3);
+    assert!(!report.is_ok());
+    // The conflicting pair is reported once even when both sides are touched.
+    let report = check_delta(&g, &coloring, &[EdgeId::new(1), EdgeId::new(2)], 3);
+    assert_eq!(report.violations().len(), 1);
+}
+
+#[test]
+fn check_delta_catches_uncolored_and_oversized_touched_edges() {
+    let g = path5();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 7);
+    let report = check_delta(&g, &coloring, &[EdgeId::new(0), EdgeId::new(1)], 3);
+    assert_eq!(report.violations().len(), 2);
+    assert!(report.violations().iter().any(|v| matches!(
+        v,
+        Violation::TooManyColors {
+            used: 8,
+            allowed: 3
+        }
+    )));
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| matches!(v, Violation::EdgeUncolored { edge: EdgeId(1) })));
+}
+
+/// The documented out-of-contract case: a *stale* conflict strictly outside
+/// the touched neighborhood. `check_delta` certifies only the delta — if the
+/// pre-batch coloring was valid and `touched` lists every changed edge, a
+/// clean incremental report implies global validity. A violation smuggled
+/// into the untouched region therefore must be caught by the `O(m)` full
+/// checker but is intentionally invisible to the `O(batch·Δ)` incremental
+/// one.
+#[test]
+fn stale_conflict_outside_the_touched_set_is_out_of_contract() {
+    let g = path5();
+    let mut coloring = EdgeColoring::empty(g.m());
+    coloring.set(EdgeId::new(0), 0);
+    coloring.set(EdgeId::new(1), 0); // stale conflict: edges 0 and 1 adjacent
+    coloring.set(EdgeId::new(2), 1);
+    coloring.set(EdgeId::new(3), 0);
+    // Touching only the far end of the path sees nothing...
+    check_delta(&g, &coloring, &[EdgeId::new(3)], 2).assert_ok();
+    // ...while the full checker still catches the stale pair.
+    let full = check_proper_edge_coloring(&g, &coloring);
+    assert!(!full.is_ok());
+    // The moment the touched set reaches the conflict's neighborhood, the
+    // incremental checker catches it too.
+    assert!(!check_delta(&g, &coloring, &[EdgeId::new(0)], 2).is_ok());
+}
+
+#[test]
+fn check_delta_cost_is_bounded_by_the_touched_neighborhood() {
+    // A star plus one far-away colored pair: touching only the far pair must
+    // not report anything about the (improperly colored) star.
+    let mut edges = vec![(0usize, 1usize)];
+    for leaf in 3..20 {
+        edges.push((2, leaf));
+    }
+    let g = Graph::from_edges(20, &edges).expect("valid");
+    let mut coloring = EdgeColoring::empty(g.m());
+    for e in g.edges() {
+        coloring.set(e, 0); // the star edges all clash with each other
+    }
+    check_delta(&g, &coloring, &[EdgeId::new(0)], 1).assert_ok();
+    assert!(!check_proper_edge_coloring(&g, &coloring).is_ok());
 }
