@@ -1,10 +1,10 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify build test clippy fmt bench-check bench bench-smoke
+.PHONY: verify build test clippy fmt bench-check examples doc bench bench-smoke
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
-# and bench compilation.
-verify: build test clippy fmt bench-check
+# bench compilation, example compilation and the rustdoc gate.
+verify: build test clippy fmt bench-check examples doc
 
 build:
 	cargo build --release
@@ -21,13 +21,22 @@ fmt:
 bench-check:
 	cargo bench --no-run
 
-# The measured baseline: quick E1–E11 sweeps plus the full-size SCALE
-# experiment (million-edge graphs at 1/2/4/8 threads) and the DYN dynamic
-# recoloring experiment (million-edge update streams), serialized to
-# BENCH_1.json at the repo root (schema: README.md "Benchmark JSON schema").
-bench:
-	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn --emit-json BENCH_1.json
+examples:
+	cargo build --examples
 
-# CI-sized variant: tiny sweeps and down-scaled SCALE/DYN graphs.
+# Rustdoc must stay warning-free (missing docs, broken intra-doc links).
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# The measured baseline: quick E1–E11 sweeps plus the full-size SCALE
+# experiment (million-edge graphs at 1/2/4/8 threads), the DYN dynamic
+# recoloring experiment (million-edge update streams) and the SHARD
+# partitioned-substrate experiment (partition quality + cross-shard
+# traffic), serialized to BENCH_1.json at the repo root (schema:
+# docs/BENCH_SCHEMA.md).
+bench:
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard --emit-json BENCH_1.json
+
+# CI-sized variant: tiny sweeps and down-scaled SCALE/DYN/SHARD graphs.
 bench-smoke:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn --emit-json /tmp/bench.json
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard --emit-json /tmp/bench.json

@@ -1,7 +1,7 @@
-//! Prints the evaluation suite E1–E11 plus the SCALE experiment (see
-//! DESIGN.md and EXPERIMENTS.md) and optionally serializes everything —
+//! Prints the evaluation suite E1–E11 plus the SCALE/DYN/SHARD experiments
+//! (see DESIGN.md and EXPERIMENTS.md) and optionally serializes everything —
 //! tables and per-experiment wall-clock timings — to a machine-readable
-//! JSON file (the `BENCH_*.json` schema documented in README.md).
+//! JSON file (the `BENCH_*.json` schema documented in docs/BENCH_SCHEMA.md).
 //!
 //! Usage:
 //!   cargo run --release -p edgecolor-bench --bin experiments                # all experiments
@@ -9,8 +9,9 @@
 //!   cargo run --release -p edgecolor-bench --bin experiments -- quick      # smaller sweeps (no SCALE)
 //!   cargo run --release -p edgecolor-bench --bin experiments -- scale      # million-edge SCALE only
 //!   cargo run --release -p edgecolor-bench --bin experiments -- dyn        # million-edge dynamic recoloring
-//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn  # CI: tiny sweeps + tiny SCALE/DYN
-//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn --emit-json BENCH_1.json
+//!   cargo run --release -p edgecolor-bench --bin experiments -- shard      # sharded substrate (partition/traffic)
+//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard --emit-json BENCH_1.json
 
 use edgecolor_bench as bench;
 use edgecolor_bench::json::JsonValue;
@@ -128,6 +129,15 @@ fn main() {
     if dyn_wanted {
         timed(&mut || bench::run_dyn(!smoke));
     }
+    let shard_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "shard" || a == "all");
+    let mut shard_measurements = Vec::new();
+    if shard_wanted {
+        timed(&mut || {
+            let (table, measurements) = bench::run_shard(!smoke);
+            shard_measurements = measurements;
+            table
+        });
+    }
 
     for entry in &tables {
         println!("{}", entry.table);
@@ -135,14 +145,19 @@ fn main() {
     }
 
     if let Some(path) = emit_json {
-        let doc = build_json(&tables, &scale_measurements);
+        let doc = build_json(&tables, &scale_measurements, &shard_measurements);
         std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
     }
 }
 
-/// Assembles the `edgecolor-bench/v1` JSON document (schema in README.md).
-fn build_json(tables: &[TimedTable], scale: &[bench::ScaleMeasurement]) -> JsonValue {
+/// Assembles the `edgecolor-bench/v1` JSON document (schema in
+/// `docs/BENCH_SCHEMA.md`).
+fn build_json(
+    tables: &[TimedTable],
+    scale: &[bench::ScaleMeasurement],
+    shard: &[bench::ShardMeasurement],
+) -> JsonValue {
     let experiments = tables
         .iter()
         .map(|entry| {
@@ -206,6 +221,44 @@ fn build_json(tables: &[TimedTable], scale: &[bench::ScaleMeasurement]) -> JsonV
             ])
         })
         .collect();
+    let shard_entries = shard
+        .iter()
+        .map(|m| {
+            let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+            JsonValue::obj(vec![
+                ("workload", JsonValue::str(m.workload.clone())),
+                ("graph", JsonValue::str(m.graph.clone())),
+                ("n", JsonValue::Int(m.n as i64)),
+                ("m", JsonValue::Int(m.m as i64)),
+                ("shards", JsonValue::Int(m.shards as i64)),
+                ("cut_fraction", JsonValue::Num(m.cut_fraction)),
+                ("balance_factor", JsonValue::Num(m.balance_factor)),
+                ("partition_ms", JsonValue::Num(m.partition_ms)),
+                ("wall_ms", JsonValue::Num(m.wall_ms)),
+                ("seq_wall_ms", JsonValue::Num(m.seq_wall_ms)),
+                ("rounds", JsonValue::Int(m.rounds as i64)),
+                (
+                    "cross_messages_per_round",
+                    opt_num(m.cross_messages_per_round),
+                ),
+                ("cross_bytes_per_round", opt_num(m.cross_bytes_per_round)),
+                (
+                    "identical_to_sequential",
+                    JsonValue::Bool(m.identical_to_sequential),
+                ),
+                (
+                    "repaired_edges",
+                    m.repaired_edges
+                        .map_or(JsonValue::Null, |v| JsonValue::Int(v as i64)),
+                ),
+                (
+                    "peak_rss_bytes",
+                    m.peak_rss_bytes
+                        .map_or(JsonValue::Null, |v| JsonValue::Int(v as i64)),
+                ),
+            ])
+        })
+        .collect();
     let available = std::thread::available_parallelism()
         .map(|p| p.get() as i64)
         .unwrap_or(1);
@@ -221,5 +274,6 @@ fn build_json(tables: &[TimedTable], scale: &[bench::ScaleMeasurement]) -> JsonV
         ),
         ("experiments", JsonValue::Arr(experiments)),
         ("scale", JsonValue::Arr(scale_entries)),
+        ("shard", JsonValue::Arr(shard_entries)),
     ])
 }

@@ -865,6 +865,267 @@ pub fn run_dyn(million: bool) -> Table {
     table
 }
 
+/// One measured configuration of the [`run_shard`] experiment (one row of
+/// the `shard` array of the `edgecolor-bench/v1` JSON document; field
+/// semantics in `docs/BENCH_SCHEMA.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardMeasurement {
+    /// `"flood"` (Network-level round execution) or `"churn-repair"` (a
+    /// PR 3 dynamic recoloring stream replayed under a sharded policy).
+    pub workload: String,
+    /// Graph or scenario description.
+    pub graph: String,
+    /// Number of nodes of the (initial) graph.
+    pub n: usize,
+    /// Number of edges of the (initial) graph.
+    pub m: usize,
+    /// Number of shards of the measured `ExecutionPolicy::Sharded`.
+    pub shards: usize,
+    /// Fraction of edges crossing shard boundaries (partition quality).
+    pub cut_fraction: f64,
+    /// `max owned edges per shard / (m/k)` — 1.0 is perfect edge balance.
+    pub balance_factor: f64,
+    /// Wall-clock milliseconds spent building the BFS partition.
+    pub partition_ms: f64,
+    /// Wall-clock milliseconds of the sharded execution.
+    pub wall_ms: f64,
+    /// Wall-clock milliseconds of the sequential reference execution.
+    pub seq_wall_ms: f64,
+    /// Rounds charged by the measured execution.
+    pub rounds: u64,
+    /// Cross-shard messages per round (flood workloads; `None` for
+    /// churn-repair rows, whose rounds run on inner dirty-subgraph networks
+    /// that are not traffic-instrumented).
+    pub cross_messages_per_round: Option<f64>,
+    /// Cross-shard payload bytes per round (same caveat as
+    /// [`ShardMeasurement::cross_messages_per_round`]).
+    pub cross_bytes_per_round: Option<f64>,
+    /// Whether outputs/colorings and metrics were bit-identical to the
+    /// sequential reference (asserted by the harness — a `false` here never
+    /// survives a run).
+    pub identical_to_sequential: bool,
+    /// Total edges (re)colored by the repair pipeline (churn-repair rows).
+    pub repaired_edges: Option<u64>,
+    /// Peak resident set (`VmHWM`) of the whole benchmark process after this
+    /// measurement, in bytes; `None` where procfs is unavailable. Monotone
+    /// across the run — interpret as an upper bound, not a per-row cost.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Peak resident set size (`VmHWM`) of the current process in bytes, read
+/// from `/proc/self/status`; `None` on hosts without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// SHARD — the partitioned execution substrate on the million-edge
+/// generator matrix plus the PR 3 churn streams.
+///
+/// Two workload kinds per configuration:
+///
+/// * **flood** — the SCALE flooding program runs once sequentially per graph
+///   (the reference) and once per shard count under
+///   `ExecutionPolicy::Sharded { shards, threads: 2 }`; the harness asserts
+///   outputs and metrics are bit-identical and records the partition quality
+///   (cut fraction, balance factor, build time) and the measured cross-shard
+///   traffic (messages and payload bytes per round).
+/// * **churn-repair** — a seeded churn stream is replayed twice through the
+///   dynamic recoloring subsystem (sequential and `Sharded{4, 2}` policies);
+///   the harness asserts the maintained colorings are bit-identical batch by
+///   batch and records the repair volume.
+///
+/// With `million = false` the suite is down-scaled for CI smoke runs.
+pub fn run_shard(million: bool) -> (Table, Vec<ShardMeasurement>) {
+    const FLOOD_ROUNDS: u32 = 6;
+    let mut table = Table::new(
+        "SHARD",
+        "Sharded substrate: partition quality, cross-shard traffic and bit-identity",
+        &[
+            "workload",
+            "graph",
+            "m",
+            "shards",
+            "cut frac",
+            "balance",
+            "partition ms",
+            "wall ms",
+            "seq ms",
+            "cross msg/round",
+            "cross KiB/round",
+            "identical",
+        ],
+    );
+    let mut measurements = Vec::new();
+    let fmt_opt = |v: Option<f64>, scale: f64| -> String {
+        v.map_or("-".to_string(), |x| format!("{:.1}", x / scale))
+    };
+
+    // Flood workload over the generator matrix.
+    for (name, graph) in scale_graphs(million) {
+        let ids = IdAssignment::scattered(graph.n(), 1);
+        let make = |_| ScaleFlood {
+            best: 0,
+            rounds_left: FLOOD_ROUNDS,
+        };
+        let started = Instant::now();
+        let reference = run_program_with(
+            &graph,
+            &ids,
+            Model::Local,
+            ExecutionPolicy::Sequential,
+            u64::from(FLOOD_ROUNDS) + 2,
+            make,
+        );
+        let seq_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        for shards in [2usize, 4, 8] {
+            let started = Instant::now();
+            let partition = distshard::bfs_partition(&graph, shards);
+            let partition_ms = started.elapsed().as_secs_f64() * 1e3;
+            let report = partition.report(&graph);
+
+            let started = Instant::now();
+            let run = run_program_with(
+                &graph,
+                &ids,
+                Model::Local,
+                ExecutionPolicy::sharded(shards, 2),
+                u64::from(FLOOD_ROUNDS) + 2,
+                make,
+            );
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let identical = run.outputs == reference.outputs && run.metrics == reference.metrics;
+            assert!(
+                identical,
+                "{name}: sharded({shards}) flood diverged from the sequential run"
+            );
+            let stats = run.shard.as_ref().expect("sharded run has shard stats");
+            // The run's own partition matches the stand-alone build.
+            assert_eq!(stats.report, report, "{name}: partition not deterministic");
+            let routed_rounds = stats.router.rounds.max(1) as f64;
+            let cross_messages = stats.router.cross_messages as f64 / routed_rounds;
+            let cross_bytes = stats.router.cross_bits as f64 / 8.0 / routed_rounds;
+            table.push_row(vec![
+                "flood".to_string(),
+                name.clone(),
+                graph.m().to_string(),
+                shards.to_string(),
+                format!("{:.4}", report.cut_fraction),
+                format!("{:.3}", report.balance_factor),
+                format!("{partition_ms:.1}"),
+                format!("{wall_ms:.1}"),
+                format!("{seq_wall_ms:.1}"),
+                format!("{cross_messages:.0}"),
+                format!("{:.1}", cross_bytes / 1024.0),
+                identical.to_string(),
+            ]);
+            measurements.push(ShardMeasurement {
+                workload: "flood".to_string(),
+                graph: name.clone(),
+                n: graph.n(),
+                m: graph.m(),
+                shards,
+                cut_fraction: report.cut_fraction,
+                balance_factor: report.balance_factor,
+                partition_ms,
+                wall_ms,
+                seq_wall_ms,
+                rounds: run.metrics.rounds,
+                cross_messages_per_round: Some(cross_messages),
+                cross_bytes_per_round: Some(cross_bytes),
+                identical_to_sequential: identical,
+                repaired_edges: None,
+                peak_rss_bytes: peak_rss_bytes(),
+            });
+        }
+    }
+
+    // Churn-repair workload: the PR 3 update streams replayed under a
+    // sharded policy must maintain a coloring bit-identical to the
+    // sequential session.
+    let (torus, inserts, deletes, batches) = if million {
+        (generators::grid_torus(1000, 500), 64, 64, 8)
+    } else {
+        (generators::grid_torus(40, 40), 8, 8, 6)
+    };
+    let scenario = UpdateScenario::Churn { inserts, deletes };
+    let shards = 4usize;
+    let run_session = |policy: ExecutionPolicy| {
+        let params = ColoringParams::new(0.5).with_policy(policy);
+        let ids = IdAssignment::scattered(torus.n(), 3);
+        let mut dg = DynamicGraph::from_graph(torus.clone());
+        let budget = edgecolor::default_palette(torus.max_degree() + 2);
+        let started = Instant::now();
+        let (mut rec, _) =
+            Recoloring::with_budget(&dg, &ids, &params, budget).expect("valid instance");
+        let mut stream = UpdateStream::new(torus.clone(), scenario, 17);
+        let mut repaired = 0u64;
+        let mut rounds = 0u64;
+        for _ in 0..batches {
+            let diff = dg.apply(&stream.next_batch()).expect("valid batch");
+            let report = rec.repair(&dg, &diff, &ids, &params).expect("repairable");
+            repaired += report.repaired_edges as u64;
+            rounds += report.metrics.rounds;
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        (rec, repaired, rounds, wall_ms)
+    };
+    let (seq_rec, seq_repaired, seq_rounds, seq_wall_ms) = run_session(ExecutionPolicy::Sequential);
+    let started = Instant::now();
+    let partition = distshard::bfs_partition(&torus, shards);
+    let partition_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = partition.report(&torus);
+    let (shard_rec, shard_repaired, shard_rounds, wall_ms) =
+        run_session(ExecutionPolicy::sharded(shards, 2));
+    let identical = shard_rec.coloring() == seq_rec.coloring() && shard_repaired == seq_repaired;
+    assert!(
+        identical,
+        "sharded churn-repair session diverged from the sequential session"
+    );
+    assert_eq!(shard_rounds, seq_rounds, "repair round charging diverged");
+    let scenario_name = format!("torus churn({inserts}+{deletes})x{batches}");
+    table.push_row(vec![
+        "churn-repair".to_string(),
+        scenario_name.clone(),
+        torus.m().to_string(),
+        shards.to_string(),
+        format!("{:.4}", report.cut_fraction),
+        format!("{:.3}", report.balance_factor),
+        format!("{partition_ms:.1}"),
+        format!("{wall_ms:.1}"),
+        format!("{seq_wall_ms:.1}"),
+        fmt_opt(None, 1.0),
+        fmt_opt(None, 1.0),
+        identical.to_string(),
+    ]);
+    measurements.push(ShardMeasurement {
+        workload: "churn-repair".to_string(),
+        graph: scenario_name,
+        n: torus.n(),
+        m: torus.m(),
+        shards,
+        cut_fraction: report.cut_fraction,
+        balance_factor: report.balance_factor,
+        partition_ms,
+        wall_ms,
+        seq_wall_ms,
+        rounds: shard_rounds,
+        cross_messages_per_round: None,
+        cross_bytes_per_round: None,
+        identical_to_sequential: identical,
+        repaired_edges: Some(shard_repaired),
+        peak_rss_bytes: peak_rss_bytes(),
+    });
+
+    (table, measurements)
+}
+
 /// E11 — baseline color-count comparison.
 pub fn run_e11(deltas: &[usize]) -> Table {
     let mut table = Table::new(
@@ -971,6 +1232,47 @@ mod tests {
         assert_eq!(expected_speedup_floor(2, 2), Some(1.05));
         assert_eq!(expected_speedup_floor(4, 8), Some(1.3));
         assert_eq!(expected_speedup_floor(8, 8), Some(1.3));
+    }
+
+    #[test]
+    fn shard_experiment_smoke_runs_and_validates() {
+        let (table, measurements) = run_shard(false);
+        // 3 graphs × 3 shard counts (flood) + 1 churn-repair row.
+        assert_eq!(measurements.len(), 10);
+        assert_eq!(table.rows.len(), 10);
+        for m in &measurements {
+            // Bit-identity is asserted in-harness on any host; a false here
+            // cannot survive the run.
+            assert!(m.identical_to_sequential, "{}: diverged", m.graph);
+            assert!((0.0..=1.0).contains(&m.cut_fraction), "{}", m.graph);
+            assert!(m.balance_factor >= 1.0 - 1e-9, "{}", m.graph);
+            assert!(m.rounds > 0);
+            match m.workload.as_str() {
+                "flood" => {
+                    let msgs = m
+                        .cross_messages_per_round
+                        .expect("flood rows carry traffic");
+                    let bytes = m.cross_bytes_per_round.expect("flood rows carry traffic");
+                    // Flooding sends one u64 over every edge in both
+                    // directions while running, so the per-round average is
+                    // bounded by twice the cut (the final halting round
+                    // carries nothing).
+                    let cut_cap = 2.0 * m.cut_fraction * m.m as f64;
+                    assert!(msgs <= cut_cap + 1e-6, "{}: {msgs} > {cut_cap}", m.graph);
+                    assert!(msgs > 0.0, "{}: no cross traffic measured", m.graph);
+                    // Payload sizes are value-dependent (`Payload::encoded_bits`),
+                    // but each message is at most one u64.
+                    assert!(bytes > 0.0 && bytes <= msgs * 8.0 + 1e-6);
+                    assert!(m.repaired_edges.is_none());
+                }
+                "churn-repair" => {
+                    assert!(m.cross_messages_per_round.is_none());
+                    assert!(m.cross_bytes_per_round.is_none());
+                    assert!(m.repaired_edges.is_some());
+                }
+                other => panic!("unexpected workload {other}"),
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //!   neighbors.
 //!
 //! The coloring is obtained from a generalized balanced edge orientation
-//! (Definition 5.2, computed by
-//! [`compute_balanced_orientation`](crate::balanced_orientation::compute_balanced_orientation))
+//! (Definition 5.2, computed by [`compute_balanced_orientation`])
 //! via Lemma 5.3: edges oriented from `U` to `V` become red, the others blue.
 
 use crate::balanced_orientation::{compute_balanced_orientation, eta_for_lambda};

@@ -1,4 +1,4 @@
-//! Defective vertex colorings (the substrate imported from [11],
+//! Defective vertex colorings (the substrate imported from \[11\],
 //! Barenboim–Elkin–Kuhn, used by Lemma 6.2 and Theorem D.4).
 //!
 //! A *d-defective c-coloring* assigns one of `c` colors to every node so that
@@ -16,7 +16,7 @@
 //! point minimizing collisions with its neighbors, which adds at most
 //! `t·Δ/q ≤ d_step` to its defect while shrinking the palette to `q²`
 //! (see DESIGN.md for the substitution notes versus the exact procedure
-//! of [11]).
+//! of \[11\]).
 
 use crate::linial::next_prime;
 use distgraph::{Graph, VertexColoring};
@@ -182,9 +182,9 @@ pub fn low_defect_constant_coloring(
 /// `O(Δ²)`-coloring in `poly(1/ε) + O(1)` rounds.
 ///
 /// The implementation first shrinks the palette with defect budget `εΔ/2`
-/// (the faithful [11]-style step) and then folds the classes into 4 groups by
+/// (the faithful \[11\]-style step) and then folds the classes into 4 groups by
 /// a threshold local search processed class-by-class (our substitute for the
-/// Refine procedure of [11]; see DESIGN.md). The returned coloring always has
+/// Refine procedure of \[11\]; see DESIGN.md). The returned coloring always has
 /// palette ≤ 4; the defect bound is verified by the caller/tests via
 /// `edgecolor-verify`.
 pub fn defective_four_coloring(

@@ -2,13 +2,13 @@
 //! the classes of an initial `O(d²)`-edge coloring.
 //!
 //! Every recursion in the paper bottoms out in a graph of small degree that is
-//! colored "greedily by a standard edge coloring algorithm" ([10] is cited for
+//! colored "greedily by a standard edge coloring algorithm" (\[10\] is cited for
 //! an `O(d)`-round version). We implement the classic schedule-based greedy:
 //! given a proper auxiliary edge coloring (the *schedule*), iterate over its
 //! color classes; in each class all uncolored edges simultaneously pick a free
 //! color from their lists — edges of one class are pairwise non-adjacent, so
 //! no conflicts can arise. The number of rounds is the size of the schedule
-//! palette, i.e. `O(d²)` instead of [10]'s `O(d)`; DESIGN.md records this
+//! palette, i.e. `O(d²)` instead of \[10\]'s `O(d)`; DESIGN.md records this
 //! substitution (it only affects the low-degree tail of every run).
 
 use distgraph::{BipartiteGraph, Color, EdgeColoring, EdgeId, Graph, ListAssignment};

@@ -13,7 +13,7 @@
 //! * **generalized defective 2-edge coloring** (Definition 5.1,
 //!   Corollary 5.7) — [`defective_edge`];
 //! * the **Linial-style `O(Δ²)`-coloring** in `O(log* n)` rounds and the
-//!   **defective vertex coloring** substrate of [11] — [`linial`],
+//!   **defective vertex coloring** substrate of \[11\] — [`linial`],
 //!   [`defective_vertex`];
 //! * the **`(2+ε)Δ`-edge coloring of 2-colored bipartite graphs**
 //!   (Lemma 6.1) — [`bipartite_coloring`];

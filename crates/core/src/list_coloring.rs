@@ -605,6 +605,25 @@ pub fn default_palette(delta: usize) -> usize {
 /// Computes a `(2Δ−1)`-edge coloring of `graph` in the LOCAL model
 /// (the classical special case of Theorem 1.1: every edge's list is the full
 /// palette `{0, ..., 2Δ−2}`).
+///
+/// # Examples
+///
+/// ```
+/// use distgraph::generators;
+/// use distsim::IdAssignment;
+/// use edgecolor::{color_edges_local, ColoringParams, ExecutionPolicy};
+///
+/// let graph = generators::grid_torus(8, 8); // Δ = 4
+/// let ids = IdAssignment::scattered(graph.n(), 1);
+/// let outcome = color_edges_local(&graph, &ids, &ColoringParams::new(0.5))?;
+/// assert!(outcome.coloring.is_complete());
+/// assert!(outcome.coloring.palette_size() <= 2 * graph.max_degree() - 1);
+///
+/// // Execution policies never change the result, only how rounds execute:
+/// let sharded = ColoringParams::new(0.5).with_policy(ExecutionPolicy::sharded(4, 2));
+/// assert_eq!(color_edges_local(&graph, &ids, &sharded)?.coloring, outcome.coloring);
+/// # Ok::<(), edgecolor::ColoringError>(())
+/// ```
 pub fn color_edges_local(
     graph: &Graph,
     ids: &IdAssignment,

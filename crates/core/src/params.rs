@@ -172,10 +172,13 @@ pub struct ColoringParams {
     /// Safety cap on outer iterations (the theory needs `O(log Δ)`; the cap is
     /// generous so that it never binds unless something is wrong).
     pub max_outer_iterations: u32,
-    /// How the simulator executes each round's per-node work
-    /// ([`ExecutionPolicy::Sequential`] or a worker pool). The produced
-    /// colorings, metrics and mailboxes are bit-identical under every
-    /// policy; only wall-clock time changes.
+    /// How the simulator executes each round's per-node work:
+    /// [`ExecutionPolicy::Sequential`], a worker pool
+    /// (`Parallel { threads }`) or the partitioned substrate
+    /// (`Sharded { shards, threads }`, which runs rounds shard-locally and
+    /// batches cross-shard boundary messages). The produced colorings,
+    /// metrics and mailboxes are bit-identical under every policy; only
+    /// wall-clock time and the delivery route change.
     pub policy: ExecutionPolicy,
 }
 

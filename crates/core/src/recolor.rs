@@ -30,10 +30,13 @@
 //! coloring remains proper and within `P`; call
 //! [`Recoloring::refresh`] to re-tighten the budget explicitly.
 //!
-//! Everything here threads [`ExecutionPolicy`] through unchanged: repairs are
-//! bit-identical under `Sequential` and any `Parallel{t}` policy, because the
-//! underlying machinery is (see `crates/sim/tests/parallel_determinism.rs`
-//! and `tests/differential.rs`).
+//! Everything here threads [`ExecutionPolicy`](distsim::ExecutionPolicy)
+//! through unchanged: repairs
+//! are bit-identical under `Sequential`, any `Parallel{t}` policy and any
+//! `Sharded{k, t}` policy (the partitioned substrate of `crates/shard`),
+//! because the underlying machinery is (see
+//! `crates/sim/tests/parallel_determinism.rs`,
+//! `crates/sim/tests/sharded_determinism.rs` and `tests/differential.rs`).
 
 use crate::error::ColoringError;
 use crate::list_coloring::{color_edges_local, list_edge_coloring};
@@ -167,6 +170,34 @@ impl Recoloring {
     /// # Errors
     ///
     /// Propagates errors of the underlying coloring machinery.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use distgraph::{generators, DynamicGraph, UpdateBatch};
+    /// use distsim::IdAssignment;
+    /// use edgecolor::{default_palette, ColoringParams, Recoloring};
+    /// use edgecolor_verify::check_delta;
+    ///
+    /// let mut dg = DynamicGraph::from_graph(generators::grid_torus(6, 6)); // Δ = 4
+    /// let ids = IdAssignment::scattered(dg.n(), 1);
+    /// let params = ColoringParams::new(0.5);
+    /// // Provision headroom for Δ growing by 2 before any full recolor.
+    /// let budget = default_palette(dg.graph().max_degree() + 2);
+    /// let (mut rec, _) = Recoloring::with_budget(&dg, &ids, &params, budget)?;
+    ///
+    /// // Mutate, then repair: only the dirty neighborhood is recolored.
+    /// let diff = dg.apply(&UpdateBatch {
+    ///     delete: vec![0usize.into(), 7usize.into()],
+    ///     insert: vec![(0, 14)],
+    /// }).expect("valid batch");
+    /// let report = rec.repair(&dg, &diff, &ids, &params)?;
+    /// assert!(!report.full_recolor, "headroom absorbs the Δ growth");
+    /// assert!(report.repaired_edges <= 1); // at most the inserted edge
+    /// // O(batch·Δ) certification of exactly what the repair changed:
+    /// check_delta(dg.graph(), rec.coloring(), &report.touched, rec.palette()).assert_ok();
+    /// # Ok::<(), edgecolor::ColoringError>(())
+    /// ```
     pub fn repair(
         &mut self,
         dg: &DynamicGraph,

@@ -223,6 +223,30 @@ impl DynamicGraph {
     /// batch), or any insertion is a self loop, out of range, or duplicates an
     /// edge that exists after the deletions (including earlier insertions of
     /// the same batch).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use distgraph::{DynamicGraph, EdgeId, Graph, UpdateBatch};
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    /// let mut dg = DynamicGraph::from_graph(g);
+    /// let diff = dg.apply(&UpdateBatch {
+    ///     delete: vec![EdgeId::new(1)],     // drop (1,2) by stable id
+    ///     insert: vec![(0, 3)],             // close the path into a cycle
+    /// })?;
+    /// assert_eq!(dg.m(), 3);
+    /// assert_eq!(diff.inserted.len(), 1);
+    /// // Survivors keep their identity across the id compaction:
+    /// assert!(dg.is_live(EdgeId::new(0)));
+    /// assert!(!dg.is_live(EdgeId::new(1)));
+    ///
+    /// // Invalid batches are rejected atomically — the graph is untouched.
+    /// let before = dg.graph().clone();
+    /// assert!(dg.apply(&UpdateBatch { delete: vec![EdgeId::new(1)], insert: vec![] }).is_err());
+    /// assert_eq!(dg.graph(), &before);
+    /// # Ok::<(), distgraph::GraphError>(())
+    /// ```
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<BatchDiff, GraphError> {
         let n = self.n();
         let old_m = self.m();

@@ -1,0 +1,363 @@
+//! The greedy BFS-grown, edge-balanced edge-cut partitioner.
+//!
+//! The partitioner assigns every node to one of `k` shards. Edge ownership is
+//! derived from the node assignment: an edge belongs to the *smaller* of its
+//! two endpoint shards ([`Partition::owner`]), so every edge lands in exactly
+//! one shard and the owned-edge sets of the shards partition the edge set.
+//!
+//! Shards are grown one at a time by breadth-first search from the smallest
+//! still-unassigned node, which keeps each shard connected (per component)
+//! and the cut small on mesh-like topologies. Balance is controlled on the
+//! *edge* mass: shard `s` stops growing once it owns
+//! `⌈remaining edges / remaining shards⌉` edges, which yields the guarantee
+//! checked by `tests/partition_props.rs`:
+//!
+//! > every shard owns at most `⌈m/k⌉ + Δ` edges,
+//!
+//! because closing a shard can overshoot its target by at most the
+//! unassigned-degree of the final node, and the adaptive targets are
+//! non-increasing across shards.
+
+use distgraph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An assignment of every node of a graph to one of `k` shards.
+///
+/// The assignment is pure data — it can come from [`bfs_partition`], from
+/// [`Partition::contiguous`], or from any external placement — and all
+/// derived structure ([`crate::ShardedGraph`], [`PartitionReport`]) is
+/// computed from it deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `shard_of[v]` is the shard of node `v`; every value is `< shards`.
+    shard_of: Vec<u32>,
+    /// Number of shards `k ≥ 1`.
+    shards: usize,
+}
+
+impl Partition {
+    /// Wraps a raw node→shard assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or any entry of `shard_of` is `≥ shards`.
+    pub fn new(shard_of: Vec<u32>, shards: usize) -> Self {
+        assert!(shards >= 1, "a partition needs at least one shard");
+        assert!(
+            shard_of.iter().all(|&s| (s as usize) < shards),
+            "shard assignment out of range"
+        );
+        Partition { shard_of, shards }
+    }
+
+    /// The trivial balanced partition: contiguous node ranges of near-equal
+    /// size, in index order. Used as the fallback for edgeless graphs and as
+    /// the reference layout in tests.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = n / shards;
+        let long = n % shards;
+        let mut shard_of = Vec::with_capacity(n);
+        for s in 0..shards {
+            let len = base + usize::from(s < long);
+            shard_of.extend(std::iter::repeat_n(s as u32, len));
+        }
+        Partition { shard_of, shards }
+    }
+
+    /// Number of shards `k`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes covered by the assignment.
+    pub fn n(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard of node `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.shard_of[v.index()] as usize
+    }
+
+    /// The raw node→shard assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// The shard that owns edge `e` of `graph`: the smaller of its two
+    /// endpoint shards. This rule makes edge ownership a pure function of the
+    /// node assignment, so every edge lands in exactly one shard.
+    #[inline]
+    pub fn owner(&self, graph: &Graph, e: distgraph::EdgeId) -> usize {
+        let (u, v) = graph.endpoints(e);
+        self.shard_of(u).min(self.shard_of(v))
+    }
+
+    /// Computes the quality report of this partition for `graph`.
+    pub fn report(&self, graph: &Graph) -> PartitionReport {
+        assert_eq!(self.n(), graph.n(), "partition covers a different graph");
+        let mut shard_nodes = vec![0usize; self.shards];
+        for &s in &self.shard_of {
+            shard_nodes[s as usize] += 1;
+        }
+        let mut shard_owned_edges = vec![0usize; self.shards];
+        let mut cut_edges = 0usize;
+        for e in graph.edges() {
+            let (u, v) = graph.endpoints(e);
+            let (su, sv) = (self.shard_of(u), self.shard_of(v));
+            shard_owned_edges[su.min(sv)] += 1;
+            if su != sv {
+                cut_edges += 1;
+            }
+        }
+        let m = graph.m();
+        let max_owned = shard_owned_edges.iter().copied().max().unwrap_or(0);
+        let balance_factor = if m == 0 {
+            1.0
+        } else {
+            max_owned as f64 / (m as f64 / self.shards as f64)
+        };
+        PartitionReport {
+            shards: self.shards,
+            n: graph.n(),
+            m,
+            cut_edges,
+            cut_fraction: if m == 0 {
+                0.0
+            } else {
+                cut_edges as f64 / m as f64
+            },
+            balance_factor,
+            shard_nodes,
+            shard_owned_edges,
+        }
+    }
+}
+
+/// The machine-readable quality report of a [`Partition`] — the numbers the
+/// `SHARD` bench experiment records (see `docs/BENCH_SCHEMA.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionReport {
+    /// Number of shards `k`.
+    pub shards: usize,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Number of edges whose endpoints live in different shards.
+    pub cut_edges: usize,
+    /// `cut_edges / m` (0 for an edgeless graph). Every cut edge carries
+    /// cross-shard messages in both directions each round, so this is the
+    /// fraction of round traffic that must cross shard boundaries.
+    pub cut_fraction: f64,
+    /// `max owned edges per shard / (m / k)` — 1.0 is perfect edge balance.
+    pub balance_factor: f64,
+    /// Nodes per shard.
+    pub shard_nodes: Vec<usize>,
+    /// Owned edges per shard (sums to `m`; ownership per
+    /// [`Partition::owner`]).
+    pub shard_owned_edges: Vec<usize>,
+}
+
+/// Partitions `graph` into `shards` edge-balanced shards by greedy BFS
+/// growth (see `crates/shard/src/partition.rs`'s module docs for the
+/// guarantees).
+///
+/// Deterministic: seeds are the smallest unassigned nodes, BFS visits
+/// neighbors in the graph's sorted adjacency order, and isolated nodes are
+/// distributed round-robin at the end. Edgeless graphs fall back to
+/// [`Partition::contiguous`].
+pub fn bfs_partition(graph: &Graph, shards: usize) -> Partition {
+    let shards = shards.max(1);
+    let n = graph.n();
+    let m = graph.m();
+    if m == 0 || shards == 1 {
+        return Partition::contiguous(n, shards);
+    }
+
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let mut remaining_edges = m;
+    // Rotating cursor over node ids: every node left of it with positive
+    // degree is already assigned, making reseeding O(n) total.
+    let mut seed_cursor = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+
+    for s in 0..shards {
+        let remaining_shards = shards - s;
+        // Adaptive edge target: never above ⌈m/k⌉ because earlier shards
+        // meet (or exceed) their own targets.
+        let target = remaining_edges.div_ceil(remaining_shards);
+        let mut owned = 0usize;
+        let last = s + 1 == shards;
+        queue.clear();
+
+        while last || owned < target {
+            let v = match queue.pop_front() {
+                Some(v) => v,
+                None => {
+                    // Reseed from the smallest unassigned node that has
+                    // degree > 0 (isolated nodes are placed afterwards).
+                    while seed_cursor < n
+                        && (shard_of[seed_cursor] != UNASSIGNED
+                            || graph.degree(NodeId::new(seed_cursor)) == 0)
+                    {
+                        seed_cursor += 1;
+                    }
+                    if seed_cursor == n {
+                        break;
+                    }
+                    NodeId::new(seed_cursor)
+                }
+            };
+            if shard_of[v.index()] != UNASSIGNED {
+                continue;
+            }
+            shard_of[v.index()] = s as u32;
+            for nb in graph.neighbors(v) {
+                if shard_of[nb.node.index()] == UNASSIGNED {
+                    // `v` is the first-assigned endpoint, so shard `s` owns
+                    // this edge (the neighbor's shard can only be ≥ s).
+                    owned += 1;
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        remaining_edges -= owned.min(remaining_edges);
+    }
+
+    // Isolated nodes (and nothing else) are still unassigned: spread them
+    // round-robin in index order.
+    let mut next = 0u32;
+    for slot in shard_of.iter_mut() {
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next = (next + 1) % shards as u32;
+        }
+    }
+    Partition::new(shard_of, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+
+    #[test]
+    fn contiguous_partition_is_balanced() {
+        let p = Partition::contiguous(10, 4);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.n(), 10);
+        let mut counts = vec![0usize; 4];
+        for v in 0..10 {
+            counts[p.shard_of(NodeId::new(v))] += 1;
+        }
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+        // Contiguous: shard indices are non-decreasing in node order.
+        let a = p.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bfs_partition_covers_all_nodes_and_edges() {
+        let g = generators::grid_torus(10, 10);
+        let p = bfs_partition(&g, 4);
+        let report = p.report(&g);
+        assert_eq!(report.shard_nodes.iter().sum::<usize>(), g.n());
+        assert_eq!(report.shard_owned_edges.iter().sum::<usize>(), g.m());
+        assert_eq!(report.m, g.m());
+    }
+
+    #[test]
+    fn bfs_partition_balance_bound_holds() {
+        for (g, k) in [
+            (generators::grid_torus(10, 10), 4),
+            (generators::grid_torus(7, 9), 3),
+            (generators::random_regular(64, 6, 11).unwrap(), 8),
+            (generators::power_law(200, 2.5, 16, 3), 5),
+        ] {
+            let p = bfs_partition(&g, k);
+            let report = p.report(&g);
+            let bound = g.m().div_ceil(k) + g.max_degree();
+            let max_owned = report.shard_owned_edges.iter().copied().max().unwrap();
+            assert!(
+                max_owned <= bound,
+                "max owned {max_owned} > bound {bound} for k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_partition_cut_is_small_on_a_torus() {
+        // A 2D torus has excellent locality: BFS growth keeps the vast
+        // majority of edges internal.
+        let g = generators::grid_torus(20, 20);
+        let p = bfs_partition(&g, 4);
+        let report = p.report(&g);
+        assert!(
+            report.cut_fraction < 0.25,
+            "cut fraction {} too large",
+            report.cut_fraction
+        );
+        assert!(report.balance_factor >= 1.0);
+    }
+
+    #[test]
+    fn edgeless_graph_falls_back_to_contiguous() {
+        let g = Graph::from_edges(9, &[]).unwrap();
+        let p = bfs_partition(&g, 3);
+        assert_eq!(p, Partition::contiguous(9, 3));
+        let report = p.report(&g);
+        assert_eq!(report.cut_edges, 0);
+        assert_eq!(report.cut_fraction, 0.0);
+        assert_eq!(report.balance_factor, 1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_spread_round_robin() {
+        // Nodes 4..9 are isolated; they must not all pile into shard 0.
+        let g = Graph::from_edges(9, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let p = bfs_partition(&g, 3);
+        let report = p.report(&g);
+        assert_eq!(report.shard_nodes.iter().sum::<usize>(), 9);
+        assert!(report.shard_nodes.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = generators::cycle(12);
+        let p = bfs_partition(&g, 1);
+        let report = p.report(&g);
+        assert_eq!(report.cut_edges, 0);
+        assert_eq!(report.shard_owned_edges, vec![g.m()]);
+        assert_eq!(report.balance_factor, 1.0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_is_fine() {
+        let g = generators::path(3);
+        let p = bfs_partition(&g, 8);
+        let report = p.report(&g);
+        assert_eq!(report.shard_nodes.iter().sum::<usize>(), 3);
+        assert_eq!(report.shard_owned_edges.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_assignment_is_rejected() {
+        Partition::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn owner_is_min_endpoint_shard() {
+        let g = generators::path(4); // 0-1-2-3
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.owner(&g, distgraph::EdgeId::new(0)), 0); // (0,1) internal
+        assert_eq!(p.owner(&g, distgraph::EdgeId::new(1)), 0); // (1,2) cut → min
+        assert_eq!(p.owner(&g, distgraph::EdgeId::new(2)), 1); // (2,3) internal
+        let report = p.report(&g);
+        assert_eq!(report.cut_edges, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! The batched cross-shard message router.
+//!
+//! During a sharded round every shard evaluates its nodes locally; messages
+//! whose destination lives in another shard are handed to the
+//! [`ShardRouter`], which coalesces them into **one buffer per (source,
+//! destination) shard pair per round** — the unit a distributed deployment
+//! would ship as a single RPC/batch. Draining a round returns, per
+//! destination shard, the source buffers in ascending source-shard order, so
+//! a consumer that needs the global sender order (the `distsim` delivery
+//! path) can reconstruct it deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative cross-shard traffic counters of a [`ShardRouter`].
+///
+/// These are the numbers behind the `SHARD` bench experiment's
+/// `cross_bytes_per_round` column (see `docs/BENCH_SCHEMA.md`): only
+/// messages that actually cross a shard boundary are counted, shard-internal
+/// deliveries are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// Number of rounds routed (one per [`ShardRouter::drain_round`]).
+    pub rounds: u64,
+    /// Total messages that crossed a shard boundary.
+    pub cross_messages: u64,
+    /// Total payload bits that crossed a shard boundary.
+    pub cross_bits: u64,
+}
+
+impl RouterStats {
+    /// Adds another stats block (used when folding per-round routers into a
+    /// long-lived accumulator).
+    pub fn absorb(&mut self, other: &RouterStats) {
+        self.rounds += other.rounds;
+        self.cross_messages += other.cross_messages;
+        self.cross_bits += other.cross_bits;
+    }
+
+    /// Average payload bytes crossing shard boundaries per routed round.
+    pub fn bytes_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.cross_bits as f64 / 8.0 / self.rounds as f64
+    }
+}
+
+/// A batched cross-shard exchange for `k` shards, generic over the routed
+/// item type `T` (the execution layer routes `(destination node, inbox
+/// entry)` pairs; the router itself never inspects the payload).
+///
+/// One buffer exists per **ordered** shard pair `(src, dst)` with
+/// `src != dst`; pushes append in call order, so a source that feeds the
+/// router in its local sender order preserves that order inside each buffer.
+#[derive(Debug, Clone)]
+pub struct ShardRouter<T> {
+    shards: usize,
+    /// `buffers[src * shards + dst]`; the `src == dst` diagonal stays empty.
+    buffers: Vec<Vec<T>>,
+    stats: RouterStats,
+    round_bits: u64,
+    round_messages: u64,
+}
+
+impl<T> ShardRouter<T> {
+    /// A router for `shards ≥ 1` shards with all buffers empty.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut buffers = Vec::new();
+        buffers.resize_with(shards * shards, Vec::new);
+        ShardRouter {
+            shards,
+            buffers,
+            stats: RouterStats::default(),
+            round_bits: 0,
+            round_messages: 0,
+        }
+    }
+
+    /// Number of shards the router serves.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Enqueues one cross-shard item from shard `src` to shard `dst`,
+    /// accounting `bits` payload bits of cross-shard traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (shard-internal messages must be delivered
+    /// locally, they never enter the router) or either index is out of range.
+    pub fn push(&mut self, src: usize, dst: usize, item: T, bits: u64) {
+        assert!(
+            src != dst,
+            "shard-internal message routed through the ShardRouter"
+        );
+        assert!(src < self.shards && dst < self.shards, "shard out of range");
+        self.buffers[src * self.shards + dst].push(item);
+        self.round_bits += bits;
+        self.round_messages += 1;
+    }
+
+    /// Ends the round: folds the round's traffic into [`RouterStats`] and
+    /// returns the coalesced buffers as `out[dst][src]` — for every
+    /// destination shard, the buffers of all source shards in ascending
+    /// source order (the `src == dst` entry is always empty). The router is
+    /// left empty, ready for the next round.
+    pub fn drain_round(&mut self) -> Vec<Vec<Vec<T>>> {
+        self.stats.rounds += 1;
+        self.stats.cross_messages += self.round_messages;
+        self.stats.cross_bits += self.round_bits;
+        self.round_bits = 0;
+        self.round_messages = 0;
+        let k = self.shards;
+        let mut flat = std::mem::take(&mut self.buffers);
+        self.buffers.resize_with(k * k, Vec::new);
+        // Transpose src-major storage into dst-major output.
+        let mut out: Vec<Vec<Vec<T>>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            out.push(Vec::with_capacity(k));
+        }
+        for (idx, buffer) in flat.drain(..).enumerate() {
+            let dst = idx % k;
+            out[dst].push(buffer);
+        }
+        out
+    }
+
+    /// Cumulative traffic statistics over all drained rounds.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_items_per_pair_in_push_order() {
+        let mut router: ShardRouter<u32> = ShardRouter::new(3);
+        router.push(0, 1, 10, 8);
+        router.push(2, 1, 20, 8);
+        router.push(0, 1, 11, 8);
+        router.push(1, 0, 30, 16);
+        let out = router.drain_round();
+        assert_eq!(out.len(), 3);
+        // Destination 1 sees source 0's buffer before source 2's.
+        assert_eq!(out[1][0], vec![10, 11]);
+        assert!(out[1][1].is_empty());
+        assert_eq!(out[1][2], vec![20]);
+        assert_eq!(out[0][1], vec![30]);
+        assert!(out[2].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn stats_accumulate_across_rounds() {
+        let mut router: ShardRouter<()> = ShardRouter::new(2);
+        router.push(0, 1, (), 32);
+        router.push(1, 0, (), 32);
+        router.drain_round();
+        router.push(0, 1, (), 64);
+        router.drain_round();
+        router.drain_round(); // an idle round still counts as a round
+        let stats = router.stats();
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.cross_messages, 3);
+        assert_eq!(stats.cross_bits, 128);
+        assert!((stats.bytes_per_round() - 128.0 / 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drained_router_is_reusable() {
+        let mut router: ShardRouter<u8> = ShardRouter::new(2);
+        router.push(0, 1, 1, 8);
+        let first = router.drain_round();
+        assert_eq!(first[1][0], vec![1]);
+        router.push(0, 1, 2, 8);
+        let second = router.drain_round();
+        assert_eq!(second[1][0], vec![2]);
+    }
+
+    #[test]
+    fn absorb_folds_stats() {
+        let mut a = RouterStats {
+            rounds: 1,
+            cross_messages: 2,
+            cross_bits: 16,
+        };
+        a.absorb(&RouterStats {
+            rounds: 2,
+            cross_messages: 3,
+            cross_bits: 8,
+        });
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.cross_messages, 5);
+        assert_eq!(a.cross_bits, 24);
+        assert_eq!(RouterStats::default().bytes_per_round(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard-internal")]
+    fn internal_messages_are_rejected() {
+        let mut router: ShardRouter<u8> = ShardRouter::new(2);
+        router.push(1, 1, 0, 8);
+    }
+}

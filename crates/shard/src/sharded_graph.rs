@@ -1,0 +1,185 @@
+//! The partitioned view of a graph: per-shard node/edge sets and the
+//! boundary structure between shard pairs.
+
+use crate::partition::Partition;
+use distgraph::{EdgeId, Graph, NodeId};
+
+/// A [`Graph`] split along a [`Partition`]: per-shard node lists (ascending),
+/// per-shard owned-edge lists, and the symmetric boundary-edge sets between
+/// every pair of shards.
+///
+/// The sharded execution engine (`distsim`'s `ExecutionPolicy::Sharded`) runs
+/// each round's per-node work shard-locally over [`ShardedGraph::nodes`];
+/// the boundary sets determine exactly which messages must cross shards and
+/// therefore the cross-shard traffic the [`crate::ShardRouter`] carries.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    partition: Partition,
+    /// Per shard, the node ids assigned to it, ascending.
+    nodes: Vec<Vec<NodeId>>,
+    /// Per shard, the edges it owns (see [`Partition::owner`]), ascending.
+    owned_edges: Vec<Vec<EdgeId>>,
+    /// Boundary edges per unordered shard pair `{a, b}` with `a < b`, indexed
+    /// by `pair_index(a, b)`; each list is ascending.
+    boundary: Vec<Vec<EdgeId>>,
+    /// Total number of boundary (cut) edges.
+    cut_edges: usize,
+}
+
+impl ShardedGraph {
+    /// Builds the sharded view of `graph` along `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition covers a different number of nodes than
+    /// `graph`.
+    pub fn new(graph: &Graph, partition: Partition) -> Self {
+        assert_eq!(
+            partition.n(),
+            graph.n(),
+            "partition covers a different graph"
+        );
+        let k = partition.shards();
+        let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for v in graph.nodes() {
+            nodes[partition.shard_of(v)].push(v);
+        }
+        let mut owned_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+        let mut boundary: Vec<Vec<EdgeId>> = vec![Vec::new(); k * (k.saturating_sub(1)) / 2];
+        let mut cut_edges = 0usize;
+        for e in graph.edges() {
+            let (u, v) = graph.endpoints(e);
+            let (su, sv) = (partition.shard_of(u), partition.shard_of(v));
+            owned_edges[su.min(sv)].push(e);
+            if su != sv {
+                cut_edges += 1;
+                boundary[Self::pair_index_for(k, su.min(sv), su.max(sv))].push(e);
+            }
+        }
+        ShardedGraph {
+            partition,
+            nodes,
+            owned_edges,
+            boundary,
+            cut_edges,
+        }
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards `k`.
+    pub fn shards(&self) -> usize {
+        self.partition.shards()
+    }
+
+    /// The nodes of shard `s`, in ascending id order — the iteration order of
+    /// the shard-local round execution.
+    pub fn nodes(&self, s: usize) -> &[NodeId] {
+        &self.nodes[s]
+    }
+
+    /// The edges owned by shard `s` (every edge is owned by exactly one
+    /// shard), in ascending id order.
+    pub fn owned_edges(&self, s: usize) -> &[EdgeId] {
+        &self.owned_edges[s]
+    }
+
+    /// Total number of cut (boundary) edges across all shard pairs.
+    pub fn cut_edges(&self) -> usize {
+        self.cut_edges
+    }
+
+    /// The boundary edges between shards `a` and `b`: the edges with one
+    /// endpoint in each. Symmetric by construction —
+    /// `boundary_edges(a, b)` and `boundary_edges(b, a)` are the same slice —
+    /// and empty for `a == b` (internal edges are not boundary edges).
+    pub fn boundary_edges(&self, a: usize, b: usize) -> &[EdgeId] {
+        if a == b {
+            return &[];
+        }
+        &self.boundary[Self::pair_index_for(self.shards(), a.min(b), a.max(b))]
+    }
+
+    /// Dense index of the unordered pair `(a, b)` with `a < b` among the
+    /// `k(k−1)/2` shard pairs.
+    fn pair_index_for(k: usize, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < k);
+        // Pairs are laid out row by row: (0,1), (0,2), …, (0,k−1), (1,2), …
+        a * (2 * k - a - 1) / 2 + (b - a - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::bfs_partition;
+    use distgraph::generators;
+
+    #[test]
+    fn pair_index_enumerates_all_pairs_densely() {
+        for k in [2usize, 3, 4, 8] {
+            let mut seen = vec![false; k * (k - 1) / 2];
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let idx = ShardedGraph::pair_index_for(k, a, b);
+                    assert!(!seen[idx], "pair ({a},{b}) collides at {idx} for k={k}");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn owned_edges_partition_the_edge_set() {
+        let g = generators::grid_torus(8, 6);
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, 4));
+        let mut seen = vec![false; g.m()];
+        for s in 0..4 {
+            for &e in sharded.owned_edges(s) {
+                assert!(!seen[e.index()], "{e} owned twice");
+                seen[e.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some edge is owned by no shard");
+    }
+
+    #[test]
+    fn boundary_sets_are_symmetric_and_cover_the_cut() {
+        let g = generators::random_regular(48, 5, 7).unwrap();
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, 3));
+        let mut cut = 0usize;
+        for a in 0..3 {
+            assert!(sharded.boundary_edges(a, a).is_empty());
+            for b in (a + 1)..3 {
+                let ab = sharded.boundary_edges(a, b);
+                let ba = sharded.boundary_edges(b, a);
+                assert_eq!(ab, ba, "boundary ({a},{b}) asymmetric");
+                cut += ab.len();
+                for &e in ab {
+                    let (u, v) = g.endpoints(e);
+                    let su = sharded.partition().shard_of(u);
+                    let sv = sharded.partition().shard_of(v);
+                    assert_eq!((su.min(sv), su.max(sv)), (a, b));
+                }
+            }
+        }
+        assert_eq!(cut, sharded.cut_edges());
+    }
+
+    #[test]
+    fn shard_node_lists_are_ascending_and_cover_all_nodes() {
+        let g = generators::power_law(120, 2.5, 12, 5);
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, 5));
+        let mut total = 0usize;
+        for s in 0..5 {
+            let nodes = sharded.nodes(s);
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]), "shard {s} unsorted");
+            total += nodes.len();
+        }
+        assert_eq!(total, g.n());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property battery for the BFS partitioner in isolation.
+//!
+//! Three invariants are checked on arbitrary simple graphs and shard counts:
+//!
+//! 1. **exactly-one ownership** — the shards' owned-edge sets partition the
+//!    edge set (every edge lands in exactly one shard);
+//! 2. **edge balance** — every shard owns at most `⌈m/k⌉ + Δ` edges, the
+//!    bound guaranteed by the adaptive-target BFS growth (see
+//!    `crates/shard/src/partition.rs`);
+//! 3. **boundary symmetry** — for every shard pair, the boundary-edge set
+//!    seen from either side is identical, covers exactly the cut, and each
+//!    listed edge really has one endpoint in each shard.
+
+use distgraph::{generators, Graph};
+use distshard::{bfs_partition, ShardedGraph};
+use proptest::prelude::*;
+
+/// Random simple graph strategy: node count plus a sanitized edge list.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..48).prop_flat_map(|n| {
+        let max_edges = n.saturating_sub(1) * n / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(160)).prop_map(move |pairs| {
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            Graph::from_edges(n, &edges).expect("sanitized edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_edge_lands_in_exactly_one_shard((g, k) in (arb_graph(), 1usize..10)) {
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, k));
+        let mut owner_count = vec![0usize; g.m()];
+        for s in 0..sharded.shards() {
+            for &e in sharded.owned_edges(s) {
+                owner_count[e.index()] += 1;
+                // Ownership is consistent with the partition rule.
+                prop_assert_eq!(sharded.partition().owner(&g, e), s);
+            }
+        }
+        prop_assert!(owner_count.iter().all(|&c| c == 1),
+            "ownership counts {:?} are not all 1", owner_count);
+        // The report agrees with the structure.
+        let report = sharded.partition().report(&g);
+        prop_assert_eq!(report.shard_owned_edges.iter().sum::<usize>(), g.m());
+        prop_assert_eq!(report.shard_nodes.iter().sum::<usize>(), g.n());
+    }
+
+    #[test]
+    fn balance_factor_stays_within_the_configured_bound((g, k) in (arb_graph(), 1usize..10)) {
+        let partition = bfs_partition(&g, k);
+        let report = partition.report(&g);
+        // The partitioner's guarantee: ⌈m/k⌉ plus the one-node overshoot Δ.
+        let bound_edges = g.m().div_ceil(k) + g.max_degree();
+        let max_owned = report.shard_owned_edges.iter().copied().max().unwrap_or(0);
+        prop_assert!(max_owned <= bound_edges,
+            "shard owns {max_owned} > {bound_edges} edges (m={}, k={k}, Δ={})",
+            g.m(), g.max_degree());
+        // Same statement through the report's balance factor.
+        if g.m() > 0 {
+            let bound_factor = bound_edges as f64 / (g.m() as f64 / k as f64);
+            prop_assert!(report.balance_factor <= bound_factor + 1e-9,
+                "balance factor {} > {}", report.balance_factor, bound_factor);
+            prop_assert!(report.balance_factor >= 1.0 - 1e-9);
+        } else {
+            prop_assert_eq!(report.balance_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn boundary_edge_sets_are_symmetric((g, k) in (arb_graph(), 1usize..10)) {
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, k));
+        let kk = sharded.shards();
+        let mut boundary_total = 0usize;
+        for a in 0..kk {
+            prop_assert!(sharded.boundary_edges(a, a).is_empty());
+            for b in (a + 1)..kk {
+                let ab = sharded.boundary_edges(a, b);
+                let ba = sharded.boundary_edges(b, a);
+                prop_assert!(ab == ba, "boundary ({a},{b}) differs from ({b},{a})");
+                boundary_total += ab.len();
+                for &e in ab {
+                    let (u, v) = g.endpoints(e);
+                    let su = sharded.partition().shard_of(u);
+                    let sv = sharded.partition().shard_of(v);
+                    prop_assert!((su.min(sv), su.max(sv)) == (a, b),
+                        "{e} listed on pair ({a},{b}) but spans ({su},{sv})");
+                }
+            }
+        }
+        // The pairwise boundary sets cover the cut exactly once.
+        prop_assert_eq!(boundary_total, sharded.cut_edges());
+        let report = sharded.partition().report(&g);
+        prop_assert_eq!(report.cut_edges, sharded.cut_edges());
+    }
+
+    #[test]
+    fn partition_is_deterministic((g, k) in (arb_graph(), 1usize..10)) {
+        prop_assert_eq!(bfs_partition(&g, k), bfs_partition(&g, k));
+    }
+}
+
+/// The structured generator families used by the bench suite keep their cut
+/// small and their balance tight — spot-check the quality, not just the
+/// invariants.
+#[test]
+fn generator_families_partition_well() {
+    for (name, g) in [
+        ("torus", generators::grid_torus(24, 18)),
+        (
+            "random_regular",
+            generators::random_regular(256, 8, 11).unwrap(),
+        ),
+        ("power_law", generators::power_law(400, 2.5, 32, 7)),
+    ] {
+        for k in [2usize, 4, 8] {
+            let report = bfs_partition(&g, k).report(&g);
+            assert!(
+                report.balance_factor <= 1.0 + (k * g.max_degree()) as f64 / g.m() as f64 + 1e-9,
+                "{name}/k={k}: balance {}",
+                report.balance_factor
+            );
+            assert!(
+                report.cut_fraction < 0.7,
+                "{name}/k={k}: cut fraction {}",
+                report.cut_fraction
+            );
+        }
+    }
+}

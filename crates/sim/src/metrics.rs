@@ -40,14 +40,24 @@ impl Metrics {
         }
     }
 
-    /// Adds the cost of another execution that ran *after* this one
-    /// (sequential composition): rounds add up.
-    pub fn absorb_sequential(&mut self, other: &Metrics) {
-        self.rounds += other.rounds;
+    /// Folds another metrics block's per-message costs (messages, bits,
+    /// size maximum, violations) into this one **without touching rounds**:
+    /// the merge the round engines apply to per-chunk / per-shard workers of
+    /// a single round, whose round was already charged once by the caller.
+    /// Sums and maxima only, so the fold is order-independent — the root of
+    /// the bit-identity guarantee for metrics.
+    pub fn fold_costs(&mut self, other: &Metrics) {
         self.messages += other.messages;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.congest_violations += other.congest_violations;
+    }
+
+    /// Adds the cost of another execution that ran *after* this one
+    /// (sequential composition): rounds add up.
+    pub fn absorb_sequential(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.fold_costs(other);
     }
 
     /// Adds the cost of several executions that ran *in parallel* with each
@@ -58,10 +68,7 @@ impl Metrics {
         let max_rounds = children.iter().map(|c| c.rounds).max().unwrap_or(0);
         self.rounds += max_rounds;
         for c in children {
-            self.messages += c.messages;
-            self.total_bits += c.total_bits;
-            self.max_message_bits = self.max_message_bits.max(c.max_message_bits);
-            self.congest_violations += c.congest_violations;
+            self.fold_costs(c);
         }
     }
 }

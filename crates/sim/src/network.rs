@@ -26,6 +26,7 @@ use crate::metrics::Metrics;
 use crate::model::Model;
 use crate::payload::Payload;
 use distgraph::{EdgeId, Graph, NodeId};
+use distshard::{bfs_partition, PartitionReport, RouterStats, ShardRouter, ShardedGraph};
 
 /// One undelivered message: the destination node index paired with the
 /// [`Incoming`] entry its inbox will receive.
@@ -75,6 +76,47 @@ impl<M> Mailboxes<M> {
     }
 }
 
+/// The shard-aware delivery state of a [`Network`] running under
+/// [`ExecutionPolicy::Sharded`]: the partitioned view of the graph plus the
+/// cumulative cross-shard traffic of every sharded round executed so far.
+///
+/// Built lazily on the first sharded round (the partition is a
+/// [`bfs_partition`] of the network's graph) and rebuilt if the policy's
+/// shard count changes.
+#[derive(Debug)]
+pub struct ShardState {
+    sharded: ShardedGraph,
+    report: PartitionReport,
+    stats: RouterStats,
+}
+
+impl ShardState {
+    fn build(graph: &Graph, shards: usize) -> Self {
+        let partition = bfs_partition(graph, shards);
+        let report = partition.report(graph);
+        ShardState {
+            sharded: ShardedGraph::new(graph, partition),
+            report,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The quality report of the partition the delivery path runs on.
+    pub fn report(&self) -> &PartitionReport {
+        &self.report
+    }
+
+    /// Cumulative cross-shard traffic over all sharded rounds so far.
+    pub fn router_stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// The partitioned view of the graph.
+    pub fn sharded_graph(&self) -> &ShardedGraph {
+        &self.sharded
+    }
+}
+
 /// A synchronous-round communication network over a graph.
 #[derive(Debug)]
 pub struct Network<'g> {
@@ -82,6 +124,7 @@ pub struct Network<'g> {
     model: Model,
     policy: ExecutionPolicy,
     metrics: Metrics,
+    shard_state: Option<ShardState>,
 }
 
 impl<'g> Network<'g> {
@@ -99,6 +142,7 @@ impl<'g> Network<'g> {
             model,
             policy,
             metrics: Metrics::new(),
+            shard_state: None,
         }
     }
 
@@ -196,6 +240,9 @@ impl<'g> Network<'g> {
     where
         M: Payload + Send,
     {
+        if self.policy.is_sharded() {
+            return self.exchange_sharded(outgoing);
+        }
         if !self.policy.is_parallel() {
             return self.exchange(outgoing);
         }
@@ -240,16 +287,10 @@ impl<'g> Network<'g> {
             ChunkOut { buckets, metrics }
         });
 
-        // Merge metrics in chunk order: sums and maxima, exactly the
-        // operations the sequential loop applies message by message.
+        // Merge metrics in chunk order (order-independent, see
+        // `Metrics::fold_costs`; the round itself was charged above).
         for out in &outs {
-            self.metrics.messages += out.metrics.messages;
-            self.metrics.total_bits += out.metrics.total_bits;
-            self.metrics.max_message_bits = self
-                .metrics
-                .max_message_bits
-                .max(out.metrics.max_message_bits);
-            self.metrics.congest_violations += out.metrics.congest_violations;
+            self.metrics.fold_costs(&out.metrics);
         }
 
         // Transpose: per target chunk, the buckets of every sender chunk in
@@ -280,6 +321,143 @@ impl<'g> Network<'g> {
             },
         );
         Mailboxes::from_boxes(boxes)
+    }
+
+    /// The sharded delivery path of [`Network::exchange_sync`].
+    ///
+    /// Per shard (shards distributed over the policy's worker threads), the
+    /// send closures of the shard's nodes are evaluated in ascending node
+    /// order; messages staying inside the shard are delivered directly, the
+    /// rest travel through a per-round [`ShardRouter`] — one coalesced
+    /// buffer per shard pair. Each inbox is then normalized to ascending
+    /// sender order, which is exactly the order the sequential loop produces
+    /// (in a simple graph a sender contributes at most one message per
+    /// target per round), so mailboxes are bit-identical to
+    /// [`ExecutionPolicy::Sequential`].
+    fn exchange_sharded<M>(
+        &mut self,
+        outgoing: impl Fn(NodeId) -> Vec<(EdgeId, M)> + Sync,
+    ) -> Mailboxes<M>
+    where
+        M: Payload + Send,
+    {
+        let shards = self.policy.shards();
+        let threads = self.policy.threads().min(shards);
+        self.metrics.rounds += 1;
+        let limit = self.model.bandwidth_limit();
+        let graph = self.graph;
+        if self
+            .shard_state
+            .as_ref()
+            .is_none_or(|s| s.sharded.shards() != shards)
+        {
+            self.shard_state = Some(ShardState::build(graph, shards));
+        }
+
+        /// Per-shard result of the send phase: shard-internal deliveries plus
+        /// cross-shard messages tagged with their destination shard and
+        /// payload bits.
+        struct ShardOut<M> {
+            local: Vec<Targeted<M>>,
+            cross: Vec<(usize, u64, Targeted<M>)>,
+            metrics: Metrics,
+        }
+
+        let outs: Vec<ShardOut<M>> = {
+            let sharded = &self.shard_state.as_ref().expect("just built").sharded;
+            // Phase A (parallel over shards): evaluate the send closures of
+            // each shard's nodes, validate, account metrics, and split
+            // deliveries into shard-internal and cross-shard.
+            let per_shard = |s: usize| -> ShardOut<M> {
+                let mut metrics = Metrics::new();
+                let mut local = Vec::new();
+                let mut cross = Vec::new();
+                for &v in sharded.nodes(s) {
+                    let sends = outgoing(v);
+                    let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+                    for (edge, msg) in sends {
+                        assert!(
+                            graph.is_endpoint(edge, v),
+                            "{v} attempted to send over non-incident edge {edge}"
+                        );
+                        assert!(
+                            !used.contains(&edge),
+                            "{v} sent two messages over {edge} in a single round"
+                        );
+                        used.push(edge);
+                        let bits = msg.encoded_bits() as u64;
+                        metrics.record_message(bits, limit);
+                        let target = graph.other_endpoint(edge, v);
+                        let dst = sharded.partition().shard_of(target);
+                        let item = (target.index(), Incoming { from: v, edge, msg });
+                        if dst == s {
+                            local.push(item);
+                        } else {
+                            cross.push((dst, bits, item));
+                        }
+                    }
+                }
+                ShardOut {
+                    local,
+                    cross,
+                    metrics,
+                }
+            };
+            map_node_chunks(shards, ExecutionPolicy::parallel(threads), |shard_range| {
+                shard_range.map(per_shard).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Merge metrics in shard order (order-independent, see
+        // `Metrics::fold_costs`; the round itself was charged above).
+        for out in &outs {
+            self.metrics.fold_costs(&out.metrics);
+        }
+
+        // Phase B: deliver shard-internal messages directly and feed the
+        // cross-shard messages through the round's router (one coalesced
+        // buffer per shard pair), then drain it per destination shard in
+        // source-shard order.
+        let mut router: ShardRouter<Targeted<M>> = ShardRouter::new(shards);
+        let mut boxes: Vec<Vec<Incoming<M>>> = Vec::with_capacity(graph.n());
+        boxes.resize_with(graph.n(), Vec::new);
+        for (src, out) in outs.into_iter().enumerate() {
+            for (target, incoming) in out.local {
+                boxes[target].push(incoming);
+            }
+            for (dst, bits, item) in out.cross {
+                router.push(src, dst, item, bits);
+            }
+        }
+        for per_dst in router.drain_round() {
+            for bucket in per_dst {
+                for (target, incoming) in bucket {
+                    boxes[target].push(incoming);
+                }
+            }
+        }
+        self.shard_state
+            .as_mut()
+            .expect("built above")
+            .stats
+            .absorb(&router.stats());
+        // Normalize each inbox to global sender order (unique senders per
+        // inbox: at most one edge — hence one message — per sender/target
+        // pair in a simple graph).
+        for inbox in &mut boxes {
+            inbox.sort_unstable_by_key(|incoming| incoming.from);
+        }
+        Mailboxes::from_boxes(boxes)
+    }
+
+    /// The shard-aware delivery state, if any sharded round ran on this
+    /// network: partition quality report plus cumulative cross-shard traffic.
+    /// `None` until the first round under [`ExecutionPolicy::Sharded`].
+    pub fn shard_state(&self) -> Option<&ShardState> {
+        self.shard_state.as_ref()
     }
 
     /// One round in which every node sends the same message to all neighbors.

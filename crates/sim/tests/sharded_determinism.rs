@@ -1,0 +1,366 @@
+//! The determinism battery for the sharded execution substrate.
+//!
+//! `ExecutionPolicy::Sharded { shards, threads }` routes every round through
+//! the `distshard` partition/exchange substrate: per-node work runs
+//! shard-locally and only boundary-crossing messages move between shards
+//! (one coalesced buffer per shard pair per round). The contract is the same
+//! as the parallel engine's: results **bit-identical** to `Sequential` —
+//! same [`Mailboxes`](distsim::Mailboxes), same metrics, same program
+//! outputs, same final colorings — at every shard and thread count. These
+//! property tests sweep random graphs/seeds/models over the shard matrix
+//! {2, 4, 8} (with 1, 2 and 3 worker threads) and compare against the
+//! sequential reference at every layer of the stack.
+
+use distgraph::{generators, EdgeId, Graph, NodeId};
+use distsim::{
+    run_program, run_program_with, ExecutionPolicy, IdAssignment, Incoming, Model, Network,
+    NodeCtx, NodeProgram, Step,
+};
+use edgecolor::{color_congest, color_edges_local, ColoringParams};
+use edgecolor_verify::{check_complete, check_proper_edge_coloring};
+use proptest::prelude::*;
+
+/// The Sharded{2,4,8} sweep of the differential battery, with varying worker
+/// thread counts so both the single-threaded and the threaded shard loops
+/// are exercised.
+const SHARD_MATRIX: [(usize, usize); 3] = [(2, 1), (4, 2), (8, 3)];
+
+/// Random simple graph strategy: node count plus a sanitized edge list.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..32).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(96)).prop_map(move |pairs| {
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            Graph::from_edges(n, &edges).expect("sanitized edges are valid")
+        })
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    (0u64..3).prop_map(|pick| match pick {
+        0 => Model::Local,
+        1 => Model::Congest { bandwidth_bits: 8 },
+        _ => Model::Congest { bandwidth_bits: 64 },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_broadcast_is_bit_identical((g, model, seed) in
+        (arb_graph(), arb_model(), 0u64..1000))
+    {
+        let ids = IdAssignment::scattered(g.n(), seed);
+        let mut seq_net = Network::new(&g, model);
+        let seq_mail = seq_net.broadcast(|v| ids.id(v) * 3 + v.index() as u64);
+        for (shards, threads) in SHARD_MATRIX {
+            let mut net =
+                Network::with_policy(&g, model, ExecutionPolicy::sharded(shards, threads));
+            let mail = net.broadcast(|v| ids.id(v) * 3 + v.index() as u64);
+            prop_assert_eq!(&seq_mail, &mail);
+            prop_assert_eq!(seq_net.metrics(), net.metrics());
+            // The shard-aware delivery path ran, so its state is observable.
+            let state = net.shard_state().expect("sharded round ran");
+            prop_assert_eq!(state.report().shards, shards);
+            prop_assert_eq!(state.router_stats().rounds, 1);
+        }
+    }
+
+    #[test]
+    fn sharded_exchange_sync_is_bit_identical((g, model, seed) in
+        (arb_graph(), arb_model(), 0u64..1000))
+    {
+        // Per-edge payload sizes and skipped edges, so message counts, bit
+        // totals and congest violations all vary.
+        let send = |v: NodeId| -> Vec<(EdgeId, Vec<u64>)> {
+            g.neighbors(v)
+                .iter()
+                .filter(|nb| !(v.index() * 7 + nb.edge.index() + seed as usize).is_multiple_of(4))
+                .map(|nb| {
+                    let len = (nb.edge.index() + v.index()) % 3 + 1;
+                    (nb.edge, vec![seed.wrapping_mul(v.index() as u64 + 1); len])
+                })
+                .collect()
+        };
+        let mut seq_net = Network::new(&g, model);
+        let seq_mail = seq_net.exchange_sync(send);
+        for (shards, threads) in SHARD_MATRIX {
+            let mut net =
+                Network::with_policy(&g, model, ExecutionPolicy::sharded(shards, threads));
+            let mail = net.exchange_sync(send);
+            prop_assert_eq!(&seq_mail, &mail);
+            prop_assert_eq!(seq_net.metrics(), net.metrics());
+        }
+    }
+
+    #[test]
+    fn cross_shard_traffic_is_bounded_by_the_cut((g, seed) in (arb_graph(), 0u64..1000)) {
+        // Every cross-shard message crosses a boundary edge, so per round the
+        // router carries at most 2 · cut_edges messages (one per direction).
+        let ids = IdAssignment::scattered(g.n(), seed);
+        for (shards, threads) in SHARD_MATRIX {
+            let mut net = Network::with_policy(
+                &g,
+                Model::Local,
+                ExecutionPolicy::sharded(shards, threads),
+            );
+            net.broadcast(|v| ids.id(v));
+            let state = net.shard_state().expect("sharded round ran");
+            let cut = state.sharded_graph().cut_edges() as u64;
+            let stats = state.router_stats();
+            prop_assert!(stats.cross_messages <= 2 * cut,
+                "{} cross messages over a cut of {}", stats.cross_messages, cut);
+            // A broadcast sends over every edge in both directions, so the
+            // bound is tight.
+            prop_assert_eq!(stats.cross_messages, 2 * cut);
+        }
+    }
+}
+
+/// Flooding with a per-round halting schedule: nodes halt at different
+/// rounds, which stresses the halted-node bookkeeping of the sharded path.
+struct StaggeredFlood {
+    best: u64,
+    budget: u32,
+}
+
+impl NodeProgram for StaggeredFlood {
+    type Msg = u64;
+    type Output = (u64, u32);
+
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, u64)> {
+        self.best = ctx.id;
+        ctx.ports.iter().map(|p| (p.edge, self.best)).collect()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Step<u64, (u64, u32)> {
+        for m in inbox {
+            self.best = self.best.max(m.msg);
+        }
+        if self.budget == 0 {
+            return Step::Halt((self.best, ctx.degree as u32));
+        }
+        self.budget -= 1;
+        Step::Send(ctx.ports.iter().map(|p| (p.edge, self.best)).collect())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_program_runs_are_bit_identical((g, model, seed) in
+        (arb_graph(), arb_model(), 0u64..1000))
+    {
+        let ids = IdAssignment::scattered(g.n(), seed);
+        let budget_of = |v: NodeId| (v.index() as u32 + seed as u32) % 5;
+        let reference = run_program(&g, &ids, model, 16, |v| StaggeredFlood {
+            best: 0,
+            budget: budget_of(v),
+        });
+        for (shards, threads) in SHARD_MATRIX {
+            let run = run_program_with(
+                &g,
+                &ids,
+                model,
+                ExecutionPolicy::sharded(shards, threads),
+                16,
+                |v| StaggeredFlood {
+                    best: 0,
+                    budget: budget_of(v),
+                },
+            );
+            prop_assert_eq!(&reference.outputs, &run.outputs);
+            prop_assert_eq!(reference.metrics, run.metrics);
+            let stats = run.shard.expect("sharded run reports shard stats");
+            prop_assert_eq!(stats.report.shards, shards);
+            prop_assert_eq!(stats.report.m, g.m());
+        }
+    }
+}
+
+proptest! {
+    // The full algorithms are expensive; fewer cases still cover a healthy
+    // spread of graphs and seeds.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_color_edges_local_is_policy_invariant((g, seed) in (arb_graph(), 0u64..1000)) {
+        let ids = IdAssignment::scattered(g.n(), seed);
+        let params = ColoringParams::new(0.5);
+        let reference = color_edges_local(&g, &ids, &params).expect("valid instance");
+        if g.m() > 0 {
+            check_proper_edge_coloring(&g, &reference.coloring).assert_ok();
+            check_complete(&g, &reference.coloring).assert_ok();
+        }
+        for (shards, threads) in SHARD_MATRIX {
+            let sharded = params.with_policy(ExecutionPolicy::sharded(shards, threads));
+            let outcome = color_edges_local(&g, &ids, &sharded).expect("valid instance");
+            prop_assert_eq!(&reference.coloring, &outcome.coloring);
+            prop_assert_eq!(reference.metrics, outcome.metrics);
+            prop_assert_eq!(reference.colors_used, outcome.colors_used);
+            prop_assert_eq!(reference.outer_iterations, outcome.outer_iterations);
+            prop_assert_eq!(reference.solver_calls, outcome.solver_calls);
+        }
+    }
+
+    #[test]
+    fn sharded_color_congest_is_policy_invariant((g, seed) in (arb_graph(), 0u64..1000)) {
+        let ids = IdAssignment::scattered(g.n(), seed);
+        let params = ColoringParams::new(0.5);
+        let reference = color_congest(&g, &ids, &params);
+        if g.m() > 0 {
+            check_proper_edge_coloring(&g, &reference.coloring).assert_ok();
+            check_complete(&g, &reference.coloring).assert_ok();
+        }
+        for (shards, threads) in SHARD_MATRIX {
+            let sharded = params.with_policy(ExecutionPolicy::sharded(shards, threads));
+            let outcome = color_congest(&g, &ids, &sharded);
+            prop_assert_eq!(&reference.coloring, &outcome.coloring);
+            prop_assert_eq!(reference.metrics, outcome.metrics);
+            prop_assert_eq!(reference.colors_used, outcome.colors_used);
+            prop_assert_eq!(reference.levels, outcome.levels);
+        }
+    }
+}
+
+/// Non-property check on a structured instance large enough for the coloring
+/// machinery's outer loop to engage.
+#[test]
+fn structured_instances_are_shard_invariant() {
+    let bg = generators::regular_bipartite(24, 10, 3).expect("feasible");
+    let g = bg.graph().clone();
+    let ids = IdAssignment::scattered(g.n(), 9);
+    let params = ColoringParams::new(0.5);
+    let local_ref = color_edges_local(&g, &ids, &params).expect("valid instance");
+    let congest_ref = color_congest(&g, &ids, &params);
+    for (shards, threads) in SHARD_MATRIX {
+        let sharded = params.with_policy(ExecutionPolicy::sharded(shards, threads));
+        let local = color_edges_local(&g, &ids, &sharded).expect("valid instance");
+        assert_eq!(local_ref.coloring, local.coloring, "sharded({shards})");
+        assert_eq!(local_ref.metrics, local.metrics, "sharded({shards})");
+        let congest = color_congest(&g, &ids, &sharded);
+        assert_eq!(congest_ref.coloring, congest.coloring, "sharded({shards})");
+        assert_eq!(congest_ref.metrics, congest.metrics, "sharded({shards})");
+    }
+}
+
+/// Switching a network's policy mid-run rebuilds the shard state lazily for
+/// the new shard count.
+#[test]
+fn shard_state_rebuilds_on_policy_change() {
+    let g = generators::grid_torus(6, 6);
+    let mut net = Network::with_policy(&g, Model::Local, ExecutionPolicy::sharded(2, 1));
+    net.broadcast(|v| v.index() as u64);
+    assert_eq!(net.shard_state().unwrap().report().shards, 2);
+    net.set_policy(ExecutionPolicy::sharded(4, 1));
+    net.broadcast(|v| v.index() as u64);
+    assert_eq!(net.shard_state().unwrap().report().shards, 4);
+    // Two rounds total, but the stats reset with the rebuild: only the
+    // second round is attributed to the 4-shard state.
+    assert_eq!(net.shard_state().unwrap().router_stats().rounds, 1);
+    assert_eq!(net.rounds(), 2);
+}
+
+/// The strict program layer (unlike `Network::exchange_sync`) tolerates a
+/// program sending twice over one edge in a round; the sharded path's
+/// stable inbox sort must then reproduce the sequential send order for the
+/// duplicate entries, keeping outputs bit-identical.
+#[test]
+fn duplicate_sends_keep_their_order_under_sharding() {
+    /// Sends (round, 2·round) over every port each round; outputs a hash of
+    /// the inbox *in delivery order*, so any reordering changes the output.
+    struct DoubleSend {
+        acc: u64,
+        rounds_left: u32,
+    }
+    impl NodeProgram for DoubleSend {
+        type Msg = u64;
+        type Output = u64;
+        fn init(&mut self, ctx: &NodeCtx) -> Vec<(EdgeId, u64)> {
+            ctx.ports
+                .iter()
+                .flat_map(|p| [(p.edge, 1u64), (p.edge, 2u64)])
+                .collect()
+        }
+        fn round(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Step<u64, u64> {
+            for (i, m) in inbox.iter().enumerate() {
+                self.acc = self
+                    .acc
+                    .wrapping_mul(31)
+                    .wrapping_add(m.msg.wrapping_mul(7))
+                    .wrapping_add(m.from.index() as u64 + i as u64);
+            }
+            if self.rounds_left == 0 {
+                return Step::Halt(self.acc);
+            }
+            self.rounds_left -= 1;
+            Step::Send(
+                ctx.ports
+                    .iter()
+                    .flat_map(|p| [(p.edge, self.acc), (p.edge, self.acc ^ 1)])
+                    .collect(),
+            )
+        }
+    }
+    let g = generators::grid_torus(5, 5);
+    let ids = IdAssignment::scattered(g.n(), 11);
+    let make = |_| DoubleSend {
+        acc: 0,
+        rounds_left: 4,
+    };
+    let reference = run_program(&g, &ids, Model::Local, 8, make);
+    for (shards, threads) in SHARD_MATRIX {
+        let run = run_program_with(
+            &g,
+            &ids,
+            Model::Local,
+            ExecutionPolicy::sharded(shards, threads),
+            8,
+            make,
+        );
+        assert_eq!(run.outputs, reference.outputs, "sharded({shards})");
+        assert_eq!(run.metrics, reference.metrics, "sharded({shards})");
+    }
+}
+
+/// The sharded validation contract matches the sequential one, panic
+/// messages included.
+#[test]
+#[should_panic(expected = "non-incident")]
+fn sharded_sending_over_foreign_edge_panics() {
+    let g = generators::path(4);
+    let mut net = Network::with_policy(&g, Model::Local, ExecutionPolicy::sharded(2, 1));
+    net.exchange_sync(|v| {
+        if v.index() == 0 {
+            vec![(EdgeId::new(2), 1u32)]
+        } else {
+            vec![]
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "two messages")]
+fn sharded_sending_twice_over_same_edge_panics() {
+    let g = generators::path(2);
+    let mut net = Network::with_policy(&g, Model::Local, ExecutionPolicy::sharded(2, 2));
+    net.exchange_sync(|v| {
+        if v.index() == 0 {
+            vec![(EdgeId::new(0), 1u32), (EdgeId::new(0), 2u32)]
+        } else {
+            vec![]
+        }
+    });
+}

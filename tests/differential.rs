@@ -13,7 +13,10 @@
 //!    from-scratch `color_edges_local` run on the final graph must pass the
 //!    identical checker suite (properness, completeness, palette budget),
 //!    and repairs must be **bit-identical** across
-//!    `ExecutionPolicy::Sequential` and `Parallel{2,8}`.
+//!    `ExecutionPolicy::Sequential`, `Parallel{2,8}` and `Sharded{2,4,8}`.
+//! 3. On the seeded generator matrix, full colorings produced under
+//!    `Sharded{2,4,8}` (the partitioned execution substrate of
+//!    `crates/shard`) must be bit-identical to the sequential reference.
 
 use distgraph::generators::{self, Family, UpdateScenario, UpdateStream};
 use distgraph::{DynamicGraph, Graph};
@@ -72,6 +75,32 @@ fn all_implementations_pass_the_same_checkers() {
             assert!(complete.is_ok(), "{name}/{algo}: incomplete: {complete}");
             let budget = check_palette_size(coloring, palette);
             assert!(budget.is_ok(), "{name}/{algo}: palette: {budget}");
+        }
+    }
+}
+
+/// Full colorings on the seeded generator matrix are bit-identical between
+/// the sequential engine and the sharded substrate at 2, 4 and 8 shards —
+/// the differential guarantee the SHARD bench experiment relies on.
+#[test]
+fn sharded_colorings_match_sequential_on_the_matrix() {
+    let params = ColoringParams::new(0.5);
+    for (name, g) in matrix() {
+        let ids = IdAssignment::scattered(g.n(), 5);
+        let reference = color_edges_local(&g, &ids, &params)
+            .unwrap_or_else(|e| panic!("{name}: LOCAL coloring failed: {e}"));
+        for shards in [2usize, 4, 8] {
+            let sharded = params.with_policy(ExecutionPolicy::sharded(shards, 2));
+            let outcome = color_edges_local(&g, &ids, &sharded)
+                .unwrap_or_else(|e| panic!("{name}: sharded({shards}) failed: {e}"));
+            assert_eq!(
+                reference.coloring, outcome.coloring,
+                "{name}: sharded({shards}) coloring diverged"
+            );
+            assert_eq!(
+                reference.metrics, outcome.metrics,
+                "{name}: sharded({shards}) metrics diverged"
+            );
         }
     }
 }
@@ -170,19 +199,25 @@ proptest! {
             batches,
             ExecutionPolicy::Sequential,
         );
-        for threads in [2usize, 8] {
-            let (_, parallel, par_repaired) = run_dynamic_session(
+        for policy in [
+            ExecutionPolicy::parallel(2),
+            ExecutionPolicy::parallel(8),
+            ExecutionPolicy::sharded(2, 1),
+            ExecutionPolicy::sharded(4, 2),
+            ExecutionPolicy::sharded(8, 2),
+        ] {
+            let (_, session, session_repaired) = run_dynamic_session(
                 &initial,
                 scenario,
                 seed,
                 batches,
-                ExecutionPolicy::parallel(threads),
+                policy,
             );
             // (The compat prop_assert_eq! takes no custom message; the
-            // thread count is part of the strategy inputs echoed on failure.)
-            prop_assert_eq!(parallel.coloring(), sequential.coloring());
-            prop_assert_eq!(parallel.palette(), sequential.palette());
-            prop_assert_eq!(par_repaired, repaired);
+            // policy is part of the strategy inputs echoed on failure.)
+            prop_assert_eq!(session.coloring(), sequential.coloring());
+            prop_assert_eq!(session.palette(), sequential.palette());
+            prop_assert_eq!(session_repaired, repaired);
         }
     }
 }

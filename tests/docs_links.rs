@@ -1,0 +1,123 @@
+//! Link check over the Markdown documentation.
+//!
+//! Every relative link in `README.md` and `docs/*.md` must point at a file
+//! (or directory) that exists in the repository, so the documentation layer
+//! cannot silently rot as files move. External (`http(s)`/`mailto`) links
+//! and pure in-page anchors are skipped — the build environment is offline.
+//! CI runs this as part of the `docs` job alongside
+//! `cargo doc --workspace --no-deps` with `RUSTDOCFLAGS="-D warnings"`.
+
+use std::path::{Path, PathBuf};
+
+/// The documentation files under link check: `README.md` plus every
+/// Markdown file in `docs/`.
+fn documentation_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let entries = std::fs::read_dir(&docs).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected README.md plus at least ARCHITECTURE/PAPER_MAP/BENCH_SCHEMA, found {files:?}"
+    );
+    files
+}
+
+/// Extracts the targets of inline Markdown links `[text](target)` from one
+/// line. Good enough for the hand-written docs in this repository (no
+/// reference-style links, no angle-bracketed destinations).
+fn link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(rel_end) = line[i + 2..].find(')') {
+                let target = &line[i + 2..i + 2 + rel_end];
+                targets.push(target.to_string());
+                i += 2 + rel_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+    for file in documentation_files(root) {
+        let content = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let base = file.parent().expect("doc files live in a directory");
+        let mut in_code_block = false;
+        for (lineno, line) in content.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_block = !in_code_block;
+                continue;
+            }
+            if in_code_block {
+                continue;
+            }
+            for target in link_targets(line) {
+                // External links and pure in-page anchors are out of scope.
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                {
+                    continue;
+                }
+                // Drop a fragment, if any: `FILE.md#section` checks FILE.md.
+                let path_part = target.split('#').next().unwrap_or(&target);
+                if path_part.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                let resolved = base.join(path_part);
+                if !resolved.exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link `{}` (resolved to {})",
+                        file.display(),
+                        lineno + 1,
+                        target,
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken documentation links:\n{}",
+        broken.join("\n")
+    );
+    // The docs genuinely contain relative links; an empty count would mean
+    // the extractor regressed, not that the docs are clean.
+    assert!(
+        checked >= 8,
+        "only {checked} relative links found — extractor broken?"
+    );
+}
+
+#[test]
+fn link_extractor_handles_the_common_shapes() {
+    assert_eq!(
+        link_targets("see [a](docs/X.md) and [b](Y.md#frag)"),
+        vec!["docs/X.md".to_string(), "Y.md#frag".to_string()]
+    );
+    assert!(link_targets("no links here").is_empty());
+    assert_eq!(
+        link_targets("[anchor only](#section)"),
+        vec!["#section".to_string()]
+    );
+}
