@@ -1,10 +1,14 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify build test clippy fmt bench-check examples doc bench bench-smoke
+.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # bench compilation, example compilation and the rustdoc gate.
 verify: build test clippy fmt bench-check examples doc
+
+# The inner-loop gate: build + tier-1 tests only (no clippy/fmt/doc/bench
+# compilation). Use while iterating; run `make verify` before pushing.
+verify-fast: build test
 
 build:
 	cargo build --release
@@ -30,13 +34,22 @@ doc:
 
 # The measured baseline: quick E1–E11 sweeps plus the full-size SCALE
 # experiment (million-edge graphs at 1/2/4/8 threads), the DYN dynamic
-# recoloring experiment (million-edge update streams) and the SHARD
+# recoloring experiment (million-edge update streams), the SHARD
 # partitioned-substrate experiment (partition quality + cross-shard
-# traffic), serialized to BENCH_1.json at the repo root (schema:
+# traffic) and the FAULT adversary experiment (delivery losses + recovery
+# cost), serialized to BENCH_1.json at the repo root (schema:
 # docs/BENCH_SCHEMA.md).
 bench:
-	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard --emit-json BENCH_1.json
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault --emit-json BENCH_1.json
 
-# CI-sized variant: tiny sweeps and down-scaled SCALE/DYN/SHARD graphs.
+# CI-sized variant: tiny sweeps and down-scaled SCALE/DYN/SHARD graphs
+# (FAULT always runs its baseline-comparable configurations).
 bench-smoke:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard --emit-json /tmp/bench.json
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault --emit-json /tmp/bench.json
+
+# The regression gate: the smoke run diffed against the committed
+# BENCH_1.json under the tolerance table of crates/bench/src/regression.rs.
+# Fails on any deterministic-field mismatch; the diff lands in
+# /tmp/bench-regression-diff.txt (CI uploads it as an artifact).
+bench-regression:
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt

@@ -10,8 +10,15 @@
 //!   cargo run --release -p edgecolor-bench --bin experiments -- scale      # million-edge SCALE only
 //!   cargo run --release -p edgecolor-bench --bin experiments -- dyn        # million-edge dynamic recoloring
 //!   cargo run --release -p edgecolor-bench --bin experiments -- shard      # sharded substrate (partition/traffic)
-//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
-//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard --emit-json BENCH_1.json
+//!   cargo run --release -p edgecolor-bench --bin experiments -- fault      # fault adversary + self-stabilizing recovery
+//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault --emit-json BENCH_1.json
+//!
+//! The CI `bench-regression` job additionally passes
+//! `--check-baseline BENCH_1.json --diff-out /tmp/diff.txt`: the freshly
+//! built document is diffed against the committed baseline under the
+//! tolerance table of `edgecolor_bench::regression`, the diff is written to
+//! the given path, and any regression exits non-zero.
 
 use edgecolor_bench as bench;
 use edgecolor_bench::json::JsonValue;
@@ -25,6 +32,8 @@ struct TimedTable {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut emit_json: Option<String> = None;
+    let mut check_baseline: Option<String> = None;
+    let mut diff_out: Option<String> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
@@ -33,6 +42,16 @@ fn main() {
                 .next()
                 .unwrap_or_else(|| panic!("--emit-json requires a path argument"));
             emit_json = Some(path);
+        } else if arg == "--check-baseline" {
+            let path = iter
+                .next()
+                .unwrap_or_else(|| panic!("--check-baseline requires a path argument"));
+            check_baseline = Some(path);
+        } else if arg == "--diff-out" {
+            let path = iter
+                .next()
+                .unwrap_or_else(|| panic!("--diff-out requires a path argument"));
+            diff_out = Some(path);
         } else {
             selectors.push(arg.to_lowercase());
         }
@@ -138,16 +157,65 @@ fn main() {
             table
         });
     }
+    // FAULT runs the same modest-size configurations under every selector
+    // size, so the rows a CI smoke run emits are key-comparable to the
+    // committed baseline (the point of the bench-regression contract).
+    let fault_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "fault" || a == "all");
+    let mut fault_measurements = Vec::new();
+    if fault_wanted {
+        timed(&mut || {
+            let (table, measurements) = bench::run_fault();
+            fault_measurements = measurements;
+            table
+        });
+    }
 
     for entry in &tables {
         println!("{}", entry.table);
         println!("(wall clock: {:.1} ms)\n", entry.wall_ms);
     }
 
+    // The JSON document is only needed to emit or to diff; a plain
+    // table-printing run skips assembling it.
+    if emit_json.is_none() && check_baseline.is_none() {
+        return;
+    }
+    let doc = build_json(
+        &tables,
+        &scale_measurements,
+        &shard_measurements,
+        &fault_measurements,
+    );
     if let Some(path) = emit_json {
-        let doc = build_json(&tables, &scale_measurements, &shard_measurements);
         std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
+    }
+
+    if let Some(path) = check_baseline {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("baseline {path} is not valid bench JSON: {e}"));
+        let report = bench::regression::compare(&baseline, &doc);
+        let rendered = report.render();
+        print!("{rendered}");
+        if let Some(diff_path) = diff_out {
+            std::fs::write(&diff_path, &rendered)
+                .unwrap_or_else(|e| panic!("write {diff_path}: {e}"));
+            println!("wrote {diff_path}");
+        }
+        // A vacuous comparison (nothing matched by key) is as much a
+        // contract failure as a mismatch: it means the diff silently
+        // stopped covering anything.
+        const MIN_COMPARED_ROWS: usize = 10;
+        if !report.is_ok(MIN_COMPARED_ROWS) {
+            eprintln!(
+                "bench-regression FAILED ({} mismatches, {} rows compared, {MIN_COMPARED_ROWS} required)",
+                report.mismatches.len(),
+                report.compared_rows
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -157,6 +225,7 @@ fn build_json(
     tables: &[TimedTable],
     scale: &[bench::ScaleMeasurement],
     shard: &[bench::ShardMeasurement],
+    fault: &[bench::FaultMeasurement],
 ) -> JsonValue {
     let experiments = tables
         .iter()
@@ -259,6 +328,45 @@ fn build_json(
             ])
         })
         .collect();
+    let opt_int = |v: Option<u64>| v.map_or(JsonValue::Null, |x| JsonValue::Int(x as i64));
+    let fault_entries = fault
+        .iter()
+        .map(|m| {
+            JsonValue::obj(vec![
+                ("workload", JsonValue::str(m.workload.clone())),
+                ("graph", JsonValue::str(m.graph.clone())),
+                ("n", JsonValue::Int(m.n as i64)),
+                ("m", JsonValue::Int(m.m as i64)),
+                ("seed", JsonValue::Int(m.seed as i64)),
+                ("drop_permille", JsonValue::Int(m.drop_permille as i64)),
+                (
+                    "duplicate_permille",
+                    JsonValue::Int(m.duplicate_permille as i64),
+                ),
+                ("delay_permille", JsonValue::Int(m.delay_permille as i64)),
+                ("crashes", JsonValue::Int(m.crashes as i64)),
+                ("link_cuts", JsonValue::Int(m.link_cuts as i64)),
+                ("rounds", JsonValue::Int(m.rounds as i64)),
+                ("delivered", JsonValue::Int(m.delivered as i64)),
+                ("dropped", JsonValue::Int(m.dropped as i64)),
+                ("duplicated", JsonValue::Int(m.duplicated as i64)),
+                ("delayed", JsonValue::Int(m.delayed as i64)),
+                ("crash_dropped", JsonValue::Int(m.crash_dropped as i64)),
+                (
+                    "partition_dropped",
+                    JsonValue::Int(m.partition_dropped as i64),
+                ),
+                ("corrupted_edges", opt_int(m.corrupted_edges)),
+                ("conflicts_found", opt_int(m.conflicts_found)),
+                ("repaired_edges", opt_int(m.repaired_edges)),
+                (
+                    "identical_across_policies",
+                    JsonValue::Bool(m.identical_across_policies),
+                ),
+                ("wall_ms", JsonValue::Num(m.wall_ms)),
+            ])
+        })
+        .collect();
     let available = std::thread::available_parallelism()
         .map(|p| p.get() as i64)
         .unwrap_or(1);
@@ -275,5 +383,6 @@ fn build_json(
         ("experiments", JsonValue::Arr(experiments)),
         ("scale", JsonValue::Arr(scale_entries)),
         ("shard", JsonValue::Arr(shard_entries)),
+        ("fault", JsonValue::Arr(fault_entries)),
     ])
 }

@@ -14,8 +14,8 @@ use distgraph::{
     DynamicGraph, EdgeId, Graph, ListAssignment, NodeId,
 };
 use distsim::{
-    run_program_with, ExecutionPolicy, IdAssignment, Incoming, Model, Network, NodeCtx,
-    NodeProgram, Step,
+    run_program_under_faults, run_program_with, ExecutionPolicy, FaultPlan, IdAssignment, Incoming,
+    Model, Network, NodeCtx, NodeProgram, Step,
 };
 use edgecolor::balanced_orientation::compute_balanced_orientation;
 use edgecolor::defective_edge::{
@@ -26,6 +26,7 @@ use edgecolor::token_dropping::{
 };
 use edgecolor::{
     color_congest, color_edges_local, ColoringParams, OrientationParams, ParamProfile, Recoloring,
+    SelfStabilizing,
 };
 use edgecolor_baselines as baselines;
 use edgecolor_verify::{check_complete, check_delta, check_proper_edge_coloring};
@@ -33,6 +34,7 @@ use serde::Serialize;
 use std::time::Instant;
 
 pub mod json;
+pub mod regression;
 
 /// A printable result table.
 #[derive(Debug, Clone, Serialize)]
@@ -1126,6 +1128,287 @@ pub fn run_shard(million: bool) -> (Table, Vec<ShardMeasurement>) {
     (table, measurements)
 }
 
+/// One measured configuration of the [`run_fault`] experiment (one row of
+/// the `fault` array of the `edgecolor-bench/v1` JSON document; field
+/// semantics in `docs/BENCH_SCHEMA.md`).
+///
+/// Every field except [`FaultMeasurement::wall_ms`] is deterministic —
+/// seed-driven adversary, seed-driven graphs — so the `bench-regression`
+/// CI job diffs these rows *exactly* against the committed baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMeasurement {
+    /// `"flood"` (a strict-layer program run under the adversary) or
+    /// `"recovery"` (corruption + self-stabilizing repair of a coloring).
+    pub workload: String,
+    /// Graph description.
+    pub graph: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// The adversary seed.
+    pub seed: u64,
+    /// Configured drop rate, in permille.
+    pub drop_permille: u32,
+    /// Configured duplicate rate, in permille.
+    pub duplicate_permille: u32,
+    /// Configured delay rate, in permille.
+    pub delay_permille: u32,
+    /// Number of crash windows in the plan.
+    pub crashes: usize,
+    /// Number of shard-link cuts in the plan.
+    pub link_cuts: usize,
+    /// Rounds charged by the measured execution (flood) or by the repair
+    /// pass (recovery).
+    pub rounds: u64,
+    /// Messages that arrived (flood rows; 0 for recovery).
+    pub delivered: u64,
+    /// Messages dropped by the rate adversary.
+    pub dropped: u64,
+    /// Extra copies injected by the duplication adversary.
+    pub duplicated: u64,
+    /// Messages held back by the delay adversary.
+    pub delayed: u64,
+    /// Messages lost to crash windows.
+    pub crash_dropped: u64,
+    /// Messages lost on severed shard links.
+    pub partition_dropped: u64,
+    /// Edges corrupted by the adversary (recovery rows).
+    pub corrupted_edges: Option<u64>,
+    /// Conflicts the incremental detector found (recovery rows).
+    pub conflicts_found: Option<u64>,
+    /// Edges the self-stabilizing repair recolored (recovery rows).
+    pub repaired_edges: Option<u64>,
+    /// Whether the run was bit-identical across
+    /// Sequential/Parallel/Sharded policies (asserted in-harness — a
+    /// `false` never survives a run).
+    pub identical_across_policies: bool,
+    /// Wall-clock milliseconds of the measured (sequential) execution.
+    pub wall_ms: f64,
+}
+
+/// The fault adversary configurations of the FAULT experiment. Shared by
+/// `quick` and `smoke` runs (the graphs are modest either way), so the rows
+/// the CI smoke run emits are key-comparable to the committed baseline.
+fn fault_configs() -> Vec<(String, Graph, FaultPlan)> {
+    let torus = generators::grid_torus(24, 24);
+    let regular = generators::random_regular(512, 8, 42).expect("feasible");
+    let mut configs = Vec::new();
+    for (name, graph, seed) in [
+        ("grid_torus(24x24)", torus, 1017u64),
+        ("random_regular(512,8)", regular, 2029),
+    ] {
+        // A rates-only adversary and a full adversary (rates + crashes +
+        // healing link partitions) per graph.
+        let rates = FaultPlan::new(seed)
+            .with_drop_rate(0.05)
+            .with_duplicate_rate(0.02)
+            .with_delay_rate(0.04, 3);
+        let full = FaultPlan::new(seed ^ 0xF417)
+            .with_drop_rate(0.08)
+            .with_duplicate_rate(0.03)
+            .with_delay_rate(0.05, 3)
+            .with_crash(NodeId::new(3), 2, 5)
+            .with_crash(NodeId::new(17), 3, 6)
+            .with_partition_granularity(4)
+            .with_link_cut(0, 1, 2, 3)
+            .with_link_cut(2, 3, 4, 2);
+        configs.push((format!("{name}/rates"), graph.clone(), rates));
+        configs.push((format!("{name}/full"), graph, full));
+    }
+    configs
+}
+
+/// FAULT — the adversary experiment: flooding under seed-driven faults
+/// (drops, duplicates, delays, crashes, healing link partitions) plus
+/// corruption-recovery through the self-stabilizing repair pipeline.
+///
+/// Per configuration the harness (a) runs the flood program under the plan
+/// sequentially, under `Parallel{4}` and under `Sharded{4,2}`, asserting
+/// the three runs are bit-identical (the determinism-under-faults
+/// contract), and (b) corrupts a fraction of a maintained coloring with the
+/// plan's seed, stabilizes, and re-validates through the full checkers.
+/// All recorded quantities except wall-clock are deterministic, which is
+/// what makes the rows a CI regression contract (see
+/// [`crate::regression`]).
+pub fn run_fault() -> (Table, Vec<FaultMeasurement>) {
+    const FLOOD_ROUNDS: u32 = 8;
+    let mut table = Table::new(
+        "FAULT",
+        "Fault adversary: delivery losses, recovery cost and policy bit-identity",
+        &[
+            "workload",
+            "graph",
+            "m",
+            "seed",
+            "rounds",
+            "delivered",
+            "dropped",
+            "dup",
+            "delayed",
+            "crash drop",
+            "cut drop",
+            "conflicts",
+            "repaired",
+            "identical",
+            "wall ms",
+        ],
+    );
+    let mut measurements = Vec::new();
+    let params = ColoringParams::new(0.5);
+    for (name, graph, plan) in fault_configs() {
+        let ids = IdAssignment::scattered(graph.n(), 7);
+        let make = |_| ScaleFlood {
+            best: 0,
+            rounds_left: FLOOD_ROUNDS,
+        };
+        // Flood under the adversary: sequential reference plus the policy
+        // bit-identity assertion.
+        let started = Instant::now();
+        let reference = run_program_under_faults(
+            &graph,
+            &ids,
+            Model::Local,
+            ExecutionPolicy::Sequential,
+            u64::from(FLOOD_ROUNDS) + 6,
+            plan.clone(),
+            make,
+        );
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut identical = true;
+        for policy in [ExecutionPolicy::parallel(4), ExecutionPolicy::sharded(4, 2)] {
+            let run = run_program_under_faults(
+                &graph,
+                &ids,
+                Model::Local,
+                policy,
+                u64::from(FLOOD_ROUNDS) + 6,
+                plan.clone(),
+                make,
+            );
+            identical &= run.outputs == reference.outputs
+                && run.metrics == reference.metrics
+                && run.faults == reference.faults;
+        }
+        assert!(identical, "{name}: faulty flood diverged across policies");
+        let stats = reference.faults.expect("faulty run carries stats");
+        table.push_row(vec![
+            "flood".to_string(),
+            name.clone(),
+            graph.m().to_string(),
+            plan.seed().to_string(),
+            reference.metrics.rounds.to_string(),
+            stats.delivered.to_string(),
+            stats.dropped.to_string(),
+            stats.duplicated.to_string(),
+            stats.delayed.to_string(),
+            stats.crash_dropped.to_string(),
+            stats.partition_dropped.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            identical.to_string(),
+            format!("{wall_ms:.1}"),
+        ]);
+        let (drop_pm, dup_pm, delay_pm, crashes, cuts) = plan_shape(&plan);
+        measurements.push(FaultMeasurement {
+            workload: "flood".to_string(),
+            graph: name.clone(),
+            n: graph.n(),
+            m: graph.m(),
+            seed: plan.seed(),
+            drop_permille: drop_pm,
+            duplicate_permille: dup_pm,
+            delay_permille: delay_pm,
+            crashes,
+            link_cuts: cuts,
+            rounds: reference.metrics.rounds,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            duplicated: stats.duplicated,
+            delayed: stats.delayed,
+            crash_dropped: stats.crash_dropped,
+            partition_dropped: stats.partition_dropped,
+            corrupted_edges: None,
+            conflicts_found: None,
+            repaired_edges: None,
+            identical_across_policies: identical,
+            wall_ms,
+        });
+
+        // Recovery: corrupt ~5% of the coloring with the plan's seed, then
+        // self-stabilize and fully re-validate.
+        let dg = DynamicGraph::from_graph(graph.clone());
+        let (rec, _) =
+            Recoloring::color_initial(&dg, &ids, &params).expect("valid initial instance");
+        let palette = rec.palette();
+        let mut session = SelfStabilizing::new(rec);
+        let corrupt = (graph.m() / 20).max(8);
+        let started = Instant::now();
+        let touched = session.inject_corruption(dg.graph(), plan.seed(), corrupt);
+        let report = session
+            .stabilize(&dg, &touched, &ids, &params)
+            .expect("stabilizable");
+        let recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+        check_proper_edge_coloring(dg.graph(), session.coloring()).assert_ok();
+        check_complete(dg.graph(), session.coloring()).assert_ok();
+        check_delta(dg.graph(), session.coloring(), &report.touched, palette).assert_ok();
+        table.push_row(vec![
+            "recovery".to_string(),
+            name.clone(),
+            graph.m().to_string(),
+            plan.seed().to_string(),
+            report.metrics.rounds.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            report.conflicts_found.to_string(),
+            report.repaired_edges.to_string(),
+            "true".to_string(),
+            format!("{recovery_ms:.1}"),
+        ]);
+        measurements.push(FaultMeasurement {
+            workload: "recovery".to_string(),
+            graph: name,
+            n: graph.n(),
+            m: graph.m(),
+            seed: plan.seed(),
+            drop_permille: drop_pm,
+            duplicate_permille: dup_pm,
+            delay_permille: delay_pm,
+            crashes,
+            link_cuts: cuts,
+            rounds: report.metrics.rounds,
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            crash_dropped: 0,
+            partition_dropped: 0,
+            corrupted_edges: Some(touched.len() as u64),
+            conflicts_found: Some(report.conflicts_found as u64),
+            repaired_edges: Some(report.repaired_edges as u64),
+            identical_across_policies: true,
+            wall_ms: recovery_ms,
+        });
+    }
+    (table, measurements)
+}
+
+/// The configured shape of a plan, for the measurement record.
+fn plan_shape(plan: &FaultPlan) -> (u32, u32, u32, usize, usize) {
+    let rates = plan.rates();
+    (
+        rates.drop_permille,
+        rates.duplicate_permille,
+        rates.delay_permille,
+        plan.crashes().len(),
+        plan.link_cuts().len(),
+    )
+}
+
 /// E11 — baseline color-count comparison.
 pub fn run_e11(deltas: &[usize]) -> Table {
     let mut table = Table::new(
@@ -1302,6 +1585,48 @@ mod tests {
             hub[5].parse::<u64>().unwrap() >= 1,
             "hub attack never broke the palette"
         );
+    }
+
+    #[test]
+    fn fault_experiment_is_deterministic_and_validates() {
+        let (table, measurements) = run_fault();
+        // 2 graphs × 2 plans × 2 workloads.
+        assert_eq!(measurements.len(), 8);
+        assert_eq!(table.rows.len(), 8);
+        let (again, repeat) = run_fault();
+        assert_eq!(again.headers, table.headers);
+        for (a, b) in measurements.iter().zip(&repeat) {
+            // Everything except wall-clock replays exactly.
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.graph, b.graph);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.delivered, b.delivered);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.conflicts_found, b.conflicts_found);
+            assert_eq!(a.repaired_edges, b.repaired_edges);
+        }
+        for m in &measurements {
+            assert!(m.identical_across_policies, "{}: diverged", m.graph);
+            match m.workload.as_str() {
+                "flood" => {
+                    assert!(m.dropped > 0, "{}: adversary idle", m.graph);
+                    assert!(m.delivered > 0, "{}: everything lost", m.graph);
+                    assert!(m.conflicts_found.is_none());
+                    if m.crashes > 0 {
+                        assert!(m.crash_dropped > 0, "{}: crashes idle", m.graph);
+                    }
+                    if m.link_cuts > 0 {
+                        assert!(m.partition_dropped > 0, "{}: cuts idle", m.graph);
+                    }
+                }
+                "recovery" => {
+                    assert!(m.corrupted_edges.unwrap() > 0);
+                    assert!(m.conflicts_found.unwrap() > 0, "{}: clean", m.graph);
+                    assert!(m.repaired_edges.unwrap() > 0);
+                }
+                other => panic!("unexpected workload {other}"),
+            }
+        }
     }
 
     #[test]

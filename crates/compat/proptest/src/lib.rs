@@ -5,17 +5,32 @@
 //! with `prop_map`/`prop_flat_map`, integer-range and tuple strategies,
 //! [`collection::vec`] and [`test_runner::ProptestConfig`].
 //!
-//! Cases are generated from a deterministic per-test seed, so failures
-//! reproduce across runs. There is **no shrinking**: a failing case is
-//! reported as-is. See `crates/compat/README.md` for the full caveat list.
+//! Cases are generated from a deterministic per-test, **per-case** seed, so
+//! failures reproduce across runs and a single failing case can be replayed
+//! without regenerating its predecessors. There is **no shrinking**: a
+//! failing case is reported as-is.
+//!
+//! # Failure persistence (`proptest-regressions/`)
+//!
+//! Like upstream proptest, a failing case is persisted next to its source
+//! file — `<dir of test>/proptest-regressions/<file stem>.txt`, one
+//! `cc <test path> case <index>` line per counterexample — and every
+//! persisted case is **replayed first** on subsequent runs, before the
+//! regular random cases. Check these files into source control: that is
+//! what makes adversarial counterexamples (e.g. the fault-injection
+//! batteries') reproduce across machines and CI runs. See
+//! `crates/compat/README.md` for the full caveat list.
 
 #![forbid(unsafe_code)]
 
 pub mod test_runner {
-    //! Test configuration, errors and the deterministic case RNG.
+    //! Test configuration, errors, the deterministic case RNG and the
+    //! failure-persistence layer.
 
     use rand::{RngCore, SeedableRng};
     use rand_chacha::ChaCha8Rng;
+    use std::cell::RefCell;
+    use std::path::{Path, PathBuf};
 
     /// Per-block configuration; only `cases` is honored.
     #[derive(Debug, Clone)]
@@ -72,14 +87,31 @@ pub mod test_runner {
     impl TestRng {
         /// A deterministic RNG derived from the test's fully qualified name.
         pub fn deterministic(name: &str) -> Self {
-            // FNV-1a over the test path gives a stable per-test seed.
-            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in name.bytes() {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            TestRng(ChaCha8Rng::seed_from_u64(hash))
+            TestRng(ChaCha8Rng::seed_from_u64(fnv1a(name)))
         }
+
+        /// A deterministic RNG for one specific case of a test: replaying
+        /// case `k` needs no knowledge of cases `0..k` (the property the
+        /// persisted-counterexample replay relies on).
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // Avalanche the case index into the name hash so consecutive
+            // cases decorrelate.
+            let mut z =
+                fnv1a(name) ^ (u64::from(case).wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            TestRng(ChaCha8Rng::seed_from_u64(z ^ (z >> 31)))
+        }
+    }
+
+    /// FNV-1a over the test path: a stable per-test seed.
+    fn fnv1a(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
     }
 
     impl RngCore for TestRng {
@@ -89,6 +121,99 @@ pub mod test_runner {
         fn next_u64(&mut self) -> u64 {
             self.0.next_u64()
         }
+    }
+
+    thread_local! {
+        /// Test-only override of the persistence directory (keeps the
+        /// stand-in's own failure-path tests from writing into the source
+        /// tree).
+        static PERSIST_DIR_OVERRIDE: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+    }
+
+    /// Overrides where this thread persists/loads failure seeds (`None`
+    /// restores the default source-adjacent location). Intended for tests
+    /// of the persistence machinery itself.
+    pub fn override_persist_dir_for_test(dir: Option<PathBuf>) {
+        PERSIST_DIR_OVERRIDE.with(|o| *o.borrow_mut() = dir);
+    }
+
+    /// The `proptest-regressions/<stem>.txt` file for a test source file
+    /// (`source` is the `file!()` path, relative to the workspace root).
+    /// Resolved by walking up from the current directory until the source
+    /// path exists — cargo runs test binaries from the *package* root, but
+    /// `file!()` paths are workspace-relative. `None` when the source tree
+    /// is not reachable (e.g. running an installed binary), in which case
+    /// persistence is silently disabled.
+    pub fn regression_file_for(source: &str) -> Option<PathBuf> {
+        if let Some(dir) = PERSIST_DIR_OVERRIDE.with(|o| o.borrow().clone()) {
+            let stem = Path::new(source).file_stem()?.to_owned();
+            return Some(dir.join(stem).with_extension("txt"));
+        }
+        let mut root = std::env::current_dir().ok()?;
+        loop {
+            if root.join(source).exists() {
+                let resolved = root.join(source);
+                let dir = resolved.parent()?.join("proptest-regressions");
+                let stem = resolved.file_stem()?.to_owned();
+                return Some(dir.join(stem).with_extension("txt"));
+            }
+            if !root.pop() {
+                return None;
+            }
+        }
+    }
+
+    /// The persisted counterexample case indices for one test, in file
+    /// order. Lines have the shape `cc <test path> case <index>`.
+    pub fn load_persisted(source: &str, test_path: &str) -> Vec<u32> {
+        let Some(file) = regression_file_for(source) else {
+            return Vec::new();
+        };
+        let Ok(content) = std::fs::read_to_string(file) else {
+            return Vec::new();
+        };
+        content
+            .lines()
+            .filter_map(|line| {
+                let rest = line.strip_prefix("cc ")?;
+                let (name, case) = rest.rsplit_once(" case ")?;
+                if name.trim() != test_path {
+                    return None;
+                }
+                case.trim().parse().ok()
+            })
+            .collect()
+    }
+
+    /// Persists a failing case so later runs replay it first. Appends
+    /// `cc <test path> case <index>` (deduplicated) to the test file's
+    /// regression file, creating it with an explanatory header if needed.
+    /// Returns the file written, `None` when persistence is unavailable or
+    /// the entry already exists.
+    pub fn persist_failure(source: &str, test_path: &str, case: u32) -> Option<PathBuf> {
+        let file = regression_file_for(source)?;
+        let entry = format!("cc {test_path} case {case}");
+        let existing = std::fs::read_to_string(&file).unwrap_or_default();
+        if existing.lines().any(|l| l.trim() == entry) {
+            return None;
+        }
+        std::fs::create_dir_all(file.parent()?).ok()?;
+        let mut content = if existing.is_empty() {
+            "# Seeds for failure cases found by the offline proptest stand-in.\n\
+             # Each line replays one counterexample (`cc <test> case <index>`,\n\
+             # regenerated via `TestRng::for_case`). Check this file into\n\
+             # source control so counterexamples reproduce everywhere.\n"
+                .to_string()
+        } else {
+            existing
+        };
+        if !content.ends_with('\n') {
+            content.push('\n');
+        }
+        content.push_str(&entry);
+        content.push('\n');
+        std::fs::write(&file, content).ok()?;
+        Some(file)
     }
 }
 
@@ -373,12 +498,14 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
-                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
-                    module_path!(),
-                    "::",
-                    stringify!($name)
-                ));
-                for case in 0..config.cases {
+                let source = file!();
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                // `mut` stays even when no strategy captures mutably:
+                // whether the closure is Fn or FnMut depends on the
+                // caller's strategy expressions.
+                #[allow(unused_mut)]
+                let mut run_case = |case: u32, replayed: bool| {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
                     $(
                         let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )+
@@ -387,13 +514,47 @@ macro_rules! __proptest_impl {
                         ::std::result::Result::Ok(())
                     })();
                     if let ::std::result::Result::Err(err) = outcome {
-                        panic!(
-                            "proptest case {}/{} of `{}` failed: {}",
-                            case + 1,
-                            config.cases,
-                            stringify!($name),
-                            err
-                        );
+                        let persisted = if replayed {
+                            ::std::option::Option::None
+                        } else {
+                            $crate::test_runner::persist_failure(source, test_path, case)
+                        };
+                        match (replayed, persisted) {
+                            (true, _) => panic!(
+                                "proptest persisted counterexample case {} of `{}` failed: {}",
+                                case,
+                                stringify!($name),
+                                err
+                            ),
+                            (false, ::std::option::Option::Some(file)) => panic!(
+                                "proptest case {}/{} of `{}` failed (persisted to {}): {}",
+                                case + 1,
+                                config.cases,
+                                stringify!($name),
+                                file.display(),
+                                err
+                            ),
+                            (false, ::std::option::Option::None) => panic!(
+                                "proptest case {}/{} of `{}` failed: {}",
+                                case + 1,
+                                config.cases,
+                                stringify!($name),
+                                err
+                            ),
+                        }
+                    }
+                };
+                // Persisted counterexamples replay first, then the regular
+                // random cases — minus the ones the replay already covered
+                // (per-case seeding makes the re-run byte-identical, so it
+                // would only double the cost of exactly the slow cases).
+                let persisted = $crate::test_runner::load_persisted(source, test_path);
+                for &case in &persisted {
+                    run_case(case, true);
+                }
+                for case in 0..config.cases {
+                    if !persisted.contains(&case) {
+                        run_case(case, false);
                     }
                 }
             }
@@ -431,7 +592,14 @@ mod tests {
     }
 
     #[test]
-    fn failing_property_panics() {
+    fn failing_property_panics_and_persists_its_seed() {
+        // Route persistence into a scratch directory so the stand-in's own
+        // failure-path test does not write into the source tree.
+        let dir =
+            std::env::temp_dir().join(format!("proptest-compat-selftest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::test_runner::override_persist_dir_for_test(Some(dir.clone()));
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 #![proptest_config(ProptestConfig::with_cases(4))]
@@ -442,5 +610,67 @@ mod tests {
             always_fails();
         });
         assert!(result.is_err());
+        let message = result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("panic carries a String");
+        assert!(
+            message.contains("persisted to"),
+            "failure message must point at the seed file: {message}"
+        );
+        // The seed file exists, names this test and replays on demand.
+        let file = crate::test_runner::regression_file_for(file!()).expect("override set");
+        let content = std::fs::read_to_string(&file).expect("seed file written");
+        assert!(content.starts_with('#'), "header comment present");
+        assert!(content.contains("::always_fails case 0"), "{content}");
+        let persisted = crate::test_runner::load_persisted(
+            file!(),
+            &format!("{}::always_fails", module_path!()),
+        );
+        assert_eq!(persisted, vec![0]);
+        // A duplicate failure does not duplicate the entry.
+        assert_eq!(
+            crate::test_runner::persist_failure(
+                file!(),
+                &format!("{}::always_fails", module_path!()),
+                0
+            ),
+            None
+        );
+        crate::test_runner::override_persist_dir_for_test(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_case_rng_is_stable_and_decorrelated() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::TestRng::for_case("mod::test", 3);
+        let mut b = crate::test_runner::TestRng::for_case("mod::test", 3);
+        assert_eq!(a.next_u64(), b.next_u64(), "same case replays identically");
+        let mut c = crate::test_runner::TestRng::for_case("mod::test", 4);
+        assert_ne!(a.next_u64(), c.next_u64(), "cases decorrelate");
+        let mut d = crate::test_runner::TestRng::for_case("mod::other", 3);
+        assert_ne!(b.next_u64(), d.next_u64(), "tests decorrelate");
+    }
+
+    #[test]
+    fn regression_file_resolves_next_to_the_source() {
+        // No override on this thread: the default resolution walks up to
+        // the workspace root and lands next to this source file.
+        let file = crate::test_runner::regression_file_for(file!())
+            .expect("source tree is reachable from the test cwd");
+        assert!(file.ends_with("proptest-regressions/lib.txt"), "{file:?}");
+        assert!(file
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .join("lib.rs")
+            .exists());
+        // Unknown sources disable persistence instead of misfiling seeds.
+        assert_eq!(
+            crate::test_runner::regression_file_for("no/such/file.rs"),
+            None
+        );
     }
 }

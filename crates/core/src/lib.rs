@@ -23,7 +23,11 @@
 //!   [`list_coloring`];
 //! * the **dynamic recoloring subsystem** — local repair of a maintained
 //!   coloring after edge insert/delete batches, reusing the Theorem 1.1
-//!   machinery on the affected subgraph only — [`recolor`].
+//!   machinery on the affected subgraph only — [`recolor`];
+//! * the **self-stabilizing repair layer** — detection of post-fault
+//!   conflicts (stale colors after crashes, drops or severed shard links of
+//!   a `distsim` fault plan) via the incremental `check_delta` certificate
+//!   and healing through the same dirty-subgraph machinery — [`stabilize`].
 //!
 //! # Quick start
 //!
@@ -68,6 +72,7 @@ pub mod linial;
 pub mod list_coloring;
 pub mod params;
 pub mod recolor;
+pub mod stabilize;
 pub mod token_dropping;
 
 pub use congest_coloring::{color_congest, CongestColoringResult};
@@ -78,3 +83,4 @@ pub use list_coloring::{
 };
 pub use params::{ColoringParams, OrientationParams, ParamProfile};
 pub use recolor::{Recoloring, RepairReport};
+pub use stabilize::{SelfStabilizing, StabilizationReport};

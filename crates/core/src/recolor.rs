@@ -156,6 +156,17 @@ impl Recoloring {
         &self.coloring
     }
 
+    /// Mutable access for the self-stabilization layer ([`crate::stabilize`]):
+    /// corruption injection and conflict repair rewrite colors in place.
+    pub(crate) fn coloring_mut(&mut self) -> &mut EdgeColoring {
+        &mut self.coloring
+    }
+
+    /// Replaces the maintained coloring (self-stabilization repair result).
+    pub(crate) fn replace_coloring(&mut self, coloring: EdgeColoring) {
+        self.coloring = coloring;
+    }
+
     /// The palette budget `P`: every assigned color is `< P`.
     pub fn palette(&self) -> usize {
         self.palette
@@ -255,7 +266,10 @@ impl Recoloring {
 ///
 /// Invariant required of the caller: `P ≥ 2Δ(graph) − 1`, so that every
 /// uncolored edge has at least `deg_H(e) + 1` available colors.
-fn repair_within_palette(
+///
+/// Shared with the self-stabilization layer ([`crate::stabilize`]), whose
+/// dirty set is the post-fault conflict set instead of a mutation batch.
+pub(crate) fn repair_within_palette(
     graph: &Graph,
     mut carried: EdgeColoring,
     palette: usize,

@@ -95,6 +95,22 @@ impl Partition {
         self.shard_of(u).min(self.shard_of(v))
     }
 
+    /// The normalized (smaller shard first) shard pair edge `e` crosses, or
+    /// `None` for a shard-internal edge. This is the key the fault layer's
+    /// shard-link partitions sever messages by: a link cut `(a, b)` loses
+    /// exactly the traffic of the edges whose `crossing_pair` is `(a, b)`
+    /// while the cut is open, and that traffic flows again once it heals.
+    #[inline]
+    pub fn crossing_pair(&self, graph: &Graph, e: distgraph::EdgeId) -> Option<(usize, usize)> {
+        let (u, v) = graph.endpoints(e);
+        let (su, sv) = (self.shard_of(u), self.shard_of(v));
+        if su == sv {
+            None
+        } else {
+            Some((su.min(sv), su.max(sv)))
+        }
+    }
+
     /// Computes the quality report of this partition for `graph`.
     pub fn report(&self, graph: &Graph) -> PartitionReport {
         assert_eq!(self.n(), graph.n(), "partition covers a different graph");

@@ -110,6 +110,33 @@ proptest! {
     fn partition_is_deterministic((g, k) in (arb_graph(), 1usize..10)) {
         prop_assert_eq!(bfs_partition(&g, k), bfs_partition(&g, k));
     }
+
+    #[test]
+    fn crossing_pairs_agree_with_boundary_sets((g, k) in (arb_graph(), 1usize..10)) {
+        // The fault layer severs links by `crossing_pair`; it must name
+        // exactly the pair whose boundary set lists the edge, and `None`
+        // exactly for shard-internal edges.
+        let sharded = ShardedGraph::new(&g, bfs_partition(&g, k));
+        let partition = sharded.partition();
+        let mut crossing = 0usize;
+        for e in g.edges() {
+            match partition.crossing_pair(&g, e) {
+                None => {
+                    let (u, v) = g.endpoints(e);
+                    prop_assert_eq!(partition.shard_of(u), partition.shard_of(v));
+                }
+                Some((a, b)) => {
+                    prop_assert!(a < b, "pair ({a},{b}) not normalized");
+                    prop_assert!(
+                        sharded.boundary_edges(a, b).contains(&e),
+                        "{e} crosses ({a},{b}) but is missing from its boundary set"
+                    );
+                    crossing += 1;
+                }
+            }
+        }
+        prop_assert_eq!(crossing, sharded.cut_edges());
+    }
 }
 
 /// The structured generator families used by the bench suite keep their cut

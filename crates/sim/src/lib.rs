@@ -35,6 +35,13 @@
 //! cross-shard traffic is observable through [`Network::shard_state`] and
 //! [`ProgramRun::shard`].
 //!
+//! Both layers can additionally run under a seed-driven **fault adversary**
+//! ([`faults`]): message drops/duplicates/delays with per-edge rates, node
+//! crash/restart windows, and shard-link partitions that heal, plus the
+//! [`AsyncScheduler`]'s adversarial message reordering. Same seed + same
+//! [`FaultPlan`] ⇒ bit-identical run under every execution policy
+//! ([`Network::install_faults`], [`run_program_under_faults`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -53,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod executor;
+pub mod faults;
 mod identifiers;
 mod metrics;
 mod model;
@@ -61,11 +69,13 @@ mod payload;
 mod program;
 
 pub use executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
+pub use faults::{AsyncScheduler, CrashWindow, FaultPlan, FaultRates, FaultStats, LinkPartition};
 pub use identifiers::IdAssignment;
 pub use metrics::Metrics;
 pub use model::Model;
 pub use network::{Incoming, Mailboxes, Network, ShardState};
 pub use payload::{bits_for, Payload};
 pub use program::{
-    run_program, run_program_with, NodeCtx, NodeProgram, ProgramRun, ShardRunStats, Step,
+    run_program, run_program_under_faults, run_program_with, NodeCtx, NodeProgram, ProgramRun,
+    ShardRunStats, Step,
 };

@@ -22,6 +22,7 @@
 //! a stateful `FnMut` closure and therefore always runs sequentially.
 
 use crate::executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
+use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::metrics::Metrics;
 use crate::model::Model;
 use crate::payload::Payload;
@@ -125,6 +126,7 @@ pub struct Network<'g> {
     policy: ExecutionPolicy,
     metrics: Metrics,
     shard_state: Option<ShardState>,
+    faults: Option<FaultState>,
 }
 
 impl<'g> Network<'g> {
@@ -143,6 +145,7 @@ impl<'g> Network<'g> {
             policy,
             metrics: Metrics::new(),
             shard_state: None,
+            faults: None,
         }
     }
 
@@ -150,8 +153,41 @@ impl<'g> Network<'g> {
     /// execution policy. Used by composed algorithms that recurse on
     /// subgraphs; absorb the child's metrics afterwards with
     /// [`Network::absorb_sequential`] or [`Network::absorb_parallel`].
+    ///
+    /// Installed fault plans are **not** inherited: a [`FaultPlan`] is
+    /// defined against one graph's edges and rounds, and child networks run
+    /// on subgraphs with their own edge ids.
     pub fn child<'h>(&self, child_graph: &'h Graph) -> Network<'h> {
         Network::with_policy(child_graph, self.model, self.policy)
+    }
+
+    /// Installs a fault plan: every subsequent round is filtered through the
+    /// seed-driven adversary (drops, duplicates, delays, crash windows,
+    /// shard-link partitions — see [`crate::faults`]). Replaces any
+    /// previously installed plan, resetting its state.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// What the installed adversary did so far; `None` when no plan is
+    /// installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultState::stats)
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultState::plan)
+    }
+
+    /// Filters freshly delivered mailboxes through the installed fault
+    /// plan (no-op without one). Called by every delivery path *after* the
+    /// canonical sender-order merge, so the adversary sees identical input
+    /// under every execution policy.
+    fn apply_faults<M: Payload + Send>(&mut self, boxes: &mut [Vec<Incoming<M>>]) {
+        if let Some(state) = &mut self.faults {
+            state.apply(self.graph, self.metrics.rounds, boxes);
+        }
     }
 
     /// The underlying graph.
@@ -195,7 +231,7 @@ impl<'g> Network<'g> {
     ///
     /// Panics if a node sends over an edge it is not incident to, or sends two
     /// messages over the same edge in one round.
-    pub fn exchange<M: Payload>(
+    pub fn exchange<M: Payload + Send>(
         &mut self,
         mut outgoing: impl FnMut(NodeId) -> Vec<(EdgeId, M)>,
     ) -> Mailboxes<M> {
@@ -221,6 +257,7 @@ impl<'g> Network<'g> {
                 boxes[target.index()].push(Incoming { from: v, edge, msg });
             }
         }
+        self.apply_faults(&mut boxes);
         Mailboxes::from_boxes(boxes)
     }
 
@@ -320,6 +357,7 @@ impl<'g> Network<'g> {
                 }
             },
         );
+        self.apply_faults(&mut boxes);
         Mailboxes::from_boxes(boxes)
     }
 
@@ -450,6 +488,7 @@ impl<'g> Network<'g> {
         for inbox in &mut boxes {
             inbox.sort_unstable_by_key(|incoming| incoming.from);
         }
+        self.apply_faults(&mut boxes);
         Mailboxes::from_boxes(boxes)
     }
 

@@ -9,7 +9,11 @@
 use std::fmt::Debug;
 
 /// A message that can be sent over an edge in one round.
-pub trait Payload: Clone + Debug {
+///
+/// Payloads are `'static` owned data: the fault-injection layer
+/// ([`crate::FaultPlan`]) may hold a message back for several rounds, so a
+/// message cannot borrow from the round that produced it.
+pub trait Payload: Clone + Debug + 'static {
     /// A conservative upper bound on the number of bits needed to encode the
     /// message.
     fn encoded_bits(&self) -> usize;

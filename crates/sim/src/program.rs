@@ -14,6 +14,7 @@
 //! have strict implementations running on it.
 
 use crate::executor::{for_each_chunk_mut, Chunks, ExecutionPolicy};
+use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::identifiers::IdAssignment;
 use crate::metrics::Metrics;
 use crate::model::Model;
@@ -89,6 +90,10 @@ pub struct ProgramRun<O> {
     /// Partition quality and cross-shard traffic when the run executed under
     /// [`ExecutionPolicy::Sharded`]; `None` for the other policies.
     pub shard: Option<ShardRunStats>,
+    /// What the fault adversary did when the run executed under a
+    /// [`FaultPlan`] (see [`run_program_under_faults`]); `None` for
+    /// fault-free runs.
+    pub faults: Option<FaultStats>,
 }
 
 impl<O> ProgramRun<O> {
@@ -116,10 +121,29 @@ pub fn run_program<P, F>(
     ids: &IdAssignment,
     model: Model,
     max_rounds: u64,
-    mut make_program: F,
+    make_program: F,
 ) -> ProgramRun<P::Output>
 where
     P: NodeProgram,
+    P::Msg: Send,
+    F: FnMut(NodeId) -> P,
+{
+    run_program_inner(graph, ids, model, max_rounds, make_program, None)
+}
+
+/// The sequential execution path, optionally filtered through a fault
+/// adversary (the reference semantics every other path is bit-identical to).
+fn run_program_inner<P, F>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    model: Model,
+    max_rounds: u64,
+    mut make_program: F,
+    mut faults: Option<&mut FaultState>,
+) -> ProgramRun<P::Output>
+where
+    P: NodeProgram,
+    P::Msg: Send,
     F: FnMut(NodeId) -> P,
 {
     let n = graph.n();
@@ -162,9 +186,13 @@ where
             break;
         }
         metrics.rounds += 1;
+        let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
         let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
         for v in graph.nodes() {
             if outputs[v.index()].is_some() {
+                continue;
+            }
+            if crash_mask.as_ref().is_some_and(|mask| mask[v.index()]) {
                 continue;
             }
             match programs[v.index()].round(&contexts[v.index()], &inboxes[v.index()]) {
@@ -182,13 +210,49 @@ where
                 }
             }
         }
+        note_crashed_steps(&mut faults, &crash_mask, &outputs);
     }
 
     ProgramRun {
         outputs,
         metrics,
         shard: None,
+        faults: None,
     }
+}
+
+/// Filters the round's pending messages through the fault adversary (if
+/// any) and returns the round's crash mask. Shared by all three execution
+/// paths, *after* each has produced the canonical sequential delivery
+/// order, so the adversary's decisions are identical across policies.
+fn apply_round_faults<M: Payload + Send>(
+    faults: &mut Option<&mut FaultState>,
+    graph: &Graph,
+    round: u64,
+    pending: &mut [Vec<Incoming<M>>],
+) -> Option<Vec<bool>> {
+    let state = faults.as_deref_mut()?;
+    state.apply(graph, round, pending);
+    state.crash_mask(graph.n(), round)
+}
+
+/// Accounts the node steps suppressed by this round's crash mask. A crashed
+/// node can neither step nor halt, so its output is still `None` exactly
+/// when the crash suppressed a live step.
+fn note_crashed_steps<O>(
+    faults: &mut Option<&mut FaultState>,
+    crash_mask: &Option<Vec<bool>>,
+    outputs: &[Option<O>],
+) {
+    let (Some(state), Some(mask)) = (faults.as_deref_mut(), crash_mask) else {
+        return;
+    };
+    let suppressed = mask
+        .iter()
+        .zip(outputs)
+        .filter(|(&crashed, output)| crashed && output.is_none())
+        .count() as u64;
+    state.note_crashed_steps(suppressed);
 }
 
 /// Like [`run_program`], but executes each round's node actions under the
@@ -223,12 +287,72 @@ where
     P::Output: Send,
     F: FnMut(NodeId) -> P,
 {
+    run_program_with_inner(graph, ids, model, policy, max_rounds, make_program, None)
+}
+
+/// Like [`run_program_with`], but executes every round under the
+/// seed-driven fault adversary described by `plan` (drops, duplicates,
+/// delays, crash windows, severed shard links — see [`crate::faults`]).
+///
+/// The determinism contract extends to faults: the same `plan` produces
+/// bit-identical outputs, metrics and [`FaultStats`] under every execution
+/// policy, because every adversary decision is a pure hash of
+/// `(seed, round, edge, sender)` applied to the canonically ordered
+/// mailboxes. The adversary's effect is returned in
+/// [`ProgramRun::faults`].
+pub fn run_program_under_faults<P, F>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    model: Model,
+    policy: ExecutionPolicy,
+    max_rounds: u64,
+    plan: FaultPlan,
+    make_program: F,
+) -> ProgramRun<P::Output>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+    P::Output: Send,
+    F: FnMut(NodeId) -> P,
+{
+    let mut state = FaultState::new(plan);
+    let mut run = run_program_with_inner(
+        graph,
+        ids,
+        model,
+        policy,
+        max_rounds,
+        make_program,
+        Some(&mut state),
+    );
+    run.faults = Some(state.stats());
+    run
+}
+
+/// Policy dispatch shared by [`run_program_with`] and
+/// [`run_program_under_faults`].
+fn run_program_with_inner<P, F>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    model: Model,
+    policy: ExecutionPolicy,
+    max_rounds: u64,
+    make_program: F,
+    faults: Option<&mut FaultState>,
+) -> ProgramRun<P::Output>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+    P::Output: Send,
+    F: FnMut(NodeId) -> P,
+{
     if policy.is_sharded() {
-        return run_program_sharded(graph, ids, model, policy, max_rounds, make_program);
+        return run_program_sharded(graph, ids, model, policy, max_rounds, make_program, faults);
     }
     if !policy.is_parallel() {
-        return run_program(graph, ids, model, max_rounds, make_program);
+        return run_program_inner(graph, ids, model, max_rounds, make_program, faults);
     }
+    let mut faults = faults;
     let mut make_program = make_program;
     let n = graph.n();
     let max_degree = graph.max_degree();
@@ -282,6 +406,7 @@ where
             break;
         }
         metrics.rounds += 1;
+        let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
         let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
 
         // Split programs and outputs into disjoint per-chunk mutable slices.
@@ -303,6 +428,7 @@ where
             let contexts = &contexts;
             let inboxes = &inboxes;
             let chunks = &chunks;
+            let crash_mask = crash_mask.as_deref();
             let handles: Vec<_> = ranges
                 .iter()
                 .cloned()
@@ -320,6 +446,9 @@ where
                                 continue;
                             }
                             let raw_v = range.start + offset;
+                            if crash_mask.is_some_and(|mask| mask[raw_v]) {
+                                continue;
+                            }
                             let v = NodeId::new(raw_v);
                             match program.round(&contexts[raw_v], &inboxes[raw_v]) {
                                 Step::Halt(out) => *output = Some(out),
@@ -376,12 +505,14 @@ where
                 }
             }
         });
+        note_crashed_steps(&mut faults, &crash_mask, &outputs);
     }
 
     ProgramRun {
         outputs,
         metrics,
         shard: None,
+        faults: None,
     }
 }
 
@@ -405,6 +536,7 @@ fn run_program_sharded<P, F>(
     policy: ExecutionPolicy,
     max_rounds: u64,
     mut make_program: F,
+    mut faults: Option<&mut FaultState>,
 ) -> ProgramRun<P::Output>
 where
     P: NodeProgram + Send,
@@ -493,6 +625,7 @@ where
             break;
         }
         metrics.rounds += 1;
+        let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
         let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
 
         // Split programs and outputs into one contiguous slice per shard.
@@ -520,6 +653,7 @@ where
             shard_work[chunks.chunk_of(s)].push((s, progs, outs));
         }
 
+        let crash_mask_ref = crash_mask.as_deref();
         let run_shard = |s: usize,
                          progs: &mut [P],
                          outs: &mut [Option<P::Output>],
@@ -535,6 +669,9 @@ where
                 .zip(outs.iter_mut())
             {
                 if output.is_some() {
+                    continue;
+                }
+                if crash_mask_ref.is_some_and(|mask| mask[v.index()]) {
                     continue;
                 }
                 match program.round(&contexts[v.index()], &inboxes[v.index()]) {
@@ -633,6 +770,15 @@ where
         for inbox in &mut pending {
             inbox.sort_by_key(|incoming| incoming.from);
         }
+        // Crashed-step accounting against the shard-major output layout.
+        if let (Some(state), Some(mask)) = (faults.as_deref_mut(), &crash_mask) {
+            let suppressed = order
+                .iter()
+                .zip(&outputs_sm)
+                .filter(|(v, output)| mask[v.index()] && output.is_none())
+                .count() as u64;
+            state.note_crashed_steps(suppressed);
+        }
     }
 
     // Un-permute the shard-major outputs back into node order.
@@ -649,6 +795,7 @@ where
             report,
             router: router_stats,
         }),
+        faults: None,
     }
 }
 

@@ -1,0 +1,140 @@
+//! Property coverage for the two sim substrate modules the fault layer
+//! leans on: `payload` (message size accounting — the adversary's byte
+//! counters and the CONGEST audit both trust `encoded_bits`) and
+//! `identifiers` (unique IDs — the symmetry-breaking the deterministic
+//! adversary hashes against).
+
+use distsim::{bits_for, IdAssignment, Payload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `bits_for` is the minimal width: the value round-trips through a
+    /// `bits_for(v)`-bit field and through no narrower one.
+    #[test]
+    fn bits_for_is_the_minimal_roundtrip_width(v in 0u64..u64::MAX) {
+        let bits = bits_for(v);
+        prop_assert!((1..=64).contains(&bits));
+        // The value fits: writing and reading back `bits` bits is lossless.
+        if bits < 64 {
+            prop_assert!(v < 1u64 << bits, "{v} does not fit in {bits} bits");
+        }
+        // And the width is minimal (one bit fewer loses information).
+        if bits > 1 {
+            prop_assert!(v >= 1u64 << (bits - 1), "{v} also fits in {} bits", bits - 1);
+        }
+    }
+
+    /// Unsigned payloads report exactly `bits_for`; signed ones add the
+    /// sign bit on top of the magnitude.
+    #[test]
+    fn scalar_encoded_bits_match_bits_for(v in 0u64..u64::MAX, s in i64::MIN..i64::MAX) {
+        prop_assert_eq!(v.encoded_bits(), bits_for(v));
+        prop_assert_eq!((v as u32 as u64).encoded_bits(), (v as u32).encoded_bits());
+        prop_assert_eq!(s.encoded_bits(), 1 + bits_for(s.unsigned_abs()));
+    }
+
+    /// Composite sizes decompose exactly: tuples sum, options pay one tag
+    /// bit, vectors pay a length prefix plus their elements. The CONGEST
+    /// accounting (and the fault layer's byte counters) rely on this
+    /// decomposition being exact, not an estimate.
+    #[test]
+    fn composite_encoded_bits_decompose(
+        (a, b, flag, v) in (0u64..1 << 40, 0u32..u32::MAX, 0u8..2, collection::vec(0u64..1 << 20, 0..12))
+    ) {
+        let flag = flag == 1;
+        prop_assert_eq!((a, b).encoded_bits(), a.encoded_bits() + b.encoded_bits());
+        prop_assert_eq!(
+            (a, b, flag).encoded_bits(),
+            a.encoded_bits() + b.encoded_bits() + 1
+        );
+        prop_assert_eq!(Some(a).encoded_bits(), 1 + a.encoded_bits());
+        prop_assert_eq!(None::<u64>.encoded_bits(), 1);
+        let elements: usize = v.iter().map(Payload::encoded_bits).sum();
+        prop_assert_eq!(v.encoded_bits(), bits_for(v.len() as u64) + elements);
+    }
+
+    /// Monotonicity: a numerically larger value never reports fewer bits
+    /// (the adversary's per-message accounting must be order-consistent).
+    #[test]
+    fn encoded_bits_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(lo.encoded_bits() <= hi.encoded_bits());
+    }
+
+    /// Scattered identifiers: unique, positive, inside the declared space,
+    /// and a pure function of `(n, seed)`.
+    #[test]
+    fn scattered_ids_are_unique_in_range_and_deterministic(
+        (n, seed) in (1usize..300, 0u64..10_000)
+    ) {
+        let ids = IdAssignment::scattered(n, seed);
+        prop_assert_eq!(ids.len(), n);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        for v in 0..n {
+            let id = ids.id(distgraph::NodeId::new(v));
+            prop_assert!(id >= 1);
+            prop_assert!(id <= ids.space());
+            prop_assert!(seen.insert(id), "duplicate identifier");
+        }
+        prop_assert!(ids.space() <= (n as u64).pow(3).max(n as u64));
+        prop_assert_eq!(IdAssignment::scattered(n, seed), ids);
+    }
+
+    /// ID-ordering invariant: sorting nodes by identifier is a permutation
+    /// (strict total order, no ties) — the property every symmetry-breaking
+    /// step and every deterministic adversary hash depends on.
+    #[test]
+    fn id_order_is_a_strict_total_order((n, seed) in (2usize..200, 0u64..5_000)) {
+        let ids = IdAssignment::scattered(n, seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| ids.id(distgraph::NodeId::new(v)));
+        // No adjacent ties after sorting ⇒ strict order.
+        for pair in order.windows(2) {
+            let a = ids.id(distgraph::NodeId::new(pair[0]));
+            let b = ids.id(distgraph::NodeId::new(pair[1]));
+            prop_assert!(a < b);
+        }
+        // And it is a permutation of the node set.
+        let mut back = order.clone();
+        back.sort_unstable();
+        prop_assert_eq!(back, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `from_vec` round-trips explicit assignments and reports the tight
+    /// space bound (the maximum identifier).
+    #[test]
+    fn from_vec_roundtrips_and_bounds_space(raw in collection::vec(1u64..1 << 48, 1..64)) {
+        let mut unique = raw.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let ids = IdAssignment::from_vec(unique.clone());
+        for (v, &expected) in unique.iter().enumerate() {
+            prop_assert_eq!(ids.id(distgraph::NodeId::new(v)), expected);
+        }
+        prop_assert_eq!(ids.space(), *unique.iter().max().unwrap());
+        prop_assert!(!ids.is_empty());
+    }
+
+    /// Contiguous identifiers are `1..=n` in node order with space `n`.
+    #[test]
+    fn contiguous_ids_are_the_identity(n in 1usize..500) {
+        let ids = IdAssignment::contiguous(n);
+        for v in 0..n {
+            prop_assert_eq!(ids.id(distgraph::NodeId::new(v)), v as u64 + 1);
+        }
+        prop_assert_eq!(ids.space(), n as u64);
+    }
+}
+
+/// Different seeds disagree somewhere (not a proptest: a fixed spot-check
+/// matrix keeps this deterministic and cheap).
+#[test]
+fn scattered_seeds_decorrelate() {
+    for n in [10usize, 50, 200] {
+        let a = IdAssignment::scattered(n, 1);
+        let b = IdAssignment::scattered(n, 2);
+        assert_ne!(a, b, "seeds 1 and 2 collide at n={n}");
+    }
+}

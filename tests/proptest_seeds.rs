@@ -1,0 +1,124 @@
+//! CI check for the failure-persistence contract of the property suites.
+//!
+//! Every test file that declares properties with a proptest block must carry a
+//! committed `proptest-regressions/<stem>.txt` seed file next to it: the
+//! offline proptest stand-in persists new counterexamples there (and
+//! replays them first on every later run), so an adversarial case found
+//! once — on any machine, in any CI run — keeps reproducing everywhere.
+//! A missing seed file means a new property suite was added without wiring
+//! it into that contract; a seed file with unparseable `cc` lines means
+//! the replay path silently stopped working.
+
+use std::path::{Path, PathBuf};
+
+/// All Rust test files of the workspace (crate `tests/` dirs plus the
+/// workspace-level `tests/`).
+fn test_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("tests")];
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            dirs.push(entry.path().join("tests"));
+        }
+    }
+    for dir in dirs {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_property_suite_has_a_committed_seed_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut property_suites = 0usize;
+    let mut missing: Vec<String> = Vec::new();
+    for file in test_files(root) {
+        let content = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        // Match the macro invocation itself — built at runtime so this
+        // checker's own source (which must name the pattern somehow) does
+        // not match it.
+        let needle = concat!("proptest", "!").to_string() + " {";
+        if !content.contains(&needle) {
+            continue;
+        }
+        property_suites += 1;
+        let seeds = file
+            .parent()
+            .expect("test files live in a directory")
+            .join("proptest-regressions")
+            .join(file.file_stem().expect("rs files have a stem"))
+            .with_extension("txt");
+        if !seeds.exists() {
+            missing.push(format!("{} (expected {})", file.display(), seeds.display()));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "property suites without a committed proptest-regressions seed file:\n{}",
+        missing.join("\n")
+    );
+    // The walker genuinely found the batteries; zero would mean it broke.
+    assert!(
+        property_suites >= 10,
+        "only {property_suites} property suites found — walker broken?"
+    );
+}
+
+#[test]
+fn committed_seed_files_are_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    for file in test_files(root) {
+        let dir = file.parent().unwrap().join("proptest-regressions");
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "txt") {
+                continue;
+            }
+            checked += 1;
+            let content = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            for (lineno, line) in content.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                // Every non-comment line must be a replayable entry:
+                // `cc <test path> case <index>`.
+                let valid = line
+                    .strip_prefix("cc ")
+                    .and_then(|rest| rest.rsplit_once(" case "))
+                    .is_some_and(|(name, case)| {
+                        !name.trim().is_empty() && case.trim().parse::<u32>().is_ok()
+                    });
+                assert!(
+                    valid,
+                    "{}:{}: unparseable seed line `{line}` — the replay path would skip it",
+                    path.display(),
+                    lineno + 1
+                );
+            }
+        }
+        // Only visit each proptest-regressions dir once per test dir; the
+        // outer loop may hand us siblings of the same parent repeatedly,
+        // but re-checking is cheap and keeps the walker simple.
+    }
+    assert!(
+        checked >= 5,
+        "only {checked} seed files checked — committed files missing?"
+    );
+}
