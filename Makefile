@@ -1,6 +1,6 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression
+.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # bench compilation, example compilation and the rustdoc gate.
@@ -53,3 +53,12 @@ bench-smoke:
 # /tmp/bench-regression-diff.txt (CI uploads it as an artifact).
 bench-regression:
 	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt
+
+# The round-complexity gate: only E1/E2/E3 (quick-size sweeps, same rows as
+# the committed baseline) with the ledger-derived columns — per-doubling
+# round ratio, polylog fit exponent, dominant stage, fallback levels. Round
+# counts are exact-match in the tolerance table, so any blowup in the
+# defective-coloring recursion fails here with a diff that names the
+# dominant recursion stage (see docs/ROUNDS.md).
+bench-rounds:
+	cargo run --release -p edgecolor-bench --bin experiments -- rounds --emit-json /tmp/bench-rounds.json --check-baseline BENCH_1.json --diff-out /tmp/bench-rounds-diff.txt

@@ -11,6 +11,7 @@
 //!   cargo run --release -p edgecolor-bench --bin experiments -- dyn        # million-edge dynamic recoloring
 //!   cargo run --release -p edgecolor-bench --bin experiments -- shard      # sharded substrate (partition/traffic)
 //!   cargo run --release -p edgecolor-bench --bin experiments -- fault      # fault adversary + self-stabilizing recovery
+//!   cargo run --release -p edgecolor-bench --bin experiments -- rounds     # round-complexity gate: E1/E2/E3 only, quick-size
 //!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
 //!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault --emit-json BENCH_1.json
 //!
@@ -58,10 +59,18 @@ fn main() {
     }
     let quick = selectors.iter().any(|a| a == "quick");
     let smoke = selectors.iter().any(|a| a == "smoke");
-    let small = quick || smoke;
+    // `rounds` is the round-complexity gate (`make bench-rounds`): only the
+    // experiments whose round counts the tolerance table pins exactly
+    // (E1/E2/E3), at quick-size sweeps so the rows stay key-comparable to
+    // the committed baseline.
+    let rounds_only = selectors.iter().any(|a| a == "rounds");
+    let small = quick || smoke || rounds_only;
     // An experiment runs when no selector is given or a broad selector
     // (all/quick/smoke) or its own id appears.
     let want = |id: &str| {
+        if rounds_only {
+            return matches!(id, "e1" | "e2" | "e3");
+        }
         selectors.is_empty()
             || selectors
                 .iter()
@@ -194,8 +203,11 @@ fn main() {
     if let Some(path) = check_baseline {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
-        let baseline = JsonValue::parse(&text)
+        let mut baseline = JsonValue::parse(&text)
             .unwrap_or_else(|e| panic!("baseline {path} is not valid bench JSON: {e}"));
+        if rounds_only {
+            baseline = prune_baseline_for_rounds(baseline);
+        }
         let report = bench::regression::compare(&baseline, &doc);
         let rendered = report.render();
         print!("{rendered}");
@@ -217,6 +229,43 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Restricts a parsed baseline document to the tables a `rounds` run
+/// reproduces (E1/E2/E3) and empties the scale/shard/fault arrays. A
+/// subset run would otherwise fail the diff on "experiment missing from
+/// the fresh run" / "coverage lost" for every table it deliberately skips;
+/// the E1/E3 round columns keep their exact-match contract.
+fn prune_baseline_for_rounds(doc: JsonValue) -> JsonValue {
+    let JsonValue::Obj(fields) = doc else {
+        return doc;
+    };
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(key, value)| {
+                let value = match key.as_str() {
+                    "experiments" => match value {
+                        JsonValue::Arr(exp_tables) => JsonValue::Arr(
+                            exp_tables
+                                .into_iter()
+                                .filter(|t| {
+                                    matches!(
+                                        t.get("id").and_then(JsonValue::as_str),
+                                        Some("E1" | "E2" | "E3")
+                                    )
+                                })
+                                .collect(),
+                        ),
+                        other => other,
+                    },
+                    "scale" | "shard" | "fault" => JsonValue::Arr(Vec::new()),
+                    _ => value,
+                };
+                (key, value)
+            })
+            .collect(),
+    )
 }
 
 /// Assembles the `edgecolor-bench/v1` JSON document (schema in

@@ -118,9 +118,15 @@ pub fn run_e1(deltas: &[usize]) -> Table {
             "kw rounds",
             "randomized rounds",
             "ours log*-part",
+            "rounds ×/doubling",
+            "polylog fit c",
+            "dominant stage",
+            "fallback levels",
         ],
     );
     let params = ColoringParams::new(0.5);
+    let mut first: Option<(usize, u64)> = None;
+    let mut prev_rounds: Option<u64> = None;
     for &delta in deltas {
         let graph = regular_graph(delta, 7);
         let ids = ids_for(&graph, 3);
@@ -130,15 +136,42 @@ pub fn run_e1(deltas: &[usize]) -> Table {
         let classes = baselines::greedy_by_classes(&graph, &ids, Model::Local);
         let kw = baselines::kw_reduction(&graph, &ids, Model::Local);
         let random = baselines::randomized_coloring(&graph, 5, Model::Local);
+        let rounds = ours.metrics.rounds;
+        // Scaling-fit columns (the polylog(Δ) regression contract): the
+        // rounds ratio against the previous Δ in the sweep, and the exponent
+        // c solving rounds/rounds₀ = (log Δ / log Δ₀)^c anchored at the
+        // sweep's first row. Polylog scaling means a bounded ratio per
+        // doubling and a small, stable c; the Δ ≥ 16 blowup this column was
+        // added for showed ratios of 160× and a c that grew with Δ.
+        let ratio = prev_rounds
+            .map(|p| format!("{:.2}", rounds as f64 / p.max(1) as f64))
+            .unwrap_or_else(|| "-".into());
+        let fit = first
+            .map(|(d0, r0)| {
+                let log_ratio = (delta.max(2) as f64).log2().ln() - (d0.max(2) as f64).log2().ln();
+                if log_ratio.abs() < 1e-12 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}", (rounds as f64 / r0.max(1) as f64).ln() / log_ratio)
+                }
+            })
+            .unwrap_or_else(|| "-".into());
+        first = first.or(Some((delta, rounds)));
+        prev_rounds = Some(rounds);
+        let fallbacks = ours.ledger.entries().iter().filter(|e| e.fallback).count();
         table.push_row(vec![
             delta.to_string(),
             graph.n().to_string(),
-            ours.metrics.rounds.to_string(),
+            rounds.to_string(),
             ours.coloring.palette_size().to_string(),
             classes.metrics.rounds.to_string(),
             kw.metrics.rounds.to_string(),
             random.metrics.rounds.to_string(),
             ours.initial_coloring_rounds.to_string(),
+            ratio,
+            fit,
+            ours.ledger.dominant_stage().to_string(),
+            fallbacks.to_string(),
         ]);
     }
     table
@@ -185,24 +218,35 @@ pub fn run_e3(deltas: &[usize], epsilons: &[f64]) -> Table {
             "rounds",
             "levels",
             "violations",
+            "rounds ×/doubling",
+            "dominant stage",
         ],
     );
+    // Previous-Δ rounds per ε (the scaling-fit ratio is taken at fixed ε).
+    let mut prev_rounds: Vec<Option<u64>> = vec![None; epsilons.len()];
     for &delta in deltas {
-        for &eps in epsilons {
+        for (ei, &eps) in epsilons.iter().enumerate() {
             let graph = regular_graph(delta, 13);
             let ids = ids_for(&graph, 5);
             let params = ColoringParams::new(eps);
             let result = color_congest(&graph, &ids, &params);
             check_proper_edge_coloring(&graph, &result.coloring).assert_ok();
             check_complete(&graph, &result.coloring).assert_ok();
+            let rounds = result.metrics.rounds;
+            let ratio = prev_rounds[ei]
+                .map(|p| format!("{:.2}", rounds as f64 / p.max(1) as f64))
+                .unwrap_or_else(|| "-".into());
+            prev_rounds[ei] = Some(rounds);
             table.push_row(vec![
                 delta.to_string(),
                 format!("{eps:.2}"),
                 result.colors_used.to_string(),
                 format!("{:.2}", result.colors_used as f64 / delta as f64),
-                result.metrics.rounds.to_string(),
+                rounds.to_string(),
                 result.levels.to_string(),
                 result.metrics.congest_violations.to_string(),
+                ratio,
+                result.ledger.dominant_stage().to_string(),
             ]);
         }
     }

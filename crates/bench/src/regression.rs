@@ -32,6 +32,13 @@ pub enum Rule {
     AbsTol(f64),
     /// Host-dependent (wall clock, speedups, RSS): never compared.
     Ignore,
+    /// Host-dependent, but the *fresh* value must be at least this floor;
+    /// the baseline value is never compared. Used for
+    /// `speedup_vs_sequential`: its absolute value is host noise, but after
+    /// the executor learned to skip worker spawns that cannot overlap
+    /// (single-hardware-thread hosts), a parallel run must never be
+    /// meaningfully *slower* than the sequential one.
+    MinFresh(f64),
 }
 
 /// The tolerance table for `experiments` table columns. Matching is by
@@ -61,6 +68,10 @@ const FLOAT_TABLE_COLUMNS: &[&str] = &[
     "cross msg/round",
     "ε",
     "red share",
+    // E1/E3 scaling-fit columns: deterministic derivations of the (exactly
+    // compared) round counts, formatted as floats.
+    "rounds ×/doubling",
+    "polylog fit c",
 ];
 
 /// The comparison rule for a table column of experiment `id`.
@@ -111,6 +122,11 @@ pub const SCALE_FIELDS: (&[&str], &[(&str, Rule)]) = (
         ("m", Rule::Exact),
         ("rounds", Rule::Exact),
         ("messages", Rule::Exact),
+        // Wall-clock derived, so its value is host noise — but it must not
+        // fall below ~1.0: the executor runs the identical chunk geometry
+        // inline when spawning cannot overlap, so even a 1-CPU host pays
+        // only bookkeeping overhead over the sequential run.
+        ("speedup_vs_sequential", Rule::MinFresh(0.95)),
     ],
 );
 
@@ -286,6 +302,11 @@ fn compare_experiment_tables(
         };
         let base_rows = table_rows(base);
         let fresh_rows = table_rows(new);
+        // When a round count drifts, the diff artifact names the recursion
+        // level that charged the most rounds (the ledger's dominant stage),
+        // so a super-polylog regression points at the offending stage
+        // instead of just a bad total.
+        let stage_idx = headers.iter().position(|h| h == "dominant stage");
         let mut matched = 0usize;
         for brow in &base_rows {
             let key = row_key(brow);
@@ -295,6 +316,15 @@ fn compare_experiment_tables(
             };
             report.compared_rows += 1;
             matched += 1;
+            let stage_hint = |header: &str| -> String {
+                if !header.contains("rounds") {
+                    return String::new();
+                }
+                stage_idx
+                    .and_then(|i| frow.get(i))
+                    .map(|s| format!(" (fresh dominant stage: {s})"))
+                    .unwrap_or_default()
+            };
             for (i, header) in headers.iter().enumerate() {
                 let (Some(b), Some(f)) = (brow.get(i), frow.get(i)) else {
                     continue;
@@ -304,7 +334,8 @@ fn compare_experiment_tables(
                     Rule::Exact => {
                         if b != f {
                             report.mismatches.push(format!(
-                                "{id}[{key}].{header}: baseline `{b}` vs fresh `{f}`"
+                                "{id}[{key}].{header}: baseline `{b}` vs fresh `{f}`{}",
+                                stage_hint(header)
                             ));
                         }
                     }
@@ -316,6 +347,13 @@ fn compare_experiment_tables(
                             _ => report.mismatches.push(format!(
                                 "{id}[{key}].{header}: baseline `{b}` vs fresh `{f}` (tol {tol})"
                             )),
+                        }
+                    }
+                    Rule::MinFresh(floor) => {
+                        if f.parse::<f64>().is_ok_and(|y| y < floor) {
+                            report.mismatches.push(format!(
+                                "{id}[{key}].{header}: fresh `{f}` below floor {floor}"
+                            ));
                         }
                     }
                 }
@@ -402,13 +440,24 @@ fn compare_measurement_array(
                         _ => b != f, // both Null (or both absent) is fine
                     }
                 }
+                // The baseline value is never consulted; only the fresh
+                // value is held to the floor (absent/null passes — e.g. a
+                // baseline recorded before the field existed).
+                Rule::MinFresh(floor) => f.and_then(JsonValue::as_f64).is_some_and(|y| y < *floor),
             };
             if mismatch {
-                report.mismatches.push(format!(
-                    "{array}[{key}].{field}: baseline {} vs fresh {}",
-                    b.map_or("<absent>".to_string(), |v| v.render().trim().to_string()),
-                    f.map_or("<absent>".to_string(), |v| v.render().trim().to_string()),
-                ));
+                let fresh_cell =
+                    f.map_or("<absent>".to_string(), |v| v.render().trim().to_string());
+                let detail = match rule {
+                    Rule::MinFresh(floor) => format!("fresh {fresh_cell} below floor {floor}"),
+                    _ => format!(
+                        "baseline {} vs fresh {fresh_cell}",
+                        b.map_or("<absent>".to_string(), |v| v.render().trim().to_string()),
+                    ),
+                };
+                report
+                    .mismatches
+                    .push(format!("{array}[{key}].{field}: {detail}"));
             }
         }
     }
@@ -696,10 +745,105 @@ mod tests {
         assert_eq!(column_rule("SCALE", "speedup"), Rule::Ignore);
         assert_eq!(column_rule("SCALE", "floor"), Rule::Ignore);
         assert_eq!(column_rule("SHARD", "cut frac"), Rule::AbsTol(1e-6));
+        // The round-complexity contract: E1/E3 round counts are exact-match.
         assert_eq!(column_rule("E1", "ours rounds"), Rule::Exact);
+        assert_eq!(column_rule("E3", "rounds"), Rule::Exact);
+        assert_eq!(column_rule("E1", "dominant stage"), Rule::Exact);
+        // The derived scaling-fit columns are float-compared.
+        assert_eq!(column_rule("E1", "rounds ×/doubling"), Rule::AbsTol(1e-6));
+        assert_eq!(column_rule("E1", "polylog fit c"), Rule::AbsTol(1e-6));
         assert_eq!(column_rule("FAULT", "dropped"), Rule::Exact);
         assert_eq!(key_columns("E3"), &["Δ", "ε"]);
         assert_eq!(key_columns("FAULT"), &["workload", "graph", "seed"]);
         assert!(key_columns("E999").is_empty());
+        // The scale array's speedup is floor-checked, never diffed.
+        assert!(SCALE_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "speedup_vs_sequential" && r == Rule::MinFresh(0.95)));
+    }
+
+    fn scale_doc(speedup: f64) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", JsonValue::str("edgecolor-bench/v1")),
+            ("experiments", JsonValue::Arr(vec![])),
+            (
+                "scale",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("graph", JsonValue::str("g")),
+                    ("threads", JsonValue::Int(2)),
+                    ("n", JsonValue::Int(10)),
+                    ("m", JsonValue::Int(20)),
+                    ("rounds", JsonValue::Int(7)),
+                    ("messages", JsonValue::Int(280)),
+                    ("speedup_vs_sequential", JsonValue::Num(speedup)),
+                ])]),
+            ),
+            ("shard", JsonValue::Arr(vec![])),
+            ("fault", JsonValue::Arr(vec![])),
+        ])
+    }
+
+    #[test]
+    fn speedup_below_floor_fails_regardless_of_baseline() {
+        // Baseline recorded a bad speedup (pre-fix); only the fresh value
+        // counts against the floor.
+        let report = compare(&scale_doc(0.62), &scale_doc(0.97));
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        let report = compare(&scale_doc(1.8), &scale_doc(0.62));
+        assert!(
+            report
+                .mismatches
+                .iter()
+                .any(|m| m.contains("speedup_vs_sequential") && m.contains("below floor")),
+            "{:?}",
+            report.mismatches
+        );
+    }
+
+    #[test]
+    fn round_regressions_name_the_dominant_stage() {
+        let with_stage = |rounds: &str, stage: &str| {
+            JsonValue::obj(vec![
+                ("schema", JsonValue::str("edgecolor-bench/v1")),
+                (
+                    "experiments",
+                    JsonValue::Arr(vec![JsonValue::obj(vec![
+                        ("id", JsonValue::str("E1")),
+                        (
+                            "headers",
+                            JsonValue::Arr(vec![
+                                JsonValue::str("Δ"),
+                                JsonValue::str("ours rounds"),
+                                JsonValue::str("dominant stage"),
+                            ]),
+                        ),
+                        (
+                            "rows",
+                            JsonValue::Arr(vec![JsonValue::Arr(vec![
+                                JsonValue::str("16"),
+                                JsonValue::str(rounds),
+                                JsonValue::str(stage),
+                            ])]),
+                        ),
+                    ])]),
+                ),
+                ("scale", JsonValue::Arr(vec![])),
+                ("shard", JsonValue::Arr(vec![])),
+                ("fault", JsonValue::Arr(vec![])),
+            ])
+        };
+        let report = compare(
+            &with_stage("447", "orientation"),
+            &with_stage("13566", "d4-sweep"),
+        );
+        assert!(
+            report
+                .mismatches
+                .iter()
+                .any(|m| m.contains("ours rounds") && m.contains("dominant stage: d4-sweep")),
+            "{:?}",
+            report.mismatches
+        );
     }
 }

@@ -1,0 +1,42 @@
+//! Development probe: prints the per-level round ledger of
+//! `color_edges_local` on the E1 benchmark graphs (random Δ-regular,
+//! n = max(4Δ, 96)) so the polylog(Δ) scaling of the recursion can be
+//! inspected stage by stage. Run with
+//! `cargo run --release -p edgecolor --example ledger_probe [deltas...]`.
+
+use distgraph::generators;
+use distsim::IdAssignment;
+use edgecolor::{color_edges_local, ColoringParams};
+
+fn main() {
+    let deltas: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("delta"))
+        .collect();
+    let deltas = if deltas.is_empty() {
+        vec![8, 16, 32, 64]
+    } else {
+        deltas
+    };
+    let mut params = ColoringParams::new(0.5);
+    if let Ok(cutoff) = std::env::var("LEDGER_PROBE_CUTOFF") {
+        params.low_degree_cutoff = cutoff.parse().expect("cutoff");
+    }
+    for delta in deltas {
+        let n = (4 * delta).max(96);
+        let n = if n % 2 == 1 { n + 1 } else { n };
+        let graph = generators::random_regular(n, delta, 7).expect("feasible");
+        let ids = IdAssignment::scattered(graph.n(), 3);
+        let outcome = color_edges_local(&graph, &ids, &params).expect("valid");
+        println!(
+            "Δ={delta} n={n} rounds={} outer={} solver_calls={} fallback={}",
+            outcome.metrics.rounds,
+            outcome.outer_iterations,
+            outcome.solver_calls,
+            outcome.fallback_rounds
+        );
+        println!("{}", outcome.ledger);
+        println!("dominant stage: {}", outcome.ledger.dominant_stage());
+        println!();
+    }
+}

@@ -19,7 +19,7 @@
 use crate::params::OrientationParams;
 use crate::token_dropping::{solve_distributed_with, TokenGame, TokenGameParams};
 use distgraph::{BipartiteGraph, EdgeId, NodeId, Orientation};
-use distsim::{bits_for, Network};
+use distsim::{bits_for, LedgerEntry, Network};
 
 /// The outcome of the Section 5 phase algorithm.
 #[derive(Debug, Clone)]
@@ -84,12 +84,13 @@ pub fn compute_balanced_orientation(
     let max_phases = params.phase_count(dbar);
     let rounds_before = net.rounds();
     let mut phases_run = 0u32;
+    let mut total_game_rounds = 0u64;
+    let mut total_violating = 0usize;
 
     for phi in 1..=max_phases {
         if orientation.oriented_count() == graph.m() {
             break;
         }
-        phases_run = phi;
         let threshold = (1.0 - nu).powi(phi as i32) * dbar as f64;
 
         // Unoriented degree of every node (number of unoriented incident edges).
@@ -121,6 +122,18 @@ pub fn compute_balanced_orientation(
                 d as f64 > threshold
             })
             .collect();
+
+        // A phase with E_φ = ∅ cannot change any state: no proposals means no
+        // acceptances, and the repair game's tokens come exclusively from
+        // this phase's acceptances, so it starts empty and moves nothing.
+        // The phase schedule (threshold, k_φ, δ_φ) depends only on φ, so
+        // skipping the phase without charging rounds is semantically exact —
+        // the orientation just waits for the threshold to decay to the next
+        // productive batch.
+        if e_phi.is_empty() {
+            continue;
+        }
+        phases_run += 1;
 
         // Step 2: every edge in E_φ proposes to one of its endpoints.
         let mut proposals_by_target: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.n()];
@@ -225,6 +238,8 @@ pub fn compute_balanced_orientation(
         // for the proposals, one for the acceptances, plus the game.
         net.charge_rounds(3 + game_rounds);
         net.charge_messages(2 * e_phi.len() as u64 + graph.m() as u64, message_bits);
+        total_game_rounds += game_rounds;
+        total_violating += violating.len();
     }
 
     // Any edge still unoriented after the phases has only O(1) unoriented
@@ -245,6 +260,26 @@ pub fn compute_balanced_orientation(
     let eps = 8.0 * nu;
     let beta = params.beta_bound(dbar);
     let measured_beta = measure_required_beta(bg, &orientation, eta, eps);
+    net.record_ledger(LedgerEntry {
+        depth: 0,
+        stage: "orientation",
+        delta_level: dbar,
+        edges: graph.m(),
+        rounds: net.rounds() - rounds_before,
+        defect_ratio: phases_run as f64,
+        fallback: false,
+    });
+    if total_game_rounds > 0 {
+        net.record_ledger(LedgerEntry {
+            depth: 0,
+            stage: "orient-game",
+            delta_level: dbar,
+            edges: total_violating,
+            rounds: total_game_rounds,
+            defect_ratio: f64::NAN,
+            fallback: false,
+        });
+    }
 
     BalancedOrientationResult {
         orientation,

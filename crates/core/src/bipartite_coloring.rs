@@ -14,7 +14,7 @@ use crate::defective_edge::{defective_two_edge_coloring, uniform_lambda};
 use crate::greedy_finish::{greedy_palette_coloring_by_schedule, port_pair_edge_coloring};
 use crate::params::ColoringParams;
 use distgraph::{BipartiteGraph, EdgeColoring, EdgeId};
-use distsim::{Metrics, Network};
+use distsim::{LedgerEntry, Metrics, Network};
 
 /// Result of the bipartite `(2+ε)Δ`-edge coloring.
 #[derive(Debug, Clone)]
@@ -59,6 +59,14 @@ pub fn color_bipartite(
     let eps = params.eps;
     let dbar = graph.max_edge_degree().max(1);
     // χ = Θ(ε / log Δ̄) and k = ⌊ln(1 + ε/4)/χ⌋ recursion levels (Appendix C).
+    //
+    // NOTE: ε intentionally controls the *round* cost, not only the palette.
+    // χ feeds the orientation as ν = χ/8, and each defective split runs
+    // Θ(ln Δ̄ / ν) phases, so tightening ε (fewer colors) costs poly(1/ε)
+    // more rounds — exactly the poly(log Δ̄ / ε) trade of Lemma 6.1 /
+    // Theorem 6.3. When Δ̄ ≤ the split cutoff no level runs at all and the
+    // rounds are ε-invariant. Pinned by
+    // `congest_rounds_eps_dependence_is_intended` in congest_coloring.rs.
     let chi = (eps / (4.0 * (dbar as f64).ln().max(1.0))).clamp(1e-6, 0.5);
     let max_levels = ((1.0 + eps / 4.0).ln() / chi).floor() as u32;
     let cutoff = params.split_cutoff(dbar, chi);
@@ -84,6 +92,12 @@ pub fn color_bipartite(
             break;
         }
         levels_used += 1;
+        let level_dbar = to_split
+            .iter()
+            .map(|l| l.graph.graph().max_edge_degree())
+            .max()
+            .unwrap_or(0);
+        let level_edges: usize = to_split.iter().map(|l| l.graph.graph().m()).sum();
         let mut next: Vec<Leaf> = Vec::new();
         let mut level_metrics: Vec<Metrics> = Vec::new();
         for leaf in to_split {
@@ -118,6 +132,15 @@ pub fn color_bipartite(
             }
         }
         net.absorb_parallel(&level_metrics);
+        net.record_ledger(LedgerEntry {
+            depth: levels_used,
+            stage: "bipartite-split",
+            delta_level: level_dbar,
+            edges: level_edges,
+            rounds: level_metrics.iter().map(|m| m.rounds).max().unwrap_or(0),
+            defect_ratio: f64::NAN,
+            fallback: false,
+        });
         active = next;
         if active.is_empty() {
             break;
@@ -157,6 +180,19 @@ pub fn color_bipartite(
         offset += palette;
     }
     net.absorb_parallel(&leaf_metrics);
+    net.record_ledger(LedgerEntry {
+        depth: levels_used,
+        stage: "bipartite-leaves",
+        delta_level: leaves
+            .iter()
+            .map(|l| l.graph.graph().max_edge_degree())
+            .max()
+            .unwrap_or(0),
+        edges: leaves.iter().map(|l| l.graph.graph().m()).sum(),
+        rounds: leaf_metrics.iter().map(|m| m.rounds).max().unwrap_or(0),
+        defect_ratio: f64::NAN,
+        fallback: false,
+    });
 
     BipartiteColoringResult {
         colors_used: coloring.palette_size(),

@@ -22,7 +22,7 @@ use crate::greedy_finish::greedy_palette_coloring_by_schedule;
 use crate::linial::{linial_coloring, linial_edge_coloring};
 use crate::params::ColoringParams;
 use distgraph::{BipartiteGraph, EdgeColoring, Graph, Side, VertexColoring};
-use distsim::{IdAssignment, Metrics, Model, Network};
+use distsim::{IdAssignment, LedgerEntry, Metrics, Model, Network, RoundLedger};
 
 /// Result of the CONGEST `(8+ε)Δ`-edge coloring.
 #[derive(Debug, Clone)]
@@ -37,6 +37,8 @@ pub struct CongestColoringResult {
     pub metrics: Metrics,
     /// Rounds spent in the initial `O(Δ²)`-coloring (the `O(log* n)` part).
     pub initial_coloring_rounds: u64,
+    /// Per-stage round ledger (defective levels, bipartite splits, finish).
+    pub ledger: RoundLedger,
 }
 
 /// The two ways of pairing the four defective color classes into a
@@ -65,18 +67,37 @@ pub fn color_congest(
             levels: 0,
             metrics: net.metrics(),
             initial_coloring_rounds: 0,
+            ledger: RoundLedger::new(),
         };
     }
 
     // Initial O(Δ²)-vertex coloring in O(log* n) rounds.
     let linial = linial_coloring(graph, ids, &mut net);
     let initial_coloring_rounds = net.rounds();
+    net.record_ledger(LedgerEntry {
+        depth: 0,
+        stage: "linial",
+        delta_level: graph.max_degree(),
+        edges: graph.m(),
+        rounds: initial_coloring_rounds,
+        defect_ratio: f64::NAN,
+        fallback: false,
+    });
     let base_coloring = linial.coloring;
     let base_palette = linial.palette;
 
     let delta = graph.max_degree();
     let k = ((delta.max(2) as f64).log2().floor() as u32).max(1);
+    // ε₁ drives the *defective* levels and is deliberately independent of the
+    // user's ε: the per-level degree contraction (1/2 + ε₁) must stay below 1
+    // no matter how loose a palette the caller asked for.
     let eps1 = (1.0 / (2.0 * k as f64)).max(0.05);
+    // ε₂ = the user's ε is spent in the bipartite coloring, where it buys a
+    // smaller palette at a poly(1/ε) round cost (Lemma 6.1). This is the
+    // intended Theorem 6.3 trade: rounds = poly(log Δ / ε) + O(log* n), so
+    // tightening ε raises the measured round count whenever Δ̄ exceeds the
+    // split cutoff, and has no round effect below it (pinned by
+    // `congest_rounds_eps_dependence_is_intended`).
     let eps2 = params.eps;
     let bipartite_params = ColoringParams {
         eps: eps2,
@@ -97,7 +118,17 @@ pub fn color_congest(
 
         // Lemma 6.2: defective 4-coloring of the uncolored graph.
         let restricted = VertexColoring::from_vec(base_coloring.as_slice().to_vec());
+        let d4_rounds_before = net.rounds();
         let four = defective_four_coloring(&uncolored, &restricted, base_palette, eps1, &mut net);
+        net.record_ledger(LedgerEntry {
+            depth: levels,
+            stage: "defective4",
+            delta_level: uncolored.max_degree(),
+            edges: uncolored.m(),
+            rounds: net.rounds() - d4_rounds_before,
+            defect_ratio: f64::NAN,
+            fallback: false,
+        });
 
         // Color the two bipartite class pairings with fresh color ranges.
         for pairing in CLASS_PAIRINGS {
@@ -124,6 +155,16 @@ pub fn color_congest(
             let mut child_net = net.child(bipartite.graph());
             let result = color_bipartite(&bipartite, &bipartite_params, &mut child_net);
             net.absorb_sequential(&child_net.metrics());
+            net.record_ledger(LedgerEntry {
+                depth: levels,
+                stage: "bipartite",
+                delta_level: bipartite.graph().max_edge_degree(),
+                edges: bipartite.graph().m(),
+                rounds: child_net.rounds(),
+                defect_ratio: f64::NAN,
+                fallback: false,
+            });
+            net.absorb_ledger(child_net.take_ledger(), levels);
             for e in bipartite.graph().edges() {
                 if let Some(c) = result.coloring.color(e) {
                     let original = edge_map[piece_map[e.index()].index()];
@@ -151,6 +192,15 @@ pub fn color_congest(
         );
         debug_assert!(outcome.uncolorable.is_empty());
         net.absorb_sequential(&child_net.metrics());
+        net.record_ledger(LedgerEntry {
+            depth: 0,
+            stage: "greedy-finish",
+            delta_level: rest.max_edge_degree(),
+            edges: rest.m(),
+            rounds: child_net.rounds(),
+            defect_ratio: f64::NAN,
+            fallback: false,
+        });
         for e in rest.edges() {
             if let Some(c) = rest_coloring.color(e) {
                 coloring.set(rest_map[e.index()], c + next_color);
@@ -164,6 +214,7 @@ pub fn color_congest(
         levels,
         metrics: net.metrics(),
         initial_coloring_rounds,
+        ledger: net.take_ledger(),
     }
 }
 
@@ -257,5 +308,47 @@ mod tests {
         // log* growth: going from 32 to 512 nodes adds at most a couple of
         // Linial iterations.
         assert!(r_large.initial_coloring_rounds <= r_small.initial_coloring_rounds + 3);
+    }
+
+    /// Pins the intended ε ↔ rounds trade of Theorem 6.3 (observed in the E3
+    /// bench as rounds varying with ε at Δ=16 but not at Δ=8).
+    ///
+    /// ε is spent in `color_bipartite`: χ = Θ(ε/ln Δ̄) controls the split
+    /// schedule and the orientation runs Θ(ln Δ̄/χ) phases, so a *smaller* ε
+    /// (fewer colors) buys *more* rounds — poly(1/ε)·polylog(Δ), not a bug.
+    /// Below the split cutoff (Δ̄ ≤ 16) no split level runs and the round
+    /// count is exactly ε-invariant.
+    #[test]
+    fn congest_rounds_eps_dependence_is_intended() {
+        // Δ=16: the bipartite pieces exceed the split cutoff, so tightening
+        // ε must never lower the round count.
+        let g = generators::random_regular(96, 16, 11).unwrap();
+        let ids = IdAssignment::scattered(g.n(), 5);
+        let rounds = |eps: f64| {
+            let result = color_congest(&g, &ids, &ColoringParams::new(eps));
+            check(&g, &result);
+            result.metrics.rounds
+        };
+        let (tight, mid, loose) = (rounds(0.25), rounds(0.5), rounds(1.0));
+        assert!(
+            tight >= mid && mid >= loose,
+            "rounds must be monotone non-increasing in ε: {tight} (ε=.25) \
+             {mid} (ε=.5) {loose} (ε=1)"
+        );
+
+        // Δ=8: every piece stays below the split cutoff, no orientation runs,
+        // and the round count is bit-identical across ε.
+        let small = generators::random_regular(96, 8, 11).unwrap();
+        let small_ids = IdAssignment::scattered(small.n(), 5);
+        let per_eps: Vec<u64> = [0.25, 0.5, 1.0]
+            .iter()
+            .map(|&eps| {
+                color_congest(&small, &small_ids, &ColoringParams::new(eps))
+                    .metrics
+                    .rounds
+            })
+            .collect();
+        assert_eq!(per_eps[0], per_eps[1]);
+        assert_eq!(per_eps[1], per_eps[2]);
     }
 }

@@ -19,8 +19,8 @@
 //! of \[11\]).
 
 use crate::linial::next_prime;
-use distgraph::{Graph, VertexColoring};
-use distsim::Network;
+use distgraph::{Graph, NodeId, VertexColoring};
+use distsim::{LedgerEntry, Network};
 
 /// Result of an iterated defective coloring computation.
 #[derive(Debug, Clone)]
@@ -121,7 +121,12 @@ pub fn defective_step(
 /// coloring with `O((Δ/defect_budget)²·polylog)` colors whose defect is at
 /// most `defect_budget`. The budget is allotted geometrically (half of the
 /// remaining budget per step) so that the first, most palette-reducing steps
-/// get the most room.
+/// get the most room; when the half-budget step stalls (its `q²` would not
+/// shrink the palette), the step is retried once committing the *full*
+/// remaining budget, which reaches the `O((Δ/d)²)` fixpoint instead of
+/// stopping a constant factor short of it. A stalled probe costs zero rounds
+/// ([`defective_step`] bails before communicating), so the retry never
+/// charges for the failed attempt.
 pub fn iterated_defective_coloring(
     graph: &Graph,
     coloring: &VertexColoring,
@@ -148,8 +153,19 @@ pub fn iterated_defective_coloring(
             break;
         }
         let per_step = (remaining_budget / 2.0).max(1.0);
-        let (next, next_palette, added) =
+        let (mut next, mut next_palette, mut added) =
             defective_step(graph, &colors, current_palette, per_step as usize, net);
+        if next_palette >= current_palette && remaining_budget >= per_step + 1.0 {
+            // The half-budget step stalled; commit the full remaining budget
+            // in one step (larger d ⇒ smaller q ⇒ smaller q² target).
+            (next, next_palette, added) = defective_step(
+                graph,
+                &colors,
+                current_palette,
+                remaining_budget as usize,
+                net,
+            );
+        }
         if next_palette >= current_palette {
             break;
         }
@@ -203,13 +219,50 @@ pub fn defective_four_coloring(
         return VertexColoring::from_vec(vec![0; n]);
     }
     let eps = eps.clamp(1e-3, 1.0);
-    // Step 1: εΔ/2-defective coloring with a small palette.
-    let budget = (eps * delta as f64 / 2.0).max(1.0);
-    let base = iterated_defective_coloring(graph, proper, palette, budget, net);
+    // Step 1: descend to an O(1) palette with per-step defect Θ(Δ). The step
+    // budget must be Θ(Δ): Steps 2 and 3 below charge one broadcast round
+    // per class per pass, so the palette this descent stalls at — roughly
+    // (Δ/d_step)² — multiplies directly into the round count. A budget of
+    // o(Δ) (the old εΔ/2, split geometrically across steps) stalls at ω(1)
+    // classes and makes each outer degree-reduction iteration of Theorem D.4
+    // cost ω(polylog Δ) rounds. With d_step = (1+ε)Δ/2 the fixpoint is a
+    // Δ-independent constant (q = nextprime(⌈tΔ/d⌉+1) depends only on
+    // t/(1+ε)). Unlike `iterated_defective_coloring` this descent does not
+    // cap the *accumulated* analytic defect — the final Lemma 6.2 bound is
+    // enforced by the threshold local search of Step 3, not by Step 1.
+    let d_step = ((1.0 + eps) * delta as f64 / 2.0).max(1.0) as usize;
+    let step1_rounds_before = net.rounds();
+    let mut colors: Vec<u64> = proper.as_slice().iter().map(|&c| c as u64).collect();
+    let mut current_palette = palette.max(proper.palette_size()).max(1) as u64;
+    for _ in 0..6 {
+        let (next, next_palette, _added) =
+            defective_step(graph, &colors, current_palette, d_step, net);
+        if next_palette >= current_palette {
+            break;
+        }
+        colors = next;
+        current_palette = next_palette;
+    }
+    let base = DefectiveColoringResult {
+        coloring: VertexColoring::from_vec(colors.iter().map(|&c| c as usize).collect()),
+        palette: current_palette as usize,
+        defect_bound: f64::NAN,
+        rounds: net.rounds() - step1_rounds_before,
+    };
     let classes = base.palette.max(1);
+    net.record_ledger(LedgerEntry {
+        depth: 0,
+        stage: "d4-reduce",
+        delta_level: classes,
+        edges: graph.m(),
+        rounds: net.rounds() - step1_rounds_before,
+        defect_ratio: base.coloring.max_defect(graph) as f64 / delta as f64,
+        fallback: false,
+    });
 
     // Step 2: fold the classes into 4 groups, class by class; each node picks
     // the group with the fewest already-assigned neighbors.
+    let fold_rounds_before = net.rounds();
     let mut group: Vec<Option<usize>> = vec![None; n];
     for class in 0..classes {
         // One round: nodes of this class learn their neighbors' groups.
@@ -228,27 +281,100 @@ pub fn defective_four_coloring(
             group[v.index()] = Some(best);
         }
     }
+    net.record_ledger(LedgerEntry {
+        depth: 0,
+        stage: "d4-fold",
+        delta_level: classes,
+        edges: graph.m(),
+        rounds: net.rounds() - fold_rounds_before,
+        defect_ratio: f64::NAN,
+        fallback: false,
+    });
 
     // Step 3: threshold local-search sweeps. A node is unhappy if it has more
-    // than ⌊Δ/2⌋ + εΔ neighbors in its own group; unhappy nodes (processed
-    // class by class so that simultaneous movers are non-adjacent up to the
-    // small intra-class defect) move to the group with the fewest neighbors.
-    let threshold = (delta as f64 / 2.0).floor() + eps * delta as f64;
+    // than (1/4 + ε)Δ neighbors in its own group; unhappy nodes move to the
+    // group with the fewest neighbors. Every node already knows its
+    // neighbors' groups from the last broadcast it heard, so a class with no
+    // unhappy node can be skipped without a round: only classes that still
+    // contain an unhappy node broadcast and move.
+    //
+    // The target is stronger than the (1/2 + ε)Δ defect promised by
+    // Lemma 6.2: a local optimum of the 4-group partition has own-group
+    // degree ≤ Δ/4 (moving to the minority group improves any node above
+    // that), and the tighter bound is what makes the outer degree-reduction
+    // loop contract by a constant factor ≈ 1/4 + ε < 1/2 per iteration
+    // instead of plateauing at Δ/2. If the sweep budget runs out before the
+    // local search converges the result still satisfies every caller that
+    // only relies on the Lemma 6.2 bound, and the driver's stall guard
+    // covers the (deterministic) non-contracting case.
+    let sweep_rounds_before = net.rounds();
+    let threshold = (delta as f64 / 4.0).floor() + eps * delta as f64;
     let sweeps = ((2.0 / eps).ceil() as usize).clamp(1, 8);
+    let unhappy_classes = |group: &[Option<usize>]| -> Vec<bool> {
+        let mut unhappy = vec![false; classes];
+        for v in graph.nodes() {
+            let own = group[v.index()].unwrap_or(0);
+            let same = graph
+                .neighbors(v)
+                .iter()
+                .filter(|nb| group[nb.node.index()].unwrap_or(0) == own)
+                .count();
+            if same as f64 > threshold {
+                unhappy[base.coloring.color(v)] = true;
+            }
+        }
+        unhappy
+    };
     for _sweep in 0..sweeps {
         let mut any_moved = false;
-        for class in 0..classes {
+        let unhappy = unhappy_classes(&group);
+        if !unhappy.iter().any(|&u| u) {
+            break;
+        }
+        for (class, &class_unhappy) in unhappy.iter().enumerate() {
+            if !class_unhappy {
+                continue;
+            }
+            // One broadcast carries (group, unhappy-bit); both are derived
+            // from the group state at broadcast time, so neighbors can apply
+            // the mover gate below without a second round.
             let mail = net.broadcast(|v| group[v.index()].map(|g| g as u64).unwrap_or(0));
+            let snapshot: Vec<usize> = group.iter().map(|g| g.unwrap_or(0)).collect();
+            let own_count = |v: NodeId| -> usize {
+                let own = snapshot[v.index()];
+                mail.inbox(v)
+                    .iter()
+                    .filter(|m| m.msg as usize == own)
+                    .count()
+            };
+            // The merged base classes can have intra-class defect close to Δ,
+            // so simultaneous best-response moves of a whole class oscillate
+            // (two adjacent unhappy nodes keep jumping into each other's
+            // group) and the sweep can exhaust its budget without reaching
+            // the Lemma 6.2 defect bound. Gate the movers: an unhappy node
+            // moves only if no *adjacent* same-class neighbor with a larger
+            // index is also unhappy. Movers are then pairwise non-adjacent,
+            // every move strictly decreases the monochromatic-edge count,
+            // and the locally largest unhappy node is never blocked, so each
+            // processed class makes progress.
             for v in graph.nodes() {
                 if base.coloring.color(v) != class {
                     continue;
                 }
-                let own = group[v.index()].unwrap_or(0);
                 let mut counts = [0usize; 4];
                 for m in mail.inbox(v) {
                     counts[m.msg as usize] += 1;
                 }
+                let own = snapshot[v.index()];
                 if counts[own] as f64 > threshold {
+                    let blocked = graph.neighbors(v).iter().any(|nb| {
+                        nb.node.index() > v.index()
+                            && base.coloring.color(nb.node) == class
+                            && own_count(nb.node) as f64 > threshold
+                    });
+                    if blocked {
+                        continue;
+                    }
                     let best = (0..4).min_by_key(|&g| counts[g]).unwrap_or(own);
                     if best != own {
                         group[v.index()] = Some(best);
@@ -261,6 +387,15 @@ pub fn defective_four_coloring(
             break;
         }
     }
+    net.record_ledger(LedgerEntry {
+        depth: 0,
+        stage: "d4-sweep",
+        delta_level: classes,
+        edges: graph.m(),
+        rounds: net.rounds() - sweep_rounds_before,
+        defect_ratio: f64::NAN,
+        fallback: false,
+    });
 
     VertexColoring::from_vec(group.into_iter().map(|g| g.unwrap_or(0)).collect())
 }

@@ -217,7 +217,6 @@ pub fn solve_distributed_with(
     let mut phases_run = 0u64;
 
     for t in 1..=total_phases {
-        phases_run += 1;
         // Step 1: active nodes A(t) (per-node test, chunked).
         let active: Vec<bool> = {
             let x = &x;
@@ -230,6 +229,15 @@ pub fn solve_distributed_with(
             .flatten()
             .collect()
         };
+        // Once no node is active the play has reached a fixpoint: conversions
+        // happen only at active nodes and proposals go only to active
+        // in-neighbors, so every remaining phase would leave the state
+        // untouched. Halting here produces the exact same outcome without
+        // charging rounds for provably inert phases.
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        phases_run += 1;
         // Step 2: move δ tokens from active to passive at active nodes.
         let mut x_prime = x.clone();
         for v in 0..n {
@@ -461,7 +469,11 @@ mod tests {
         let game = layered_game(4, 4, 32);
         let params = uniform_params(&game, 2, 2);
         let result = solve_distributed(&game, &params);
-        assert_eq!(result.phases, (32 / 2 - 1) as u64);
+        // The schedule is k/δ − 1 phases; the solver may halt earlier once no
+        // node is active (the play is then at a fixpoint and every remaining
+        // phase would be a no-op), so the scheduled count is an upper bound.
+        assert!(result.phases <= (32 / 2 - 1) as u64);
+        assert!(result.phases > 0);
         assert_eq!(result.rounds, 3 * result.phases);
         assert!(check_invariants(&game, &result));
     }

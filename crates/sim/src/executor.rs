@@ -110,11 +110,40 @@ impl ExecutionPolicy {
         self.threads() > 1
     }
 
+    /// Returns `true` if spawning workers can actually overlap execution on
+    /// this host. On a single-hardware-thread machine a `Parallel { 8 }`
+    /// policy gets no concurrency — the spawned workers just time-slice one
+    /// core and the spawn/join overhead shows up as a speedup *below* 1.0 —
+    /// so the chunked primitives fall back to running the (identical) chunk
+    /// geometry inline on the calling thread. The result is bit-identical
+    /// either way; only wall-clock changes.
+    pub fn spawning_pays_off(&self) -> bool {
+        self.is_parallel() && host_parallelism() > 1
+    }
+
+    /// The number of workers worth spawning on this host: the policy's
+    /// thread count capped at the available hardware parallelism (but never
+    /// below 1). Chunk/shard *geometry* always follows [`Self::threads`] so
+    /// results stay bit-identical; only the worker count adapts.
+    pub fn effective_threads(&self) -> usize {
+        self.threads().min(host_parallelism()).max(1)
+    }
+
     /// Returns `true` if rounds are executed on the sharded substrate
     /// (regardless of the worker-thread count).
     pub fn is_sharded(&self) -> bool {
         matches!(self, ExecutionPolicy::Sharded { .. })
     }
+}
+
+/// The host's available parallelism, probed once per process.
+fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 impl std::fmt::Display for ExecutionPolicy {
@@ -208,7 +237,7 @@ where
     F: Fn(Range<usize>) -> T + Sync,
 {
     let chunks = Chunks::new(n, policy.threads());
-    if !policy.is_parallel() || chunks.count() <= 1 {
+    if !policy.spawning_pays_off() || chunks.count() <= 1 {
         return chunks.ranges().into_iter().map(f).collect();
     }
     std::thread::scope(|scope| {
@@ -261,7 +290,7 @@ pub fn for_each_chunk_mut<T, U, F>(
         slices.push(head);
         rest = tail;
     }
-    if !policy.is_parallel() || ranges.len() <= 1 {
+    if !policy.spawning_pays_off() || ranges.len() <= 1 {
         for ((range, slice), payload) in ranges.into_iter().zip(slices).zip(per_chunk) {
             f(range, slice, payload);
         }

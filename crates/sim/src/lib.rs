@@ -62,6 +62,7 @@
 mod executor;
 pub mod faults;
 mod identifiers;
+mod ledger;
 mod metrics;
 mod model;
 mod network;
@@ -71,6 +72,7 @@ mod program;
 pub use executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
 pub use faults::{AsyncScheduler, CrashWindow, FaultPlan, FaultRates, FaultStats, LinkPartition};
 pub use identifiers::IdAssignment;
+pub use ledger::{LedgerEntry, LedgerSummaryRow, RoundLedger};
 pub use metrics::Metrics;
 pub use model::Model;
 pub use network::{Incoming, Mailboxes, Network, ShardState};

@@ -23,6 +23,7 @@
 
 use crate::executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
 use crate::faults::{FaultPlan, FaultState, FaultStats};
+use crate::ledger::{LedgerEntry, RoundLedger};
 use crate::metrics::Metrics;
 use crate::model::Model;
 use crate::payload::Payload;
@@ -127,6 +128,7 @@ pub struct Network<'g> {
     metrics: Metrics,
     shard_state: Option<ShardState>,
     faults: Option<FaultState>,
+    ledger: RoundLedger,
 }
 
 impl<'g> Network<'g> {
@@ -146,6 +148,7 @@ impl<'g> Network<'g> {
             metrics: Metrics::new(),
             shard_state: None,
             faults: None,
+            ledger: RoundLedger::new(),
         }
     }
 
@@ -280,7 +283,7 @@ impl<'g> Network<'g> {
         if self.policy.is_sharded() {
             return self.exchange_sharded(outgoing);
         }
-        if !self.policy.is_parallel() {
+        if !self.policy.spawning_pays_off() {
             return self.exchange(outgoing);
         }
         self.metrics.rounds += 1;
@@ -380,7 +383,9 @@ impl<'g> Network<'g> {
         M: Payload + Send,
     {
         let shards = self.policy.shards();
-        let threads = self.policy.threads().min(shards);
+        // Worker count capped at the host's hardware slots; shard geometry is
+        // unchanged, so delivery stays bit-identical.
+        let threads = self.policy.effective_threads().min(shards);
         self.metrics.rounds += 1;
         let limit = self.model.bandwidth_limit();
         let graph = self.graph;
@@ -552,6 +557,32 @@ impl<'g> Network<'g> {
     /// (rounds advance by the maximum of the children).
     pub fn absorb_parallel(&mut self, children: &[Metrics]) {
         self.metrics.absorb_parallel(children);
+    }
+
+    /// The per-level round ledger recorded on this network so far.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Consumes the network's ledger, leaving an empty one behind. Drivers
+    /// call this at the end of a run to move the ledger into their outcome.
+    pub fn take_ledger(&mut self) -> RoundLedger {
+        std::mem::take(&mut self.ledger)
+    }
+
+    /// Records one ledger entry (a stage of the recursion and the rounds it
+    /// charged). Purely observational: no effect on metrics or delivery.
+    pub fn record_ledger(&mut self, entry: LedgerEntry) {
+        self.ledger.record(entry);
+    }
+
+    /// Absorbs a child network's ledger, shifting the absorbed entries
+    /// `depth_shift` recursion levels deeper (pass 0 when the child ran at
+    /// the same conceptual level, e.g. a per-group helper network). Call
+    /// alongside [`Network::absorb_sequential`]/[`Network::absorb_parallel`]
+    /// when the child recorded entries of its own.
+    pub fn absorb_ledger(&mut self, child: RoundLedger, depth_shift: u32) {
+        self.ledger.absorb(child, depth_shift);
     }
 }
 

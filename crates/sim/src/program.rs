@@ -16,6 +16,7 @@
 use crate::executor::{for_each_chunk_mut, Chunks, ExecutionPolicy};
 use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::identifiers::IdAssignment;
+use crate::ledger::{LedgerEntry, RoundLedger};
 use crate::metrics::Metrics;
 use crate::model::Model;
 use crate::network::Incoming;
@@ -94,6 +95,11 @@ pub struct ProgramRun<O> {
     /// [`FaultPlan`] (see [`run_program_under_faults`]); `None` for
     /// fault-free runs.
     pub faults: Option<FaultStats>,
+    /// The per-level round ledger of the run. The strict layer records one
+    /// top-level `"program"` entry summarizing the execution; composed
+    /// drivers running on the orchestrated layer attach their recursion's
+    /// full ledger here.
+    pub ledger: RoundLedger,
 }
 
 impl<O> ProgramRun<O> {
@@ -129,6 +135,22 @@ where
     F: FnMut(NodeId) -> P,
 {
     run_program_inner(graph, ids, model, max_rounds, make_program, None)
+}
+
+/// The single top-level ledger entry of a strict-layer run: one `"program"`
+/// record summarizing the whole execution.
+fn program_ledger(graph: &Graph, metrics: &Metrics) -> RoundLedger {
+    let mut ledger = RoundLedger::new();
+    ledger.record(LedgerEntry {
+        depth: 0,
+        stage: "program",
+        delta_level: graph.max_degree(),
+        edges: graph.m(),
+        rounds: metrics.rounds,
+        defect_ratio: f64::NAN,
+        fallback: false,
+    });
+    ledger
 }
 
 /// The sequential execution path, optionally filtered through a fault
@@ -218,6 +240,7 @@ where
         metrics,
         shard: None,
         faults: None,
+        ledger: program_ledger(graph, &metrics),
     }
 }
 
@@ -349,7 +372,10 @@ where
     if policy.is_sharded() {
         return run_program_sharded(graph, ids, model, policy, max_rounds, make_program, faults);
     }
-    if !policy.is_parallel() {
+    // `spawning_pays_off` also routes oversubscribed policies (more threads
+    // than the host has hardware slots for) to the inline runner, whose
+    // output is bit-identical.
+    if !policy.spawning_pays_off() {
         return run_program_inner(graph, ids, model, max_rounds, make_program, faults);
     }
     let mut faults = faults;
@@ -513,6 +539,7 @@ where
         metrics,
         shard: None,
         faults: None,
+        ledger: program_ledger(graph, &metrics),
     }
 }
 
@@ -549,7 +576,9 @@ where
     let mut metrics = Metrics::new();
     let limit = model.bandwidth_limit();
     let shards = policy.shards();
-    let threads = policy.threads().min(shards);
+    // Cap the workers at the host's hardware slots: shard *assignment* stays
+    // a function of `policy.threads()` alone, so results are bit-identical.
+    let threads = policy.effective_threads().min(shards);
 
     let partition = distshard::bfs_partition(graph, shards);
     let report = partition.report(graph);
@@ -796,6 +825,7 @@ where
             router: router_stats,
         }),
         faults: None,
+        ledger: program_ledger(graph, &metrics),
     }
 }
 
