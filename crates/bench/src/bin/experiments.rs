@@ -23,7 +23,36 @@
 
 use edgecolor_bench as bench;
 use edgecolor_bench::json::JsonValue;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
+
+/// System-allocator shim feeding [`bench::ALLOC_EVENTS`], the counter
+/// behind the SCALE `allocs/round` column. The library forbids `unsafe`, so
+/// the shim lives here in the binary: every allocation event (alloc +
+/// realloc; frees are free) bumps the shared counter the harness reads
+/// deltas of. One relaxed atomic increment per event is far below the noise
+/// floor of the wall-clock columns.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bench::ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bench::ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 
 struct TimedTable {
     table: bench::Table,
@@ -331,6 +360,12 @@ fn build_json(
                 ),
                 ("rounds", JsonValue::Int(m.rounds as i64)),
                 ("messages", JsonValue::Int(m.messages as i64)),
+                ("rounds_per_sec", JsonValue::Num(m.rounds_per_sec)),
+                ("bytes_per_round", JsonValue::Num(m.bytes_per_round)),
+                (
+                    "allocs_per_round",
+                    JsonValue::Int(m.allocs_per_round as i64),
+                ),
                 (
                     "speedup_floor",
                     m.speedup_floor.map_or(JsonValue::Null, JsonValue::Num),

@@ -31,10 +31,27 @@ use edgecolor::{
 use edgecolor_baselines as baselines;
 use edgecolor_verify::{check_complete, check_delta, check_proper_edge_coloring};
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 pub mod json;
 pub mod regression;
+
+/// Allocation-event counter behind the SCALE `allocs/round` column.
+///
+/// This library forbids `unsafe`, so it cannot install a counting
+/// `#[global_allocator]` itself. The `experiments` binary wraps the system
+/// allocator and bumps this counter on every allocation event (alloc +
+/// realloc; frees are not counted); [`run_scale`] reads deltas around its
+/// measurement reps. In a process that installs no counting allocator (unit
+/// tests, external embedders) the counter stays at zero and the column
+/// honestly reports 0 instead of a fabricated number.
+pub static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation events counted so far (see [`ALLOC_EVENTS`]).
+pub fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
 
 /// A printable result table.
 #[derive(Debug, Clone, Serialize)]
@@ -548,6 +565,24 @@ pub struct ScaleMeasurement {
     pub rounds: u64,
     /// Messages delivered by the simulated execution.
     pub messages: u64,
+    /// Simulated rounds completed per wall-clock second (`rounds / wall`,
+    /// from the best rep). The round engine's throughput headline;
+    /// host-dependent, so the regression contract only floor-checks it.
+    pub rounds_per_sec: f64,
+    /// Message payload bytes delivered per round (`total_bits / 8 /
+    /// rounds`). A pure function of the deterministic metrics — compared
+    /// within float tolerance by the regression contract.
+    pub bytes_per_round: f64,
+    /// Allocation events per round: the counter delta of the cheapest rep
+    /// (see [`ALLOC_EVENTS`]) divided by the round count. Includes the run's
+    /// one-time setup *and* the flooding program's own per-node send
+    /// vectors (which are O(n) by workload design), so this is not a
+    /// measure of the engine's steady-state rate — the strict O(active
+    /// chunks) pin lives in `crates/sim/tests/alloc_budget.rs`. The count
+    /// is deterministic for a fixed binary and is diffed exactly, so any
+    /// engine change that re-grows per-round allocations shows up as a
+    /// drift. Zero when no counting allocator is installed.
+    pub allocs_per_round: u64,
     /// The minimum speedup this configuration is *expected* to reach on the
     /// measuring host, per [`expected_speedup_floor`]; `None` when the host
     /// cannot parallelize that far (or the run is a down-scaled smoke run),
@@ -567,14 +602,16 @@ pub struct ScaleMeasurement {
 /// `host.available_parallelism`) time-slices every worker onto one core, so
 /// sub-1.0 "speedups" there are scheduling noise, not regressions — the
 /// bit-identity of the parallel engine is asserted unconditionally, the
-/// wall-clock expectation only where the hardware can express it. The floors
-/// are deliberately conservative (oversubscribed or 2-thread runs just must
-/// not lose; ≥4 effective workers must show a visible win).
+/// wall-clock expectation only where the hardware can express it. 2-thread
+/// runs just must not lose; once the host has ≥ 4 real cores backing ≥ 4
+/// workers (`threads ≥ 4` here implies `host_parallelism ≥ 4` via the
+/// oversubscription gate), the allocation-free delivery path is expected to
+/// scale to a genuine ≥ 2× win.
 pub fn expected_speedup_floor(threads: usize, host_parallelism: usize) -> Option<f64> {
     if threads <= 1 || host_parallelism < 2 || threads > host_parallelism {
         return None;
     }
-    Some(if threads >= 4 { 1.3 } else { 1.05 })
+    Some(if threads >= 4 { 2.0 } else { 1.05 })
 }
 
 /// The per-node program driven by the scale experiment: `rounds` rounds of
@@ -665,6 +702,9 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
             "m",
             "threads",
             "wall ms",
+            "rounds/s",
+            "KiB/round",
+            "allocs/round",
             "speedup",
             "floor",
             "identical",
@@ -693,8 +733,10 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                 ExecutionPolicy::parallel(threads)
             };
             let mut wall_ms = f64::INFINITY;
+            let mut alloc_delta = u64::MAX;
             let mut run = None;
             for _ in 0..reps {
+                let allocs_before = alloc_events();
                 let started = Instant::now();
                 let this_run = run_program_with(
                     &graph,
@@ -708,6 +750,10 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                     },
                 );
                 wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                // The cheapest rep, like the best wall clock: later reps of
+                // a deterministic run repeat the same allocation sequence,
+                // minus any one-off lazy initialization of the first.
+                alloc_delta = alloc_delta.min(alloc_events() - allocs_before);
                 run = Some(this_run);
             }
             let run = run.expect("at least one repetition");
@@ -734,12 +780,19 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                 None
             };
             let meets_floor = speedup_floor.is_none_or(|floor| speedup >= floor);
+            let rounds_per_sec = run.metrics.rounds as f64 / (wall_ms / 1e3).max(1e-9);
+            let bytes_per_round =
+                run.metrics.total_bits as f64 / 8.0 / (run.metrics.rounds as f64).max(1.0);
+            let allocs_per_round = alloc_delta / run.metrics.rounds.max(1);
             table.push_row(vec![
                 name.clone(),
                 graph.n().to_string(),
                 graph.m().to_string(),
                 threads.to_string(),
                 format!("{wall_ms:.1}"),
+                format!("{rounds_per_sec:.1}"),
+                format!("{:.3}", bytes_per_round / 1024.0),
+                allocs_per_round.to_string(),
                 format!("{speedup:.2}"),
                 speedup_floor.map_or("-".to_string(), |f| format!("{f:.2}")),
                 identical.to_string(),
@@ -754,6 +807,9 @@ pub fn run_scale(thread_counts: &[usize], million: bool) -> (Table, Vec<ScaleMea
                 identical_to_sequential: identical,
                 rounds: run.metrics.rounds,
                 messages: run.metrics.messages,
+                rounds_per_sec,
+                bytes_per_round,
+                allocs_per_round,
                 speedup_floor,
                 meets_floor,
             });
@@ -941,7 +997,10 @@ pub struct ShardMeasurement {
     pub rounds: u64,
     /// Cross-shard messages per round (flood workloads; `None` for
     /// churn-repair rows, whose rounds run on inner dirty-subgraph networks
-    /// that are not traffic-instrumented).
+    /// that are not traffic-instrumented: the repair pipeline spawns a fresh
+    /// child `Network` per dirty batch and its `RepairReport` carries no
+    /// router statistics, so the harness reports the honest `None` instead
+    /// of a fabricated zero — see the SHARD notes in `docs/BENCH_SCHEMA.md`).
     pub cross_messages_per_round: Option<f64>,
     /// Cross-shard payload bytes per round (same caveat as
     /// [`ShardMeasurement::cross_messages_per_round`]).
@@ -1535,6 +1594,13 @@ mod tests {
             assert!(m.wall_ms >= 0.0);
             assert!(m.rounds > 0);
             assert!(m.messages > 0);
+            assert!(m.rounds_per_sec > 0.0);
+            // Flooding moves payload every round, so the deterministic
+            // delivered-bytes column is strictly positive.
+            assert!(m.bytes_per_round > 0.0);
+            // The unit-test binary installs no counting allocator, so the
+            // hook stays at zero and the column must honestly report 0.
+            assert_eq!(m.allocs_per_round, 0);
             // Down-scaled smoke runs never carry a wall-clock expectation.
             assert_eq!(m.speedup_floor, None);
             assert!(m.meets_floor);
@@ -1555,10 +1621,14 @@ mod tests {
         assert_eq!(expected_speedup_floor(4, 1), None);
         assert_eq!(expected_speedup_floor(8, 4), None); // oversubscribed
         assert_eq!(expected_speedup_floor(2, 1), None);
-        // With enough hardware the floors are conservative but real.
+        // With enough hardware the floors are real: 2-thread runs must not
+        // lose, and the ≥2× @ ≥4-thread expectation auto-activates as soon
+        // as the host has ≥ 4 cores backing the workers (threads ≥ 4 passes
+        // the oversubscription gate only when host ≥ 4).
         assert_eq!(expected_speedup_floor(2, 2), Some(1.05));
-        assert_eq!(expected_speedup_floor(4, 8), Some(1.3));
-        assert_eq!(expected_speedup_floor(8, 8), Some(1.3));
+        assert_eq!(expected_speedup_floor(4, 4), Some(2.0));
+        assert_eq!(expected_speedup_floor(4, 8), Some(2.0));
+        assert_eq!(expected_speedup_floor(8, 8), Some(2.0));
     }
 
     #[test]

@@ -53,6 +53,9 @@ const IGNORED_TABLE_COLUMNS: &[&str] = &[
     // `floor` is derived from the measuring host's parallelism.
     "floor",
     "cross KiB/round",
+    // Wall-clock-derived throughput; the `scale` measurement array holds
+    // the same quantity to a MinFresh floor instead.
+    "rounds/s",
 ];
 
 /// Float-formatted but deterministic table columns: compared numerically
@@ -72,6 +75,9 @@ const FLOAT_TABLE_COLUMNS: &[&str] = &[
     // compared) round counts, formatted as floats.
     "rounds ×/doubling",
     "polylog fit c",
+    // SCALE delivered-bytes-per-round: a pure function of the deterministic
+    // metrics (`total_bits / 8 / rounds`), float-formatted.
+    "KiB/round",
 ];
 
 /// The comparison rule for a table column of experiment `id`.
@@ -127,6 +133,20 @@ pub const SCALE_FIELDS: (&[&str], &[(&str, Rule)]) = (
         // inline when spawning cannot overlap, so even a 1-CPU host pays
         // only bookkeeping overhead over the sequential run.
         ("speedup_vs_sequential", Rule::MinFresh(0.95)),
+        // Absolute throughput is host noise too, but falling below one
+        // simulated round per second on any row — the million-edge suite
+        // sustains an order of magnitude more on a single core — means the
+        // delivery path fell off a cliff (e.g. an O(n·threads) scan or a
+        // per-message allocation crept back in).
+        ("rounds_per_sec", Rule::MinFresh(1.0)),
+        // Deterministic derivation of the exactly-compared metrics
+        // (`total_bits / 8 / rounds`); the tolerance only guards the float
+        // round-trip through JSON.
+        ("bytes_per_round", Rule::AbsTol(1e-6)),
+        // Allocation events per round are a deterministic property of the
+        // engine (counted by the experiments binary's allocator shim on the
+        // cheapest rep) — any drift is a real behavior change.
+        ("allocs_per_round", Rule::Exact),
     ],
 );
 
@@ -761,6 +781,23 @@ mod tests {
             .1
             .iter()
             .any(|&(f, r)| f == "speedup_vs_sequential" && r == Rule::MinFresh(0.95)));
+        // The flat-arena delivery columns: throughput is floor-checked,
+        // delivered bytes are float-compared, allocation counts are exact.
+        assert_eq!(column_rule("SCALE", "rounds/s"), Rule::Ignore);
+        assert_eq!(column_rule("SCALE", "KiB/round"), Rule::AbsTol(1e-6));
+        assert_eq!(column_rule("SCALE", "allocs/round"), Rule::Exact);
+        assert!(SCALE_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "rounds_per_sec" && r == Rule::MinFresh(1.0)));
+        assert!(SCALE_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "bytes_per_round" && r == Rule::AbsTol(1e-6)));
+        assert!(SCALE_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "allocs_per_round" && r == Rule::Exact));
     }
 
     fn scale_doc(speedup: f64) -> JsonValue {

@@ -459,6 +459,19 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 /// Fails the enclosing property if the two values are equal.
@@ -472,6 +485,18 @@ macro_rules! prop_assert_ne {
             "assertion failed: `{} != {}`\n  both: {:?}",
             stringify!($left),
             stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
             left
         );
     }};

@@ -47,6 +47,9 @@ pub struct StabilizationReport {
     /// The edges the stabilization rewrote — hand these to
     /// [`edgecolor_verify::check_delta`] to certify the result.
     pub touched: Vec<EdgeId>,
+    /// `true` when this call widened detection to every edge of the graph
+    /// (the [`SelfStabilizing::with_full_sweep_every`] escape hatch fired).
+    pub full_sweep: bool,
 }
 
 impl StabilizationReport {
@@ -91,6 +94,7 @@ pub struct SelfStabilizing {
     stabilizations: u64,
     conflicts_total: u64,
     repaired_total: u64,
+    full_sweep_every: Option<u64>,
 }
 
 impl SelfStabilizing {
@@ -101,7 +105,28 @@ impl SelfStabilizing {
             stabilizations: 0,
             conflicts_total: 0,
             repaired_total: 0,
+            full_sweep_every: None,
         }
+    }
+
+    /// Enables the periodic full-sweep escape hatch: every `period`-th
+    /// [`stabilize`](SelfStabilizing::stabilize) call widens the suspect set
+    /// to *all* edges of the graph, so a stale conflict strictly outside the
+    /// reported fault neighborhood (the documented out-of-contract case of
+    /// [`check_delta`]) is still detected and healed within `period` calls.
+    ///
+    /// The sweep costs one `O(m · Δ)` detection pass; the repair itself
+    /// stays proportional to the conflicts actually found. Off by default —
+    /// sessions that trust their suspect sets keep the incremental
+    /// `O(|touched| · Δ)` bound on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_full_sweep_every(mut self, period: u64) -> Self {
+        assert!(period > 0, "full-sweep period must be positive");
+        self.full_sweep_every = Some(period);
+        self
     }
 
     /// The wrapped session.
@@ -202,7 +227,8 @@ impl SelfStabilizing {
     /// the edges incident to crashed nodes or severed links). Per the
     /// [`check_delta`] contract, conflicts entirely *outside* the suspect
     /// neighborhood are out of scope — run the `O(m)` checkers for a full
-    /// audit.
+    /// audit, or enable [`SelfStabilizing::with_full_sweep_every`] to fold
+    /// that audit into the stabilization loop periodically.
     ///
     /// # Errors
     ///
@@ -216,6 +242,19 @@ impl SelfStabilizing {
     ) -> Result<StabilizationReport, ColoringError> {
         let graph = dg.graph();
         self.stabilizations += 1;
+        // The escape hatch: on every `period`-th call, detection runs over
+        // the whole edge set so conflicts the caller's suspect set missed
+        // cannot survive indefinitely.
+        let full_sweep = self
+            .full_sweep_every
+            .is_some_and(|period| self.stabilizations.is_multiple_of(period));
+        let swept: Vec<EdgeId>;
+        let suspects: &[EdgeId] = if full_sweep {
+            swept = graph.edges().collect();
+            &swept
+        } else {
+            suspects
+        };
         let detection = check_delta(graph, self.rec.coloring(), suspects, self.rec.palette());
         if detection.is_ok() {
             return Ok(StabilizationReport {
@@ -223,6 +262,7 @@ impl SelfStabilizing {
                 repaired_edges: 0,
                 metrics: Metrics::new(),
                 touched: Vec::new(),
+                full_sweep,
             });
         }
 
@@ -271,6 +311,7 @@ impl SelfStabilizing {
             repaired_edges: repair.repaired_edges,
             metrics: repair.metrics,
             touched: repair.touched,
+            full_sweep,
         })
     }
 }
@@ -372,6 +413,70 @@ mod tests {
         check_proper_edge_coloring(dg.graph(), session.coloring()).assert_ok();
         check_complete(dg.graph(), session.coloring()).assert_ok();
         check_palette_size(session.coloring(), session.palette()).assert_ok();
+    }
+
+    /// The promoted stale-conflict case: `crates/verify/tests/adversarial.rs`
+    /// documents that a conflict strictly outside the touched neighborhood is
+    /// invisible to `check_delta` — out of contract for the incremental
+    /// checker. With the full-sweep escape hatch enabled, the stabilization
+    /// loop *does* contract to catch it: within one period, the sweep call
+    /// widens detection to every edge, finds the stale pair, and heals it.
+    #[test]
+    fn full_sweep_escape_hatch_heals_stale_conflicts_outside_the_suspect_set() {
+        let (dg, ids, params, session) = session(17);
+        let mut session = session.with_full_sweep_every(2);
+        let graph = dg.graph();
+        let corrupted = session.inject_corruption(graph, 23, 4);
+
+        // Build a suspect set strictly outside the corrupted neighborhood:
+        // no corrupted edge, and no edge adjacent to one, so `check_delta`
+        // over it cannot see any of the injected conflicts.
+        let mut hot = std::collections::HashSet::new();
+        for &e in &corrupted {
+            hot.insert(e);
+            let (u, v) = graph.endpoints(e);
+            for nb in graph.neighbors(u).iter().chain(graph.neighbors(v)) {
+                hot.insert(nb.edge);
+            }
+        }
+        let far: Vec<EdgeId> = graph.edges().filter(|e| !hot.contains(e)).take(8).collect();
+        assert_eq!(far.len(), 8, "grid torus leaves plenty of far edges");
+
+        // Call 1 (no sweep): the stale corruption is outside the suspect
+        // neighborhood, so the incremental detector reports clean — the
+        // documented out-of-contract behavior...
+        let first = session.stabilize(&dg, &far, &ids, &params).unwrap();
+        assert!(first.was_clean());
+        assert!(!first.full_sweep);
+        assert!(
+            !check_proper_edge_coloring(graph, session.coloring()).is_ok()
+                || !check_complete(graph, session.coloring()).is_ok()
+        );
+
+        // ...call 2 (the period-th call) sweeps the full edge set, catches
+        // the stale conflicts, and heals them within the palette budget.
+        let second = session.stabilize(&dg, &far, &ids, &params).unwrap();
+        assert!(second.full_sweep);
+        assert!(second.conflicts_found > 0);
+        check_proper_edge_coloring(graph, session.coloring()).assert_ok();
+        check_complete(graph, session.coloring()).assert_ok();
+        check_palette_size(session.coloring(), session.palette()).assert_ok();
+    }
+
+    #[test]
+    fn full_sweep_period_one_sweeps_every_call() {
+        let (dg, ids, params, session) = session(19);
+        let mut session = session.with_full_sweep_every(1);
+        let report = session.stabilize(&dg, &[], &ids, &params).unwrap();
+        assert!(report.full_sweep);
+        assert!(report.was_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "full-sweep period must be positive")]
+    fn full_sweep_period_zero_is_rejected() {
+        let (_, _, _, session) = session(21);
+        let _ = session.with_full_sweep_every(0);
     }
 
     #[test]

@@ -144,6 +144,15 @@ impl Graph {
         (0..self.m()).map(EdgeId::new)
     }
 
+    /// The CSR adjacency offsets (length `n + 1`): node `v`'s neighbor
+    /// slice is indexed by `offsets[v]..offsets[v + 1]`, so `offsets` is
+    /// also the prefix sum of the degree sequence. Exposed for
+    /// degree-weighted work partitioning.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Degree of node `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {

@@ -126,6 +126,40 @@ impl<T> ShardRouter<T> {
         out
     }
 
+    /// Ends the round like [`ShardRouter::drain_round`], but without
+    /// allocating: `f(dst, src, buffer)` is invoked for every ordered shard
+    /// pair in destination-major, ascending-source order (the `src == dst`
+    /// diagonal is skipped), and each buffer is cleared in place afterwards
+    /// with its capacity retained, so a long-lived router reaches a steady
+    /// state with zero per-round allocation. Returns this round's traffic
+    /// delta (`rounds == 1`), which is also folded into the cumulative
+    /// [`ShardRouter::stats`].
+    pub fn drain_round_with(
+        &mut self,
+        mut f: impl FnMut(usize, usize, &mut Vec<T>),
+    ) -> RouterStats {
+        let delta = RouterStats {
+            rounds: 1,
+            cross_messages: self.round_messages,
+            cross_bits: self.round_bits,
+        };
+        self.stats.absorb(&delta);
+        self.round_bits = 0;
+        self.round_messages = 0;
+        let k = self.shards;
+        for dst in 0..k {
+            for src in 0..k {
+                if src == dst {
+                    continue;
+                }
+                let buffer = &mut self.buffers[src * k + dst];
+                f(dst, src, buffer);
+                buffer.clear();
+            }
+        }
+        delta
+    }
+
     /// Cumulative traffic statistics over all drained rounds.
     pub fn stats(&self) -> RouterStats {
         self.stats
@@ -178,6 +212,36 @@ mod tests {
         router.push(0, 1, 2, 8);
         let second = router.drain_round();
         assert_eq!(second[1][0], vec![2]);
+    }
+
+    #[test]
+    fn drain_round_with_matches_drain_round_and_reports_the_delta() {
+        let mut router: ShardRouter<u32> = ShardRouter::new(3);
+        router.push(0, 1, 10, 8);
+        router.push(2, 1, 20, 8);
+        router.push(0, 1, 11, 8);
+        let mut seen: Vec<(usize, usize, Vec<u32>)> = Vec::new();
+        let delta = router.drain_round_with(|dst, src, buffer| {
+            seen.push((dst, src, buffer.clone()));
+        });
+        assert_eq!(delta.rounds, 1);
+        assert_eq!(delta.cross_messages, 3);
+        assert_eq!(delta.cross_bits, 24);
+        // Destination-major, ascending-source order, diagonal skipped.
+        let pairs: Vec<(usize, usize)> = seen.iter().map(|(d, s, _)| (*d, *s)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)]);
+        let to_1: Vec<u32> = seen
+            .iter()
+            .filter(|(d, _, _)| *d == 1)
+            .flat_map(|(_, _, b)| b.clone())
+            .collect();
+        assert_eq!(to_1, vec![10, 11, 20]);
+        // Buffers are cleared in place; the next round starts empty but the
+        // cumulative stats keep accumulating.
+        let second = router.drain_round_with(|_, _, buffer| assert!(buffer.is_empty()));
+        assert_eq!(second.cross_messages, 0);
+        assert_eq!(router.stats().rounds, 2);
+        assert_eq!(router.stats().cross_messages, 3);
     }
 
     #[test]

@@ -71,11 +71,14 @@ impl ExecutionPolicy {
 
     /// A parallel policy sized to the host's available parallelism
     /// (1 thread when the host does not report it).
+    ///
+    /// Uses the same once-per-process [`host_parallelism`] probe as
+    /// [`Self::spawning_pays_off`] and [`Self::effective_threads`], so the
+    /// three can never disagree mid-process (a fresh
+    /// `available_parallelism()` call can change its answer under cgroup or
+    /// affinity updates).
     pub fn auto() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        ExecutionPolicy::parallel(threads)
+        ExecutionPolicy::parallel(host_parallelism())
     }
 
     /// A sharded policy with the given shard and worker-thread counts
@@ -137,7 +140,12 @@ impl ExecutionPolicy {
 }
 
 /// The host's available parallelism, probed once per process.
-fn host_parallelism() -> usize {
+///
+/// Every parallelism decision in the engine ([`ExecutionPolicy::auto`],
+/// [`ExecutionPolicy::spawning_pays_off`],
+/// [`ExecutionPolicy::effective_threads`]) reads this cached probe so they
+/// stay mutually consistent for the lifetime of the process.
+pub fn host_parallelism() -> usize {
     static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *HOST.get_or_init(|| {
         std::thread::available_parallelism()
@@ -159,67 +167,105 @@ impl std::fmt::Display for ExecutionPolicy {
 }
 
 /// The deterministic chunk geometry for `n` items split into (at most)
-/// `chunks` contiguous near-equal ranges.
+/// `chunks` contiguous ranges.
 ///
-/// The first `n % chunks` ranges have `⌈n/chunks⌉` items, the rest
-/// `⌊n/chunks⌋`; empty ranges are never produced, so for `n < chunks` there
-/// are exactly `n` singleton ranges.
+/// [`Chunks::new`] splits by item count: the first `n % chunks` ranges have
+/// `⌈n/chunks⌉` items, the rest `⌊n/chunks⌋`. [`Chunks::degree_weighted`]
+/// splits by work instead, cutting a CSR prefix sum into near-equal weight
+/// shares so a power-law hub does not serialize a parallel round on one
+/// chunk. Either way the geometry is a pure function of its inputs — never
+/// of the worker count that actually runs — so every policy replays the same
+/// chunk order and stays bit-identical to sequential execution. Empty ranges
+/// are never produced (for `n < chunks` there are exactly `n` singleton
+/// ranges); `n = 0` yields one empty chunk.
 #[derive(Debug, Clone)]
 pub struct Chunks {
-    n: usize,
-    base: usize,
-    long: usize,
-    count: usize,
+    /// Chunk boundaries: chunk `c` covers `bounds[c]..bounds[c + 1]`.
+    /// Strictly increasing except for the single empty chunk of `n = 0`.
+    bounds: Vec<usize>,
 }
 
 impl Chunks {
-    /// Chunk geometry for `n` items and the requested chunk count.
+    /// Count-balanced chunk geometry for `n` items and the requested chunk
+    /// count.
     pub fn new(n: usize, chunks: usize) -> Self {
         let count = chunks.max(1).min(n.max(1));
-        Chunks {
-            n,
-            base: n / count,
-            long: n % count,
-            count,
+        let (base, long) = (n / count, n % count);
+        let mut bounds = Vec::with_capacity(count + 1);
+        let mut next = 0usize;
+        bounds.push(next);
+        for c in 0..count {
+            next += if c < long { base + 1 } else { base };
+            bounds.push(next);
         }
+        Chunks { bounds }
+    }
+
+    /// Degree-weighted chunk geometry for `n` nodes whose adjacency is
+    /// described by the CSR prefix-sum `offsets` (`offsets.len() == n + 1`,
+    /// `offsets[v]..offsets[v + 1]` indexing node `v`'s neighbor slice).
+    ///
+    /// Node `v` is weighted `1 + degree(v)` — the `1` keeps isolated nodes
+    /// from collapsing into one chunk — and cut points are the smallest
+    /// nodes reaching each of the `count` equal weight shares, clamped so no
+    /// chunk is empty. The geometry depends only on `(offsets, chunks)`, so
+    /// all execution policies derive identical chunk boundaries.
+    pub fn degree_weighted(n: usize, offsets: &[usize], chunks: usize) -> Self {
+        assert_eq!(offsets.len(), n + 1, "CSR offsets must have n + 1 entries");
+        let count = chunks.max(1).min(n.max(1));
+        // prefix(v) = Σ_{u < v} (1 + deg(u)) = v + offsets[v].
+        let total = n + offsets[n];
+        let mut bounds = Vec::with_capacity(count + 1);
+        bounds.push(0usize);
+        for c in 1..count {
+            let share = total / count * c + total % count * c / count;
+            // Smallest v with prefix(v) ≥ share, found by binary search over
+            // the monotone prefix; clamped to keep every chunk non-empty.
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if mid + offsets[mid] < share {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push(lo.clamp(bounds[c - 1] + 1, n - (count - c)));
+        }
+        bounds.push(n);
+        Chunks { bounds }
     }
 
     /// Number of chunks (0 items still yield one empty chunk).
     pub fn count(&self) -> usize {
-        self.count
+        self.bounds.len() - 1
+    }
+
+    /// Total number of items covered (`bounds` end).
+    pub fn len(&self) -> usize {
+        *self.bounds.last().expect("bounds are never empty")
+    }
+
+    /// Returns `true` if the geometry covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// The half-open item range of chunk `c`.
     pub fn range(&self, c: usize) -> Range<usize> {
-        debug_assert!(c < self.count);
-        let start = if c < self.long {
-            c * (self.base + 1)
-        } else {
-            self.long * (self.base + 1) + (c - self.long) * self.base
-        };
-        let len = if c < self.long {
-            self.base + 1
-        } else {
-            self.base
-        };
-        start..(start + len).min(self.n)
+        debug_assert!(c < self.count());
+        self.bounds[c]..self.bounds[c + 1]
     }
 
     /// All chunk ranges in order.
     pub fn ranges(&self) -> Vec<Range<usize>> {
-        (0..self.count).map(|c| self.range(c)).collect()
+        (0..self.count()).map(|c| self.range(c)).collect()
     }
 
     /// The chunk an item index belongs to (inverse of [`Chunks::range`]).
     pub fn chunk_of(&self, item: usize) -> usize {
-        debug_assert!(item < self.n.max(1));
-        let boundary = self.long * (self.base + 1);
-        if item < boundary {
-            item / (self.base + 1)
-        } else {
-            // `base` is 0 only for n = 0, where no valid item exists.
-            self.long + (item - boundary).checked_div(self.base).unwrap_or(0)
-        }
+        debug_assert!(item < self.len().max(1));
+        (self.bounds.partition_point(|&b| b <= item) - 1).min(self.count() - 1)
     }
 }
 
@@ -236,7 +282,17 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let chunks = Chunks::new(n, policy.threads());
+    map_chunks(&Chunks::new(n, policy.threads()), policy, f)
+}
+
+/// [`map_node_chunks`] over an explicit, caller-owned chunk geometry (e.g. a
+/// degree-weighted one). Results are returned in chunk order; worker panics
+/// re-raise on the calling thread with the first panicking chunk's payload.
+pub fn map_chunks<T, F>(chunks: &Chunks, policy: ExecutionPolicy, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
     if !policy.spawning_pays_off() || chunks.count() <= 1 {
         return chunks.ranges().into_iter().map(f).collect();
     }
@@ -274,7 +330,77 @@ pub fn for_each_chunk_mut<T, U, F>(
     U: Send,
     F: Fn(Range<usize>, &mut [T], U) + Sync,
 {
-    let chunks = Chunks::new(items.len(), policy.threads());
+    for_each_chunk_mut_in(
+        &Chunks::new(items.len(), policy.threads()),
+        items,
+        policy,
+        per_chunk,
+        f,
+    );
+}
+
+/// Applies `f` to every chunk range of an explicit geometry paired with its
+/// (moved) per-chunk payload, returning the results in chunk order.
+///
+/// The send phase of an allocation-free round uses this to hand each worker
+/// its own reusable arena buffer (`U = &mut Vec<_>`) while collecting the
+/// per-chunk [`Metrics`](crate::Metrics) for the deterministic in-order fold.
+pub fn map_chunks_with<T, U, F>(
+    chunks: &Chunks,
+    policy: ExecutionPolicy,
+    payloads: Vec<U>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Range<usize>, U) -> T + Sync,
+{
+    assert_eq!(
+        payloads.len(),
+        chunks.count(),
+        "one payload per chunk required"
+    );
+    let paired: Vec<(Range<usize>, U)> = chunks.ranges().into_iter().zip(payloads).collect();
+    if !policy.spawning_pays_off() || chunks.count() <= 1 {
+        return paired.into_iter().map(|(range, u)| f(range, u)).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = paired
+            .into_iter()
+            .map(|(range, u)| scope.spawn(move || f(range, u)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(value) => value,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// [`for_each_chunk_mut`] over an explicit, caller-owned chunk geometry.
+///
+/// `chunks` must cover `items.len()` exactly; each worker owns the disjoint
+/// mutable slice of its chunk, paired with the matching `per_chunk` payload.
+pub fn for_each_chunk_mut_in<T, U, F>(
+    chunks: &Chunks,
+    items: &mut [T],
+    policy: ExecutionPolicy,
+    per_chunk: Vec<U>,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(Range<usize>, &mut [T], U) + Sync,
+{
+    assert_eq!(
+        chunks.len(),
+        items.len(),
+        "chunk geometry must cover the item slice exactly"
+    );
     assert_eq!(
         per_chunk.len(),
         chunks.count(),
@@ -323,6 +449,11 @@ mod tests {
         assert!(!ExecutionPolicy::parallel(1).is_parallel());
         assert!(ExecutionPolicy::parallel(2).is_parallel());
         assert!(ExecutionPolicy::auto().threads() >= 1);
+        // `auto()` reads the same cached probe as the rest of the engine.
+        assert_eq!(
+            ExecutionPolicy::auto(),
+            ExecutionPolicy::parallel(host_parallelism())
+        );
         assert_eq!(ExecutionPolicy::default(), ExecutionPolicy::Sequential);
         assert_eq!(format!("{}", ExecutionPolicy::parallel(3)), "parallel(3)");
         assert_eq!(format!("{}", ExecutionPolicy::Sequential), "sequential");
@@ -383,6 +514,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// CSR offsets for a synthetic degree sequence.
+    fn offsets_of(degrees: &[usize]) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(degrees.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        offsets
+    }
+
+    #[test]
+    fn degree_weighted_chunks_cover_range_exactly() {
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![5, 0, 0, 0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 0, 0, 0, 99],
+            vec![1000, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+            (0..100).map(|v| v % 7).collect(),
+        ];
+        for degrees in &cases {
+            let n = degrees.len();
+            let offsets = offsets_of(degrees);
+            for c in [1usize, 2, 3, 4, 8, 64] {
+                let chunks = Chunks::degree_weighted(n, &offsets, c);
+                let mut expected = 0usize;
+                for r in chunks.ranges() {
+                    assert_eq!(r.start, expected, "contiguous for n={n} c={c}");
+                    assert!(r.end > r.start || n == 0, "no empty chunks n={n} c={c}");
+                    expected = r.end;
+                }
+                assert_eq!(expected, n, "covers 0..{n} for c={c}");
+                assert_eq!(chunks.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_weighted_chunk_of_inverts_range() {
+        let degrees: Vec<usize> = (0..64).map(|v| if v == 10 { 500 } else { v % 5 }).collect();
+        let offsets = offsets_of(&degrees);
+        for c in [1usize, 2, 3, 7, 64, 200] {
+            let chunks = Chunks::degree_weighted(degrees.len(), &offsets, c);
+            for chunk in 0..chunks.count() {
+                for item in chunks.range(chunk) {
+                    assert_eq!(chunks.chunk_of(item), chunk, "item {item} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_weighted_chunks_balance_a_hub_heavy_graph() {
+        // One hub holding almost all the work: the hub's chunk should stay
+        // small in node count while the remaining nodes spread over the
+        // other chunks, instead of ⌈n/4⌉ nodes (hub included) in chunk 0.
+        let mut degrees = vec![0usize; 64];
+        degrees[0] = 1000;
+        let offsets = offsets_of(&degrees);
+        let chunks = Chunks::degree_weighted(64, &offsets, 4);
+        assert_eq!(chunks.count(), 4);
+        assert_eq!(chunks.range(0), 0..1, "the hub is isolated in chunk 0");
     }
 
     #[test]

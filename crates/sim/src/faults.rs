@@ -495,6 +495,13 @@ impl FaultState {
     /// Applies the plan to the canonically ordered mailboxes of the round
     /// consumed at `round`, in place. See the [module docs](self) for the
     /// per-message semantics and the ordering rules.
+    ///
+    /// The adversary works on materialized per-node inboxes. The fault-free
+    /// delivery path never builds those (it seals rounds straight into flat
+    /// CSR mailboxes); when a plan is installed, delivery materializes the
+    /// boxes from the identical canonical sender order first, so every
+    /// adversary decision is policy-independent by construction and the
+    /// allocation cost of this generality is only paid under faults.
     pub(crate) fn apply<M: Payload + Send>(
         &mut self,
         graph: &Graph,

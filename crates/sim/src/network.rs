@@ -16,12 +16,28 @@
 //! Every network carries an [`ExecutionPolicy`]. Rounds issued through
 //! [`Network::exchange_sync`] or [`Network::broadcast`] honor it: under
 //! `Parallel { threads }` the per-node send closures run on a scoped worker
-//! pool over contiguous node chunks and the per-chunk mailboxes and metrics
-//! are merged in chunk order, which makes the result **byte-identical** to
-//! the sequential execution at any thread count. [`Network::exchange`] takes
-//! a stateful `FnMut` closure and therefore always runs sequentially.
+//! pool over degree-weighted contiguous node chunks and the per-chunk
+//! arenas and metrics are merged in chunk order, which makes the result
+//! **byte-identical** to the sequential execution at any thread count.
+//! [`Network::exchange`] takes a stateful `FnMut` closure and therefore
+//! always runs sequentially.
+//!
+//! # The flat-arena delivery path
+//!
+//! Delivery is allocation-free in steady state. Each worker appends packed
+//! `(target, Incoming { from, edge, msg })` rows to a reusable arena buffer
+//! owned by the network (pooled per message type); the sealed round counts
+//! rows per target, prefix-sums the counts into CSR offsets, and permutes
+//! the concatenated rows in place into target-major order — yielding the
+//! structure-of-arrays [`Mailboxes`] without ever materializing per-node
+//! `Vec`s. Because workers are visited in chunk order and the permutation
+//! is stable per target, every inbox reads in global sender order, exactly
+//! what the sequential reference loop produces. When a fault plan is
+//! installed the round falls back to materialized per-node boxes (the
+//! adversary mutates inboxes in place), so fault-free hot paths never pay
+//! for that generality.
 
-use crate::executor::{for_each_chunk_mut, map_node_chunks, Chunks, ExecutionPolicy};
+use crate::executor::{map_chunks_with, map_node_chunks, Chunks, ExecutionPolicy};
 use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::ledger::{LedgerEntry, RoundLedger};
 use crate::metrics::Metrics;
@@ -29,6 +45,8 @@ use crate::model::Model;
 use crate::payload::Payload;
 use distgraph::{EdgeId, Graph, NodeId};
 use distshard::{bfs_partition, PartitionReport, RouterStats, ShardRouter, ShardedGraph};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 
 /// One undelivered message: the destination node index paired with the
 /// [`Incoming`] entry its inbox will receive.
@@ -45,36 +63,64 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
-/// Per-node inboxes produced by one round of communication.
+/// Per-node inboxes produced by one round of communication, stored as a
+/// structure-of-arrays CSR: one flat target-major entry array plus `n + 1`
+/// offsets, so a round delivers all inboxes in two allocations regardless of
+/// the node count.
 ///
-/// The number of delivered messages is cached at delivery time, so
-/// [`Mailboxes::total`] is O(1).
+/// Equality compares the logical content; two mailboxes with identical
+/// inboxes have identical representations no matter which delivery path
+/// built them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mailboxes<M> {
-    boxes: Vec<Vec<Incoming<M>>>,
-    total: usize,
+    /// CSR offsets (length `n + 1`): node `v`'s inbox is
+    /// `entries[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<usize>,
+    /// All delivered messages, target-major; each inbox slice is in global
+    /// sender order.
+    entries: Vec<Incoming<M>>,
 }
 
 impl<M> Mailboxes<M> {
-    /// Wraps per-node inboxes, recording the delivered-message count once.
+    /// Flattens per-node inboxes into the CSR layout (the slow-path
+    /// constructor used by the fault-injection adversary, which mutates
+    /// materialized boxes in place).
     pub(crate) fn from_boxes(boxes: Vec<Vec<Incoming<M>>>) -> Self {
-        let total = boxes.iter().map(Vec::len).sum();
-        Mailboxes { boxes, total }
+        let mut offsets = Vec::with_capacity(boxes.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for inbox in &boxes {
+            acc += inbox.len();
+            offsets.push(acc);
+        }
+        let mut entries = Vec::with_capacity(acc);
+        for inbox in boxes {
+            entries.extend(inbox);
+        }
+        Mailboxes { offsets, entries }
     }
 
     /// The messages received by node `v` this round.
+    #[inline]
     pub fn inbox(&self, v: NodeId) -> &[Incoming<M>] {
-        &self.boxes[v.index()]
+        &self.entries[self.offsets[v.index()]..self.offsets[v.index() + 1]]
     }
 
-    /// Total number of messages delivered (O(1): cached at delivery time).
+    /// Total number of messages delivered (O(1): the flat entry count).
     pub fn total(&self) -> usize {
-        self.total
+        self.entries.len()
     }
 
-    /// Consumes the mailboxes and returns the per-node vectors.
+    /// Consumes the mailboxes and returns per-node vectors (allocates one
+    /// `Vec` per node — an off-hot-path convenience, not a delivery step).
     pub fn into_inner(self) -> Vec<Vec<Incoming<M>>> {
-        self.boxes
+        let Mailboxes { offsets, entries } = self;
+        let mut out = Vec::with_capacity(offsets.len().saturating_sub(1));
+        let mut entries = entries.into_iter();
+        for pair in offsets.windows(2) {
+            out.push(entries.by_ref().take(pair[1] - pair[0]).collect());
+        }
+        out
     }
 }
 
@@ -119,6 +165,136 @@ impl ShardState {
     }
 }
 
+/// The reusable per-round delivery scratch owned by a [`Network`].
+///
+/// `exchange*`/`broadcast` are generic over the message type but the network
+/// is not, so the per-worker arena buffers and pooled routers are stored
+/// type-erased, keyed by the message's `TypeId` (the same pattern the fault
+/// layer uses for its delay queues). The untyped count/slot buffers are
+/// shared across all message types. Everything here is capacity that
+/// survives between rounds; none of it affects delivery semantics.
+#[derive(Default)]
+struct RoundScratch {
+    /// Per message type: the per-worker arena row buffers
+    /// (`Vec<Vec<Targeted<M>>>`).
+    arenas: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Per message type: the pooled cross-shard router
+    /// (`ShardRouter<Targeted<M>>`).
+    routers: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Per-node message counts, reused as delivery cursors.
+    counts: Vec<usize>,
+    /// Row-to-CSR-slot permutation buffer.
+    slots: Vec<usize>,
+}
+
+impl RoundScratch {
+    /// Takes (or creates) the per-worker arena buffers for message type `M`,
+    /// cleared and sized to `workers` buffers with capacity retained.
+    fn take_arena<M: Payload + Send>(&mut self, workers: usize) -> Vec<Vec<Targeted<M>>> {
+        let mut arena: Vec<Vec<Targeted<M>>> = self
+            .arenas
+            .remove(&TypeId::of::<M>())
+            .and_then(|boxed| boxed.downcast::<Vec<Vec<Targeted<M>>>>().ok())
+            .map(|boxed| *boxed)
+            .unwrap_or_default();
+        arena.truncate(workers);
+        for buffer in &mut arena {
+            buffer.clear();
+        }
+        arena.resize_with(workers, Vec::new);
+        arena
+    }
+
+    /// Returns drained arena buffers to the pool for the next round.
+    fn put_arena<M: Payload + Send>(&mut self, arena: Vec<Vec<Targeted<M>>>) {
+        self.arenas.insert(TypeId::of::<M>(), Box::new(arena));
+    }
+
+    /// Takes (or creates) the pooled cross-shard router for message type `M`
+    /// (recreated when the shard count changes).
+    fn take_router<M: Payload + Send>(&mut self, shards: usize) -> ShardRouter<Targeted<M>> {
+        self.routers
+            .remove(&TypeId::of::<M>())
+            .and_then(|boxed| boxed.downcast::<ShardRouter<Targeted<M>>>().ok())
+            .map(|boxed| *boxed)
+            .filter(|router| router.shards() == shards)
+            .unwrap_or_else(|| ShardRouter::new(shards))
+    }
+
+    /// Returns a drained router to the pool for the next round.
+    fn put_router<M: Payload + Send>(&mut self, router: ShardRouter<Targeted<M>>) {
+        self.routers.insert(TypeId::of::<M>(), Box::new(router));
+    }
+}
+
+impl std::fmt::Debug for RoundScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundScratch")
+            .field("arena_types", &self.arenas.len())
+            .field("router_types", &self.routers.len())
+            .field("counts", &self.counts.len())
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+/// A worker's view of the send phase: validates each send, accounts metrics,
+/// and appends the packed `(target, Incoming)` row to the worker's arena
+/// buffer.
+struct SendSink<'a, M> {
+    graph: &'a Graph,
+    limit: Option<u64>,
+    rows: &'a mut Vec<Targeted<M>>,
+    /// Edges the current node already sent over (cleared per node).
+    used: Vec<EdgeId>,
+    metrics: Metrics,
+}
+
+impl<M: Payload> SendSink<'_, M> {
+    /// Resets the per-node duplicate-edge guard.
+    #[inline]
+    fn begin_node(&mut self) {
+        self.used.clear();
+    }
+
+    /// Validates and enqueues one send from `from` over `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not incident to `from` or was already used by
+    /// `from` this round (the [`Network::exchange`] contract).
+    #[inline]
+    fn send(&mut self, from: NodeId, edge: EdgeId, msg: M) {
+        assert!(
+            self.graph.is_endpoint(edge, from),
+            "{from} attempted to send over non-incident edge {edge}"
+        );
+        assert!(
+            !self.used.contains(&edge),
+            "{from} sent two messages over {edge} in a single round"
+        );
+        self.used.push(edge);
+        self.push(from, edge, msg);
+    }
+
+    /// Enqueues a send whose edge is incident by construction (the
+    /// broadcast path walks the adjacency list, which never repeats an
+    /// edge), skipping the O(degree) duplicate scan.
+    #[inline]
+    fn send_over_incident(&mut self, from: NodeId, edge: EdgeId, msg: M) {
+        debug_assert!(self.graph.is_endpoint(edge, from));
+        self.push(from, edge, msg);
+    }
+
+    #[inline]
+    fn push(&mut self, from: NodeId, edge: EdgeId, msg: M) {
+        self.metrics
+            .record_message(msg.encoded_bits() as u64, self.limit);
+        let target = self.graph.other_endpoint(edge, from).index();
+        self.rows.push((target, Incoming { from, edge, msg }));
+    }
+}
+
 /// A synchronous-round communication network over a graph.
 #[derive(Debug)]
 pub struct Network<'g> {
@@ -129,6 +305,7 @@ pub struct Network<'g> {
     shard_state: Option<ShardState>,
     faults: Option<FaultState>,
     ledger: RoundLedger,
+    scratch: RoundScratch,
 }
 
 impl<'g> Network<'g> {
@@ -149,6 +326,7 @@ impl<'g> Network<'g> {
             shard_state: None,
             faults: None,
             ledger: RoundLedger::new(),
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -240,28 +418,27 @@ impl<'g> Network<'g> {
     ) -> Mailboxes<M> {
         self.metrics.rounds += 1;
         let limit = self.model.bandwidth_limit();
-        let mut boxes: Vec<Vec<Incoming<M>>> = vec![Vec::new(); self.graph.n()];
-        for v in self.graph.nodes() {
-            let sends = outgoing(v);
-            let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
-            for (edge, msg) in sends {
-                assert!(
-                    self.graph.is_endpoint(edge, v),
-                    "{v} attempted to send over non-incident edge {edge}"
-                );
-                assert!(
-                    !used.contains(&edge),
-                    "{v} sent two messages over {edge} in a single round"
-                );
-                used.push(edge);
-                self.metrics
-                    .record_message(msg.encoded_bits() as u64, limit);
-                let target = self.graph.other_endpoint(edge, v);
-                boxes[target.index()].push(Incoming { from: v, edge, msg });
+        let mut arena = self.scratch.take_arena::<M>(1);
+        let mut rows = arena.pop().expect("one arena buffer");
+        let metrics = {
+            let mut sink = SendSink {
+                graph: self.graph,
+                limit,
+                rows: &mut rows,
+                used: Vec::new(),
+                metrics: Metrics::new(),
+            };
+            for v in self.graph.nodes() {
+                sink.begin_node();
+                for (edge, msg) in outgoing(v) {
+                    sink.send(v, edge, msg);
+                }
             }
-        }
-        self.apply_faults(&mut boxes);
-        Mailboxes::from_boxes(boxes)
+            sink.metrics
+        };
+        self.metrics.fold_costs(&metrics);
+        arena.push(rows);
+        self.seal(arena)
     }
 
     /// Executes one synchronous round with a *pure* per-node send function,
@@ -283,85 +460,137 @@ impl<'g> Network<'g> {
         if self.policy.is_sharded() {
             return self.exchange_sharded(outgoing);
         }
-        if !self.policy.spawning_pays_off() {
-            return self.exchange(outgoing);
-        }
+        self.exchange_chunked(|v, sink| {
+            for (edge, msg) in outgoing(v) {
+                sink.send(v, edge, msg);
+            }
+        })
+    }
+
+    /// The chunked send phase shared by [`Network::exchange_sync`] and
+    /// [`Network::broadcast`]: `emit` is invoked once per node with the
+    /// worker's [`SendSink`] and appends that node's sends to the worker's
+    /// arena buffer.
+    ///
+    /// The sender range is split into **degree-weighted** chunks (a pure
+    /// function of the graph and the policy's thread count, never of the
+    /// workers actually spawned), so a power-law hub does not serialize the
+    /// round on one worker while the result stays bit-identical to the
+    /// sequential pass. On hosts where spawning does not pay off the same
+    /// chunk geometry runs inline on the calling thread.
+    fn exchange_chunked<M>(
+        &mut self,
+        emit: impl Fn(NodeId, &mut SendSink<'_, M>) + Sync,
+    ) -> Mailboxes<M>
+    where
+        M: Payload + Send,
+    {
         self.metrics.rounds += 1;
         let limit = self.model.bandwidth_limit();
         let graph = self.graph;
-        let n = graph.n();
-        let chunks = Chunks::new(n, self.policy.threads());
-        let chunk_count = chunks.count();
-
+        let chunks = Chunks::degree_weighted(graph.n(), graph.csr_offsets(), self.policy.threads());
+        let mut arena = self.scratch.take_arena::<M>(chunks.count());
         // Phase A (parallel over sender chunks): evaluate the send closures,
-        // validate, account metrics, and bucket deliveries by target chunk.
-        // Within each bucket the messages appear in sender order.
-        struct ChunkOut<M> {
-            buckets: Vec<Vec<Targeted<M>>>,
-            metrics: Metrics,
-        }
-        let outs: Vec<ChunkOut<M>> = map_node_chunks(n, self.policy, |range| {
-            let mut metrics = Metrics::new();
-            let mut buckets: Vec<Vec<Targeted<M>>> = Vec::new();
-            buckets.resize_with(chunk_count, Vec::new);
+        // validate, account metrics, and append packed rows to the worker's
+        // arena buffer in sender order.
+        let buffers: Vec<&mut Vec<Targeted<M>>> = arena.iter_mut().collect();
+        let per_chunk = map_chunks_with(&chunks, self.policy, buffers, |range, rows| {
+            let mut sink = SendSink {
+                graph,
+                limit,
+                rows,
+                used: Vec::new(),
+                metrics: Metrics::new(),
+            };
             for raw_v in range {
                 let v = NodeId::new(raw_v);
-                let sends = outgoing(v);
-                let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
-                for (edge, msg) in sends {
-                    assert!(
-                        graph.is_endpoint(edge, v),
-                        "{v} attempted to send over non-incident edge {edge}"
-                    );
-                    assert!(
-                        !used.contains(&edge),
-                        "{v} sent two messages over {edge} in a single round"
-                    );
-                    used.push(edge);
-                    metrics.record_message(msg.encoded_bits() as u64, limit);
-                    let target = graph.other_endpoint(edge, v).index();
-                    buckets[chunks.chunk_of(target)]
-                        .push((target, Incoming { from: v, edge, msg }));
-                }
+                sink.begin_node();
+                emit(v, &mut sink);
             }
-            ChunkOut { buckets, metrics }
+            sink.metrics
         });
-
         // Merge metrics in chunk order (order-independent, see
         // `Metrics::fold_costs`; the round itself was charged above).
-        for out in &outs {
-            self.metrics.fold_costs(&out.metrics);
+        for metrics in &per_chunk {
+            self.metrics.fold_costs(metrics);
         }
+        self.seal(arena)
+    }
 
-        // Transpose: per target chunk, the buckets of every sender chunk in
-        // sender-chunk order.
-        let mut per_target: Vec<Vec<Vec<Targeted<M>>>> = Vec::new();
-        per_target.resize_with(chunk_count, Vec::new);
-        for out in outs {
-            for (tc, bucket) in out.buckets.into_iter().enumerate() {
-                per_target[tc].push(bucket);
+    /// Phase B of a chunked round: turns per-worker arena rows (in chunk
+    /// order, i.e. concatenated in global sender order) into the CSR
+    /// [`Mailboxes`] by counting rows per target, prefix-summing the offsets
+    /// and applying the row→slot permutation in place. Steady-state cost:
+    /// two allocations (the offsets and entries that escape in the
+    /// `Mailboxes`), everything else reuses network-owned scratch.
+    fn seal<M: Payload + Send>(&mut self, mut arena: Vec<Vec<Targeted<M>>>) -> Mailboxes<M> {
+        let n = self.graph.n();
+        let total: usize = arena.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        {
+            let counts = &mut self.scratch.counts;
+            counts.clear();
+            counts.resize(n, 0);
+            for rows in &arena {
+                for &(target, _) in rows.iter() {
+                    counts[target] += 1;
+                }
+            }
+            let mut acc = 0usize;
+            offsets.push(0);
+            for &count in counts.iter() {
+                acc += count;
+                offsets.push(acc);
             }
         }
-
-        // Phase B (parallel over target chunks): each worker owns the inboxes
-        // of a contiguous node range and drains the buckets addressed to it
-        // in sender-chunk order, i.e. global sender order.
-        let mut boxes: Vec<Vec<Incoming<M>>> = Vec::with_capacity(n);
-        boxes.resize_with(n, Vec::new);
-        for_each_chunk_mut(
-            &mut boxes,
-            self.policy,
-            per_target,
-            |range, slice, lists| {
-                for bucket in lists {
-                    for (target, incoming) in bucket {
-                        slice[target - range.start].push(incoming);
-                    }
+        if self.faults.is_some() {
+            // Slow path: the adversary mutates per-node inboxes in place, so
+            // materialize them (it sees the same canonical sender order the
+            // fast path produces, keeping faulty runs policy-identical).
+            let mut boxes: Vec<Vec<Incoming<M>>> = self
+                .scratch
+                .counts
+                .iter()
+                .map(|&count| Vec::with_capacity(count))
+                .collect();
+            for rows in &mut arena {
+                for (target, incoming) in rows.drain(..) {
+                    boxes[target].push(incoming);
                 }
-            },
-        );
-        self.apply_faults(&mut boxes);
-        Mailboxes::from_boxes(boxes)
+            }
+            self.scratch.put_arena(arena);
+            self.apply_faults(&mut boxes);
+            return Mailboxes::from_boxes(boxes);
+        }
+        let mut entries: Vec<Incoming<M>> = Vec::with_capacity(total);
+        {
+            let RoundScratch { counts, slots, .. } = &mut self.scratch;
+            // Reuse the counts as per-target write cursors.
+            for (v, cursor) in counts.iter_mut().enumerate() {
+                *cursor = offsets[v];
+            }
+            slots.clear();
+            slots.reserve(total);
+            for rows in &mut arena {
+                for (target, incoming) in rows.drain(..) {
+                    slots.push(counts[target]);
+                    counts[target] += 1;
+                    entries.push(incoming);
+                }
+            }
+            // Apply the permutation in place (cycle chasing): row `i` moves
+            // to CSR slot `slots[i]`. Per-target slots increase with the row
+            // index, so each inbox keeps global sender order.
+            for i in 0..total {
+                while slots[i] != i {
+                    let j = slots[i];
+                    entries.swap(i, j);
+                    slots.swap(i, j);
+                }
+            }
+        }
+        self.scratch.put_arena(arena);
+        Mailboxes { offsets, entries }
     }
 
     /// The sharded delivery path of [`Network::exchange_sync`].
@@ -369,11 +598,12 @@ impl<'g> Network<'g> {
     /// Per shard (shards distributed over the policy's worker threads), the
     /// send closures of the shard's nodes are evaluated in ascending node
     /// order; messages staying inside the shard are delivered directly, the
-    /// rest travel through a per-round [`ShardRouter`] — one coalesced
-    /// buffer per shard pair. Each inbox is then normalized to ascending
-    /// sender order, which is exactly the order the sequential loop produces
-    /// (in a simple graph a sender contributes at most one message per
-    /// target per round), so mailboxes are bit-identical to
+    /// rest travel through a pooled [`ShardRouter`] — one coalesced buffer
+    /// per shard pair, drained in place so steady-state rounds reuse its
+    /// capacity. The gathered rows are then normalized to target-major
+    /// ascending sender order, which is exactly the order the sequential
+    /// loop produces (in a simple graph a sender contributes at most one
+    /// message per target per round), so mailboxes are bit-identical to
     /// [`ExecutionPolicy::Sequential`].
     fn exchange_sharded<M>(
         &mut self,
@@ -460,41 +690,73 @@ impl<'g> Network<'g> {
             self.metrics.fold_costs(&out.metrics);
         }
 
-        // Phase B: deliver shard-internal messages directly and feed the
-        // cross-shard messages through the round's router (one coalesced
-        // buffer per shard pair), then drain it per destination shard in
-        // source-shard order.
-        let mut router: ShardRouter<Targeted<M>> = ShardRouter::new(shards);
-        let mut boxes: Vec<Vec<Incoming<M>>> = Vec::with_capacity(graph.n());
-        boxes.resize_with(graph.n(), Vec::new);
+        // Phase B: gather shard-internal messages and the router's coalesced
+        // cross-shard buffers (pooled per message type, drained in place)
+        // into one flat row list, then normalize to target-major global
+        // sender order with a single unstable sort — valid because senders
+        // are unique per inbox (at most one edge, hence one message, per
+        // sender/target pair in a simple graph).
+        let total: usize = outs
+            .iter()
+            .map(|out| out.local.len() + out.cross.len())
+            .sum();
+        let mut router = self.scratch.take_router::<M>(shards);
+        let mut flat: Vec<Targeted<M>> = Vec::with_capacity(total);
         for (src, out) in outs.into_iter().enumerate() {
-            for (target, incoming) in out.local {
-                boxes[target].push(incoming);
-            }
+            flat.extend(out.local);
             for (dst, bits, item) in out.cross {
                 router.push(src, dst, item, bits);
             }
         }
-        for per_dst in router.drain_round() {
-            for bucket in per_dst {
-                for (target, incoming) in bucket {
-                    boxes[target].push(incoming);
-                }
-            }
-        }
+        let round_stats = router.drain_round_with(|_dst, _src, buffer| {
+            flat.append(buffer);
+        });
+        self.scratch.put_router(router);
         self.shard_state
             .as_mut()
             .expect("built above")
             .stats
-            .absorb(&router.stats());
-        // Normalize each inbox to global sender order (unique senders per
-        // inbox: at most one edge — hence one message — per sender/target
-        // pair in a simple graph).
-        for inbox in &mut boxes {
-            inbox.sort_unstable_by_key(|incoming| incoming.from);
+            .absorb(&round_stats);
+        flat.sort_unstable_by_key(|&(target, ref incoming)| (target, incoming.from));
+        self.seal_sorted(flat)
+    }
+
+    /// Seals a round whose rows are already in target-major global sender
+    /// order (the sharded path after its normalization sort): counts per
+    /// target, prefix-sums the offsets and moves the payloads straight into
+    /// the flat entry array.
+    fn seal_sorted<M: Payload + Send>(&mut self, flat: Vec<Targeted<M>>) -> Mailboxes<M> {
+        let n = self.graph.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        {
+            let counts = &mut self.scratch.counts;
+            counts.clear();
+            counts.resize(n, 0);
+            for &(target, _) in &flat {
+                counts[target] += 1;
+            }
+            let mut acc = 0usize;
+            offsets.push(0);
+            for &count in counts.iter() {
+                acc += count;
+                offsets.push(acc);
+            }
         }
-        self.apply_faults(&mut boxes);
-        Mailboxes::from_boxes(boxes)
+        if self.faults.is_some() {
+            let mut boxes: Vec<Vec<Incoming<M>>> = self
+                .scratch
+                .counts
+                .iter()
+                .map(|&count| Vec::with_capacity(count))
+                .collect();
+            for (target, incoming) in flat {
+                boxes[target].push(incoming);
+            }
+            self.apply_faults(&mut boxes);
+            return Mailboxes::from_boxes(boxes);
+        }
+        let entries: Vec<Incoming<M>> = flat.into_iter().map(|(_, incoming)| incoming).collect();
+        Mailboxes { offsets, entries }
     }
 
     /// The shard-aware delivery state, if any sharded round ran on this
@@ -506,18 +768,37 @@ impl<'g> Network<'g> {
 
     /// One round in which every node sends the same message to all neighbors.
     /// Honors the network's execution policy (see [`Network::exchange_sync`]).
+    ///
+    /// Each node's message is built exactly once and written straight into
+    /// the arena — one clone per neighbor edge except the last, which takes
+    /// the original — with no intermediate `(edge, message)` list and no
+    /// duplicate-edge scan (the adjacency list never repeats an edge).
+    /// Bit-identical to the equivalent [`Network::exchange_sync`] round by
+    /// construction: same sends, same order, same accounting.
     pub fn broadcast<M>(&mut self, msg_of: impl Fn(NodeId) -> M + Sync) -> Mailboxes<M>
     where
         M: Payload + Send,
     {
+        if self.policy.is_sharded() {
+            let graph = self.graph;
+            return self.exchange_sharded(|v| {
+                let msg = msg_of(v);
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|nb| (nb.edge, msg.clone()))
+                    .collect()
+            });
+        }
         let graph = self.graph;
-        self.exchange_sync(|v| {
+        self.exchange_chunked(|v, sink| {
             let msg = msg_of(v);
-            graph
-                .neighbors(v)
-                .iter()
-                .map(|nb| (nb.edge, msg.clone()))
-                .collect()
+            if let Some((last, rest)) = graph.neighbors(v).split_last() {
+                for nb in rest {
+                    sink.send_over_incident(v, nb.edge, msg.clone());
+                }
+                sink.send_over_incident(v, last.edge, msg);
+            }
         })
     }
 

@@ -12,7 +12,12 @@ use std::fmt::Debug;
 ///
 /// Payloads are `'static` owned data: the fault-injection layer
 /// ([`crate::FaultPlan`]) may hold a message back for several rounds, so a
-/// message cannot borrow from the round that produced it.
+/// message cannot borrow from the round that produced it. (`'static` is
+/// also what lets the delivery path pool its per-worker arena buffers by
+/// `TypeId` — see the flat-arena notes on [`crate::Network`]'s module.)
+///
+/// `encoded_bits` sits on the per-message hot path of every round; keep
+/// implementations cheap and `#[inline]`.
 pub trait Payload: Clone + Debug + 'static {
     /// A conservative upper bound on the number of bits needed to encode the
     /// message.
@@ -40,6 +45,7 @@ impl Payload for bool {
 macro_rules! impl_payload_uint {
     ($($ty:ty),*) => {
         $(impl Payload for $ty {
+            #[inline]
             fn encoded_bits(&self) -> usize {
                 bits_for(*self as u64)
             }
@@ -52,6 +58,7 @@ impl_payload_uint!(u8, u16, u32, u64, usize);
 macro_rules! impl_payload_int {
     ($($ty:ty),*) => {
         $(impl Payload for $ty {
+            #[inline]
             fn encoded_bits(&self) -> usize {
                 // one sign bit plus the magnitude
                 1 + bits_for(self.unsigned_abs() as u64)

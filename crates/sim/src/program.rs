@@ -13,7 +13,7 @@
 //! that fit in a page (flooding, BFS, proposal/accept steps, token dropping)
 //! have strict implementations running on it.
 
-use crate::executor::{for_each_chunk_mut, Chunks, ExecutionPolicy};
+use crate::executor::{for_each_chunk_mut_in, Chunks, ExecutionPolicy};
 use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::identifiers::IdAssignment;
 use crate::ledger::{LedgerEntry, RoundLedger};
@@ -203,13 +203,20 @@ where
         }
     }
 
+    // The inbox double buffer: each round swaps `pending` (the messages to
+    // deliver) into `inboxes` and clears the previous round's consumed
+    // inboxes in place, so the steady-state loop allocates nothing.
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
     for _round in 0..max_rounds {
         if outputs.iter().all(Option::is_some) {
             break;
         }
         metrics.rounds += 1;
         let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
-        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+        std::mem::swap(&mut pending, &mut inboxes);
+        for inbox in pending.iter_mut() {
+            inbox.clear();
+        }
         for v in graph.nodes() {
             if outputs[v.index()].is_some() {
                 continue;
@@ -384,7 +391,11 @@ where
     let max_degree = graph.max_degree();
     let mut metrics = Metrics::new();
     let limit = model.bandwidth_limit();
-    let chunks = Chunks::new(n, policy.threads());
+    // Degree-weighted chunks: a pure function of the graph and the policy's
+    // thread count, so the chunk order (and with it the delivery order)
+    // matches every other policy bit for bit, while hub-heavy chunks stop
+    // serializing the round on one worker.
+    let chunks = Chunks::degree_weighted(n, graph.csr_offsets(), policy.threads());
     let chunk_count = chunks.count();
 
     let contexts: Vec<NodeCtx> = graph
@@ -427,13 +438,18 @@ where
         metrics: Metrics,
     }
 
+    // The inbox double buffer (see `run_program_inner`).
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
     for _round in 0..max_rounds {
         if outputs.iter().all(Option::is_some) {
             break;
         }
         metrics.rounds += 1;
         let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
-        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+        std::mem::swap(&mut pending, &mut inboxes);
+        for inbox in pending.iter_mut() {
+            inbox.clear();
+        }
 
         // Split programs and outputs into disjoint per-chunk mutable slices.
         let ranges = chunks.ranges();
@@ -524,13 +540,19 @@ where
                 per_target[tc].push(bucket);
             }
         }
-        for_each_chunk_mut(&mut pending, policy, per_target, |range, slice, lists| {
-            for bucket in lists {
-                for (target, incoming) in bucket {
-                    slice[target - range.start].push(incoming);
+        for_each_chunk_mut_in(
+            &chunks,
+            &mut pending,
+            policy,
+            per_target,
+            |range, slice, lists| {
+                for bucket in lists {
+                    for (target, incoming) in bucket {
+                        slice[target - range.start].push(incoming);
+                    }
                 }
-            }
-        });
+            },
+        );
         note_crashed_steps(&mut faults, &crash_mask, &outputs);
     }
 
@@ -550,8 +572,9 @@ where
 /// mutable slice a worker can own. Every round, each shard's still-running
 /// programs step against a read-only snapshot of the round's inboxes;
 /// shard-internal messages are delivered directly, boundary-crossing
-/// messages travel through a per-round [`distshard::ShardRouter`] (one
-/// coalesced buffer per shard pair). Each inbox is then normalized to
+/// messages travel through a long-lived [`distshard::ShardRouter`] (one
+/// coalesced buffer per shard pair, drained in place so steady-state rounds
+/// reuse its capacity). Each inbox is then normalized to
 /// ascending sender order — exactly the sequential delivery order, since in
 /// a simple graph a sender contributes at most one message per target per
 /// round — which makes outputs, pending messages and metrics byte-identical
@@ -649,13 +672,21 @@ where
     /// its programs and outputs.
     type ShardWork<'a, P, O> = (usize, &'a mut [P], &'a mut [Option<O>]);
 
+    // The inbox double buffer (see `run_program_inner`) and the long-lived
+    // cross-shard router, drained in place each round so its per-pair
+    // buffers retain their capacity across rounds.
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
+    let mut router: distshard::ShardRouter<Targeted<P::Msg>> = distshard::ShardRouter::new(shards);
     for _round in 0..max_rounds {
         if outputs_sm.iter().all(Option::is_some) {
             break;
         }
         metrics.rounds += 1;
         let crash_mask = apply_round_faults(&mut faults, graph, metrics.rounds, &mut pending);
-        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+        std::mem::swap(&mut pending, &mut inboxes);
+        for inbox in pending.iter_mut() {
+            inbox.clear();
+        }
 
         // Split programs and outputs into one contiguous slice per shard.
         let mut prog_slices: Vec<&mut [P]> = Vec::with_capacity(shards);
@@ -770,10 +801,8 @@ where
         }
 
         // Deliver: local messages directly, boundary messages through the
-        // round's coalesced per-pair buffers; then normalize every inbox to
-        // global sender order.
-        let mut router: distshard::ShardRouter<Targeted<P::Msg>> =
-            distshard::ShardRouter::new(shards);
+        // pooled router's coalesced per-pair buffers (drained in place);
+        // then normalize every inbox to global sender order.
         for (src, out) in outs.into_iter().enumerate() {
             for (target, incoming) in out.local {
                 pending[target].push(incoming);
@@ -782,14 +811,12 @@ where
                 router.push(src, dst, item, bits);
             }
         }
-        for per_dst in router.drain_round() {
-            for bucket in per_dst {
-                for (target, incoming) in bucket {
-                    pending[target].push(incoming);
-                }
+        let round_stats = router.drain_round_with(|_dst, _src, buffer| {
+            for (target, incoming) in buffer.drain(..) {
+                pending[target].push(incoming);
             }
-        }
-        router_stats.absorb(&router.stats());
+        });
+        router_stats.absorb(&round_stats);
         // Stable sort: unlike `Network::exchange_sync`, the strict layer
         // does not reject a program that sends twice over the same edge in
         // one round, so a target may hold several entries from one sender.

@@ -198,6 +198,13 @@ fn check_delta_catches_uncolored_and_oversized_touched_edges() {
 /// into the untouched region therefore must be caught by the `O(m)` full
 /// checker but is intentionally invisible to the `O(batch·Δ)` incremental
 /// one.
+///
+/// Callers who cannot trust their suspect sets close this gap one layer up:
+/// `SelfStabilizing::with_full_sweep_every` in the `edgecolor` crate
+/// periodically widens detection to every edge, so the same stale-conflict
+/// shape is found and healed within one sweep period (pinned by
+/// `full_sweep_escape_hatch_heals_stale_conflicts_outside_the_suspect_set`
+/// in `crates/core/src/stabilize.rs`).
 #[test]
 fn stale_conflict_outside_the_touched_set_is_out_of_contract() {
     let g = path5();
