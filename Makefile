@@ -1,6 +1,6 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds
+.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds bench-io snapshot-fuzz
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # bench compilation, example compilation and the rustdoc gate.
@@ -36,23 +36,38 @@ doc:
 # experiment (million-edge graphs at 1/2/4/8 threads), the DYN dynamic
 # recoloring experiment (million-edge update streams), the SHARD
 # partitioned-substrate experiment (partition quality + cross-shard
-# traffic) and the FAULT adversary experiment (delivery losses + recovery
-# cost), serialized to BENCH_1.json at the repo root (schema:
+# traffic), the FAULT adversary experiment (delivery losses + recovery
+# cost) and the IO out-of-core experiment (snapshot load paths + locality
+# reordering), serialized to BENCH_1.json at the repo root (schema:
 # docs/BENCH_SCHEMA.md).
 bench:
-	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault --emit-json BENCH_1.json
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault io --emit-json BENCH_1.json
 
 # CI-sized variant: tiny sweeps and down-scaled SCALE/DYN/SHARD graphs
-# (FAULT always runs its baseline-comparable configurations).
+# (FAULT and IO always run their baseline-comparable configurations).
 bench-smoke:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault --emit-json /tmp/bench.json
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io --emit-json /tmp/bench.json
 
 # The regression gate: the smoke run diffed against the committed
 # BENCH_1.json under the tolerance table of crates/bench/src/regression.rs.
 # Fails on any deterministic-field mismatch; the diff lands in
 # /tmp/bench-regression-diff.txt (CI uploads it as an artifact).
 bench-regression:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt
+
+# The IO gate on its own: the out-of-core load paths (text parse vs binary
+# decode vs zero-copy open, plus reorder on/off) diffed against the
+# committed baseline — including the ≥ 10× million-edge-torus cold-start
+# floor. The diff lands in /tmp/bench-io-diff.txt.
+bench-io:
+	cargo run --release -p edgecolor-bench --bin experiments -- io --emit-json /tmp/bench-io.json --check-baseline BENCH_1.json --diff-out /tmp/bench-io-diff.txt
+
+# The snapshot corruption battery: round-trip + corruption proptests of the
+# binary snapshot codec (truncation, bit flips, forged checksums → typed
+# errors, zero panics) with committed proptest seeds, plus the reorder
+# determinism battery.
+snapshot-fuzz:
+	cargo test --release -p diststore --test snapshot_corruption --test snapshot_roundtrip --test reorder_determinism -- --nocapture
 
 # The round-complexity gate: only E1/E2/E3 (quick-size sweeps, same rows as
 # the committed baseline) with the ledger-derived columns — per-doubling

@@ -11,9 +11,10 @@
 //!   cargo run --release -p edgecolor-bench --bin experiments -- dyn        # million-edge dynamic recoloring
 //!   cargo run --release -p edgecolor-bench --bin experiments -- shard      # sharded substrate (partition/traffic)
 //!   cargo run --release -p edgecolor-bench --bin experiments -- fault      # fault adversary + self-stabilizing recovery
+//!   cargo run --release -p edgecolor-bench --bin experiments -- io         # out-of-core load paths + locality reordering
 //!   cargo run --release -p edgecolor-bench --bin experiments -- rounds     # round-complexity gate: E1/E2/E3 only, quick-size
-//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
-//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault --emit-json BENCH_1.json
+//!   cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io  # CI: tiny sweeps + tiny SCALE/DYN/SHARD
+//!   cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault io --emit-json BENCH_1.json
 //!
 //! The CI `bench-regression` job additionally passes
 //! `--check-baseline BENCH_1.json --diff-out /tmp/diff.txt`: the freshly
@@ -93,6 +94,9 @@ fn main() {
     // (E1/E2/E3), at quick-size sweeps so the rows stay key-comparable to
     // the committed baseline.
     let rounds_only = selectors.iter().any(|a| a == "rounds");
+    // `io` as the sole selector is the `make bench-io` gate: only the IO
+    // experiment runs, and a baseline check prunes everything else.
+    let io_only = selectors.len() == 1 && selectors[0] == "io";
     let small = quick || smoke || rounds_only;
     // An experiment runs when no selector is given or a broad selector
     // (all/quick/smoke) or its own id appears.
@@ -207,6 +211,18 @@ fn main() {
             table
         });
     }
+    // IO runs the same configurations under every selector size (like
+    // FAULT), so its rows — including the million-edge-torus cold-start
+    // floor — stay key-comparable to the committed baseline.
+    let io_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "io" || a == "all");
+    let mut io_measurements = Vec::new();
+    if io_wanted {
+        timed(&mut || {
+            let (table, measurements) = bench::run_io();
+            io_measurements = measurements;
+            table
+        });
+    }
 
     for entry in &tables {
         println!("{}", entry.table);
@@ -223,6 +239,7 @@ fn main() {
         &scale_measurements,
         &shard_measurements,
         &fault_measurements,
+        &io_measurements,
     );
     if let Some(path) = emit_json {
         std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -236,6 +253,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("baseline {path} is not valid bench JSON: {e}"));
         if rounds_only {
             baseline = prune_baseline_for_rounds(baseline);
+        }
+        // `make bench-io` checks only the IO experiment against the
+        // baseline: restrict the baseline to the `io` array (and the IO
+        // table) so the deliberately skipped experiments don't read as
+        // losses.
+        if io_only {
+            baseline = prune_baseline_for_io(baseline);
         }
         let report = bench::regression::compare(&baseline, &doc);
         let rendered = report.render();
@@ -260,12 +284,11 @@ fn main() {
     }
 }
 
-/// Restricts a parsed baseline document to the tables a `rounds` run
-/// reproduces (E1/E2/E3) and empties the scale/shard/fault arrays. A
+/// Restricts a parsed baseline document to the tables whose ids satisfy
+/// `keep` and empties the measurement arrays named in `empty_arrays`. A
 /// subset run would otherwise fail the diff on "experiment missing from
-/// the fresh run" / "coverage lost" for every table it deliberately skips;
-/// the E1/E3 round columns keep their exact-match contract.
-fn prune_baseline_for_rounds(doc: JsonValue) -> JsonValue {
+/// the fresh run" / "coverage lost" for every table it deliberately skips.
+fn prune_baseline(doc: JsonValue, keep: &dyn Fn(&str) -> bool, empty_arrays: &[&str]) -> JsonValue {
     let JsonValue::Obj(fields) = doc else {
         return doc;
     };
@@ -273,28 +296,43 @@ fn prune_baseline_for_rounds(doc: JsonValue) -> JsonValue {
         fields
             .into_iter()
             .map(|(key, value)| {
-                let value = match key.as_str() {
-                    "experiments" => match value {
+                let value = if key == "experiments" {
+                    match value {
                         JsonValue::Arr(exp_tables) => JsonValue::Arr(
                             exp_tables
                                 .into_iter()
                                 .filter(|t| {
-                                    matches!(
-                                        t.get("id").and_then(JsonValue::as_str),
-                                        Some("E1" | "E2" | "E3")
-                                    )
+                                    t.get("id").and_then(JsonValue::as_str).is_some_and(keep)
                                 })
                                 .collect(),
                         ),
                         other => other,
-                    },
-                    "scale" | "shard" | "fault" => JsonValue::Arr(Vec::new()),
-                    _ => value,
+                    }
+                } else if empty_arrays.contains(&key.as_str()) {
+                    JsonValue::Arr(Vec::new())
+                } else {
+                    value
                 };
                 (key, value)
             })
             .collect(),
     )
+}
+
+/// The `rounds` gate reproduces only E1/E2/E3; the round columns keep
+/// their exact-match contract while everything else is pruned.
+fn prune_baseline_for_rounds(doc: JsonValue) -> JsonValue {
+    prune_baseline(
+        doc,
+        &|id| matches!(id, "E1" | "E2" | "E3"),
+        &["scale", "shard", "fault", "io"],
+    )
+}
+
+/// The `io` gate reproduces only the IO experiment: the IO table and the
+/// `io` measurement array (with its cold-start floor) keep their contract.
+fn prune_baseline_for_io(doc: JsonValue) -> JsonValue {
+    prune_baseline(doc, &|id| id == "IO", &["scale", "shard", "fault"])
 }
 
 /// Assembles the `edgecolor-bench/v1` JSON document (schema in
@@ -304,6 +342,7 @@ fn build_json(
     scale: &[bench::ScaleMeasurement],
     shard: &[bench::ShardMeasurement],
     fault: &[bench::FaultMeasurement],
+    io: &[bench::IoMeasurement],
 ) -> JsonValue {
     let experiments = tables
         .iter()
@@ -451,6 +490,30 @@ fn build_json(
             ])
         })
         .collect();
+    let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+    let io_entries = io
+        .iter()
+        .map(|m| {
+            JsonValue::obj(vec![
+                ("graph", JsonValue::str(m.graph.clone())),
+                ("method", JsonValue::str(m.method.clone())),
+                ("n", JsonValue::Int(m.n as i64)),
+                ("m", JsonValue::Int(m.m as i64)),
+                ("file_bytes", opt_int(m.file_bytes)),
+                ("cold_start_ms", JsonValue::Num(m.cold_start_ms)),
+                ("first_round_ms", opt_num(m.first_round_ms)),
+                ("peak_rss_bytes", opt_int(m.peak_rss_bytes)),
+                (
+                    "adjacency_checksum",
+                    JsonValue::Int(m.adjacency_checksum as i64),
+                ),
+                ("speedup_vs_text", opt_num(m.speedup_vs_text)),
+                ("gated_speedup_vs_text", opt_num(m.gated_speedup_vs_text)),
+                ("rounds_per_sec", opt_num(m.rounds_per_sec)),
+                ("mean_edge_span", opt_num(m.mean_edge_span)),
+            ])
+        })
+        .collect();
     let available = std::thread::available_parallelism()
         .map(|p| p.get() as i64)
         .unwrap_or(1);
@@ -468,5 +531,6 @@ fn build_json(
         ("scale", JsonValue::Arr(scale_entries)),
         ("shard", JsonValue::Arr(shard_entries)),
         ("fault", JsonValue::Arr(fault_entries)),
+        ("io", JsonValue::Arr(io_entries)),
     ])
 }

@@ -283,15 +283,47 @@ fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, St
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = input
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
-                        // Surrogates are not produced by the emitter; map
-                        // them to the replacement character on read.
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        let code = parse_hex4(input, *pos + 1)
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
                         *pos += 4;
+                        match code {
+                            0xD800..=0xDBFF => {
+                                // High surrogate: JSON encodes astral
+                                // characters as a \uXXXX\uXXXX UTF-16 pair;
+                                // a high surrogate not followed by a low one
+                                // is malformed.
+                                let pair_err = || {
+                                    format!(
+                                        "lone high surrogate \\u{code:04x} at byte {}",
+                                        *pos - 4
+                                    )
+                                };
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(pair_err());
+                                }
+                                let low = parse_hex4(input, *pos + 3).ok_or_else(pair_err)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(pair_err());
+                                }
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(scalar)
+                                        .expect("a valid surrogate pair decodes to a scalar"),
+                                );
+                                *pos += 6;
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{code:04x} at byte {}",
+                                    *pos - 4
+                                ));
+                            }
+                            c => out.push(
+                                char::from_u32(c).expect("non-surrogate BMP value is a scalar"),
+                            ),
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -307,6 +339,18 @@ fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, St
             }
         }
     }
+}
+
+/// Parses exactly four ASCII hex digits at `input[at..at + 4]`.
+///
+/// The digit check matters: `u32::from_str_radix` accepts a leading `+`, so
+/// without it `\u+123` would slip through as a "valid" escape.
+fn parse_hex4(input: &str, at: usize) -> Option<u32> {
+    let hex = input.get(at..at + 4)?;
+    if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u32::from_str_radix(hex, 16).ok()
 }
 
 fn parse_number(input: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
@@ -439,6 +483,66 @@ mod tests {
             JsonValue::parse("\"\\u0041\"").unwrap(),
             JsonValue::str("A")
         );
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        // Regression: surrogate pairs used to collapse to U+FFFD because
+        // each half was decoded in isolation.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::str("\u{1F600}")
+        );
+        assert_eq!(
+            JsonValue::parse("\"\\uD834\\uDD1E\"").unwrap(),
+            JsonValue::str("\u{1D11E}")
+        );
+        // Pair math edge cases: first and last astral code points.
+        assert_eq!(
+            JsonValue::parse("\"\\uD800\\uDC00\"").unwrap(),
+            JsonValue::str("\u{10000}")
+        );
+        assert_eq!(
+            JsonValue::parse("\"\\uDBFF\\uDFFF\"").unwrap(),
+            JsonValue::str("\u{10FFFF}")
+        );
+        // Surrounding characters keep their positions.
+        assert_eq!(
+            JsonValue::parse("\"a\\ud83d\\ude00z\"").unwrap(),
+            JsonValue::str("a\u{1F600}z")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_lone_and_malformed_surrogates() {
+        for bad in [
+            "\"\\ud83d\"",        // lone high surrogate
+            "\"\\ud83d!\"",       // high surrogate followed by a raw char
+            "\"\\ud83d\\n\"",     // high surrogate followed by a non-\u escape
+            "\"\\ud83d\\u0041\"", // high surrogate followed by a BMP escape
+            "\"\\ud83d\\ud83d\"", // two high surrogates
+            "\"\\ude00\"",        // lone low surrogate
+            "\"\\ude00\\ud83d\"", // pair in the wrong order
+            "\"\\ud83d\\u\"",     // truncated low half
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "`{bad}` parsed");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_hex_unicode_escapes() {
+        // `u32::from_str_radix` accepts a leading '+'; the escape must not.
+        for bad in ["\"\\u+123\"", "\"\\u12g4\"", "\"\\u 123\"", "\"\\u12\""] {
+            assert!(JsonValue::parse(bad).is_err(), "`{bad}` parsed");
+        }
+    }
+
+    #[test]
+    fn astral_strings_roundtrip_through_the_emitter() {
+        // The emitter writes astral characters as raw UTF-8; the parser
+        // must accept both that and the escaped form identically.
+        let v = JsonValue::str("emoji \u{1F600} and clef \u{1D11E}");
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
     }
 
     #[test]

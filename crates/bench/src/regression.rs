@@ -56,6 +56,14 @@ const IGNORED_TABLE_COLUMNS: &[&str] = &[
     // Wall-clock-derived throughput; the `scale` measurement array holds
     // the same quantity to a MinFresh floor instead.
     "rounds/s",
+    // IO cold-start columns: wall clock and ratios thereof. The ≥ 10×
+    // cold-start floor lives on the `io` measurement array
+    // (`gated_speedup_vs_text`, [`IO_FIELDS`]), not on the table cells.
+    "cold ms",
+    "round ms",
+    "vs text",
+    "gate",
+    "rss MB",
 ];
 
 /// Float-formatted but deterministic table columns: compared numerically
@@ -78,6 +86,10 @@ const FLOAT_TABLE_COLUMNS: &[&str] = &[
     // SCALE delivered-bytes-per-round: a pure function of the deterministic
     // metrics (`total_bits / 8 / rounds`), float-formatted.
     "KiB/round",
+    // IO deterministic float columns: on-disk artifact size and the
+    // locality metric of the reorder rows.
+    "file MB",
+    "edge span",
 ];
 
 /// The comparison rule for a table column of experiment `id`.
@@ -116,6 +128,7 @@ pub fn key_columns(id: &str) -> &'static [&'static str] {
         "DYN" => &["scenario", "n", "m"],
         "SHARD" => &["workload", "graph", "shards"],
         "FAULT" => &["workload", "graph", "seed"],
+        "IO" => &["graph", "method"],
         _ => &[],
     }
 }
@@ -189,6 +202,26 @@ pub const FAULT_FIELDS: (&[&str], &[(&str, Rule)]) = (
     ],
 );
 
+/// Identity fields and compared fields of the `io` measurement array. The
+/// IO configurations are scale-invariant (the same graphs at every selector
+/// size, like FAULT), so the structural fields are part of the contract on
+/// every run: the on-disk artifact sizes, the served-adjacency digest and
+/// the reorder locality metric are deterministic, and the snapshot-backed
+/// cold-start paths on the million-edge torus must stay ≥ 10× faster than
+/// the text parse (`gated_speedup_vs_text`; `Null` on rows the floor does
+/// not apply to, which [`Rule::MinFresh`] passes).
+pub const IO_FIELDS: (&[&str], &[(&str, Rule)]) = (
+    &["graph", "method"],
+    &[
+        ("n", Rule::Exact),
+        ("m", Rule::Exact),
+        ("file_bytes", Rule::Exact),
+        ("adjacency_checksum", Rule::Exact),
+        ("mean_edge_span", Rule::AbsTol(1e-6)),
+        ("gated_speedup_vs_text", Rule::MinFresh(10.0)),
+    ],
+);
+
 /// The outcome of a baseline comparison.
 #[derive(Debug, Clone, Default)]
 pub struct RegressionReport {
@@ -241,13 +274,15 @@ pub fn compare(baseline: &JsonValue, fresh: &JsonValue) -> RegressionReport {
         }
     }
     compare_experiment_tables(baseline, fresh, &mut report);
-    // The `fault` array is scale-invariant (identical configurations in
-    // baseline and smoke runs), so it must match; `scale`/`shard` rows
-    // legitimately differ between full-size and smoke runs.
+    // The `fault` and `io` arrays are scale-invariant (identical
+    // configurations in baseline and smoke runs), so they must match;
+    // `scale`/`shard` rows legitimately differ between full-size and smoke
+    // runs.
     for (array, (keys, fields), require_match) in [
         ("scale", SCALE_FIELDS, false),
         ("shard", SHARD_FIELDS, false),
         ("fault", FAULT_FIELDS, true),
+        ("io", IO_FIELDS, true),
     ] {
         compare_measurement_array(
             baseline,
@@ -798,6 +833,95 @@ mod tests {
             .1
             .iter()
             .any(|&(f, r)| f == "allocs_per_round" && r == Rule::Exact));
+        // The IO experiment: wall-clock columns ignored, structural columns
+        // compared, the cold-start floor on the measurement array.
+        assert_eq!(key_columns("IO"), &["graph", "method"]);
+        assert_eq!(column_rule("IO", "cold ms"), Rule::Ignore);
+        assert_eq!(column_rule("IO", "vs text"), Rule::Ignore);
+        assert_eq!(column_rule("IO", "file MB"), Rule::AbsTol(1e-6));
+        assert_eq!(column_rule("IO", "edge span"), Rule::AbsTol(1e-6));
+        assert_eq!(column_rule("IO", "checksum"), Rule::Exact);
+        assert!(requires_matched_rows("IO"));
+        assert!(IO_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "gated_speedup_vs_text" && r == Rule::MinFresh(10.0)));
+        assert!(IO_FIELDS
+            .1
+            .iter()
+            .any(|&(f, r)| f == "adjacency_checksum" && r == Rule::Exact));
+    }
+
+    fn io_doc(gated: JsonValue, checksum: i64) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", JsonValue::str("edgecolor-bench/v1")),
+            ("experiments", JsonValue::Arr(vec![])),
+            ("scale", JsonValue::Arr(vec![])),
+            ("shard", JsonValue::Arr(vec![])),
+            ("fault", JsonValue::Arr(vec![])),
+            (
+                "io",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("graph", JsonValue::str("grid_torus(1000x500)")),
+                    ("method", JsonValue::str("zero_copy_open")),
+                    ("n", JsonValue::Int(500000)),
+                    ("m", JsonValue::Int(1000000)),
+                    ("file_bytes", JsonValue::Int(18000204)),
+                    ("adjacency_checksum", JsonValue::Int(checksum)),
+                    ("mean_edge_span", JsonValue::Null),
+                    ("gated_speedup_vs_text", gated),
+                    ("cold_start_ms", JsonValue::Num(12.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn io_cold_start_floor_gates_fresh_values_only() {
+        // Baseline below floor, fresh above: passes (only fresh counts).
+        let report = compare(
+            &io_doc(JsonValue::Num(4.0), 7),
+            &io_doc(JsonValue::Num(31.0), 7),
+        );
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        // Fresh below the 10× floor: fails.
+        let report = compare(
+            &io_doc(JsonValue::Num(31.0), 7),
+            &io_doc(JsonValue::Num(8.5), 7),
+        );
+        assert!(
+            report
+                .mismatches
+                .iter()
+                .any(|m| m.contains("gated_speedup_vs_text") && m.contains("below floor 10")),
+            "{:?}",
+            report.mismatches
+        );
+        // Null (a row the floor does not apply to) passes the gate, but a
+        // drifted adjacency digest is an exact-match failure.
+        let report = compare(&io_doc(JsonValue::Null, 7), &io_doc(JsonValue::Null, 8));
+        assert_eq!(report.mismatches.len(), 1, "{:?}", report.mismatches);
+        assert!(report.mismatches[0].contains("adjacency_checksum"));
+        // An emptied fresh `io` array is lost coverage, not a skip.
+        let report = compare(&io_doc(JsonValue::Null, 7), &{
+            let mut d = io_doc(JsonValue::Null, 7);
+            if let JsonValue::Obj(fields) = &mut d {
+                for (k, v) in fields.iter_mut() {
+                    if k == "io" {
+                        *v = JsonValue::Arr(vec![]);
+                    }
+                }
+            }
+            d
+        });
+        assert!(
+            report
+                .mismatches
+                .iter()
+                .any(|m| m.contains("io") && m.contains("coverage lost")),
+            "{:?}",
+            report.mismatches
+        );
     }
 
     fn scale_doc(speedup: f64) -> JsonValue {

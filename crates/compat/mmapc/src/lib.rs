@@ -1,0 +1,123 @@
+//! Offline stand-in for `memmap2`-style read-only file mapping.
+//!
+//! The snapshot layer (`diststore`) opens binary snapshots through this
+//! shim so its code is written against an mmap-shaped API: a [`Mmap`] that
+//! maps a whole file and derefs to `&[u8]`. The build environment is
+//! offline and `std` has no memory-mapping primitive, so the only backend
+//! here is a **plain `read`-into-buffer fallback** — it fills a `Vec<u8>`
+//! with one sequential read, which keeps the whole workspace buildable
+//! without `libc`/`memmap2` and keeps `#![forbid(unsafe_code)]` crates
+//! clean (real mmap cannot be expressed without `unsafe`).
+//!
+//! When a registry is available, swap this crate for `memmap2` in the
+//! workspace `[workspace.dependencies]` and replace `Mmap::map_path` calls
+//! with `File::open` + `unsafe { Mmap::map(&file) }` in one place
+//! (`diststore::Snapshot::open`); the deref-to-bytes surface is identical,
+//! and snapshot opens become O(map) instead of O(read).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only byte buffer with the surface of a memory-mapped file.
+///
+/// With the offline backend the bytes are owned (read once from the file);
+/// with an upstream `memmap2` backend they would be borrowed from the page
+/// cache. Either way consumers only see `&[u8]`.
+#[derive(Debug, Clone)]
+pub struct Mmap {
+    buf: Vec<u8>,
+}
+
+impl Mmap {
+    /// Maps an open file (offline backend: reads it fully into memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from reading the file.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let mut file = file.try_clone()?;
+        // Reserve the file's size up front: without the hint `read_to_end`
+        // grows the buffer geometrically, and the repeated reallocation +
+        // copy is measurable on the multi-megabyte snapshots this shim
+        // backs. The extra byte lets `read_to_end` detect EOF without a
+        // final doubling.
+        let hint = file.metadata().map(|m| m.len() as usize + 1).unwrap_or(0);
+        let mut buf = Vec::with_capacity(hint);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap { buf })
+    }
+
+    /// Opens and maps the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from opening or reading the file.
+    pub fn map_path(path: impl AsRef<Path>) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        Self::map(&file)
+    }
+
+    /// Wraps an in-memory buffer (used by codec tests and by encoders that
+    /// want to reopen bytes they just produced without touching disk).
+    pub fn from_vec(buf: Vec<u8>) -> Mmap {
+        Mmap { buf }
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` for an empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_a_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mmapc_test_roundtrip.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        let map = Mmap::map_path(&path).unwrap();
+        assert_eq!(&*map, &[1, 2, 3, 4, 5]);
+        assert_eq!(map.len(), 5);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wraps_vectors() {
+        let map = Mmap::from_vec(vec![9, 8]);
+        assert_eq!(map.as_ref(), &[9, 8]);
+        assert!(Mmap::from_vec(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::map_path("/definitely/not/a/file").is_err());
+    }
+}

@@ -163,11 +163,71 @@ impl DynamicGraph {
         }
     }
 
+    /// Reconstructs a dynamic graph from its saved parts: the CSR graph,
+    /// the internal-id → stable-id table (length `m`) and the next stable id
+    /// to assign. This is the binary-snapshot restore path (`diststore`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if the table's length does not
+    /// match the graph's edge count, a stable id repeats, or a stable id is
+    /// `>= next_stable` — each of which a corrupted snapshot could encode.
+    pub fn from_saved(
+        graph: Graph,
+        stable_of: Vec<EdgeId>,
+        next_stable: usize,
+    ) -> Result<Self, GraphError> {
+        if stable_of.len() != graph.m() {
+            return Err(GraphError::InvalidCsr {
+                detail: format!(
+                    "stable-id table has {} entries for {} edges",
+                    stable_of.len(),
+                    graph.m()
+                ),
+            });
+        }
+        let mut internal_of = HashMap::with_capacity(stable_of.len());
+        for (internal, &stable) in stable_of.iter().enumerate() {
+            if stable.index() >= next_stable {
+                return Err(GraphError::InvalidCsr {
+                    detail: format!(
+                        "stable id {stable} is not below the next-stable watermark {next_stable}"
+                    ),
+                });
+            }
+            if internal_of.insert(stable, EdgeId::new(internal)).is_some() {
+                return Err(GraphError::InvalidCsr {
+                    detail: format!("stable id {stable} assigned to two edges"),
+                });
+            }
+        }
+        Ok(DynamicGraph {
+            graph,
+            stable_of,
+            internal_of,
+            next_stable,
+        })
+    }
+
     /// The current CSR snapshot. Internal (dense) ids of this graph are only
     /// valid until the next [`DynamicGraph::apply`] call.
     #[inline]
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The internal-id → stable-id table (length `m`), in internal id
+    /// order — together with [`DynamicGraph::next_stable_id`] this is the
+    /// state a binary snapshot persists.
+    #[inline]
+    pub fn stable_table(&self) -> &[EdgeId] {
+        &self.stable_of
+    }
+
+    /// The next never-used stable id.
+    #[inline]
+    pub fn next_stable_id(&self) -> usize {
+        self.next_stable
     }
 
     /// Number of nodes (fixed for the lifetime of the dynamic graph).

@@ -48,6 +48,24 @@ pub enum GraphError {
         /// The stable edge id.
         id: usize,
     },
+    /// An index (node count, edge count, or a single identifier) does not fit
+    /// the `u32` identifier space. Surfaced as a typed error — instead of an
+    /// `expect` panic — so ingestion paths can reject corrupt or oversized
+    /// headers gracefully.
+    IndexOverflow {
+        /// What kind of index overflowed (e.g. `"node index"`).
+        what: &'static str,
+        /// The offending value.
+        index: u64,
+    },
+    /// Raw CSR parts handed to [`Graph::from_csr_parts`](crate::Graph::from_csr_parts)
+    /// violate a structural invariant (non-monotone offsets, unsorted
+    /// adjacency, endpoint/adjacency disagreement, ...). This is the error a
+    /// corrupted-but-checksum-forged snapshot materializes as.
+    InvalidCsr {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -81,6 +99,12 @@ impl fmt::Display for GraphError {
             GraphError::UnknownEdge { id } => {
                 write!(f, "stable edge id e{id} does not name a live edge")
             }
+            GraphError::IndexOverflow { what, index } => {
+                write!(f, "{what} {index} exceeds the u32 identifier space")
+            }
+            GraphError::InvalidCsr { detail } => {
+                write!(f, "invalid CSR structure: {detail}")
+            }
         }
     }
 }
@@ -109,6 +133,15 @@ mod tests {
         assert!(e.to_string().contains("infeasible"));
         let e = GraphError::UnknownEdge { id: 12 };
         assert!(e.to_string().contains("e12"));
+        let e = GraphError::IndexOverflow {
+            what: "node index",
+            index: 1 << 40,
+        };
+        assert!(e.to_string().contains("u32"));
+        let e = GraphError::InvalidCsr {
+            detail: "offsets not monotone".into(),
+        };
+        assert!(e.to_string().contains("CSR"));
     }
 
     #[test]

@@ -57,8 +57,26 @@ impl Graph {
     /// # Errors
     ///
     /// Returns an error if an endpoint is out of range, an edge is a self
-    /// loop, or the same edge appears twice.
+    /// loop, the same edge appears twice, or the node/edge counts exceed the
+    /// `u32` identifier space ([`GraphError::IndexOverflow`] — checked up
+    /// front, before any allocation is sized from the counts).
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        // Guard the identifier space before sizing any allocation from the
+        // counts: a corrupt header asking for u32::MAX + 2 nodes must
+        // surface as a typed error, not as an `expect` panic (or a huge
+        // allocation) deep inside CSR construction.
+        if n > u32::MAX as usize + 1 {
+            return Err(GraphError::IndexOverflow {
+                what: "node count",
+                index: n as u64,
+            });
+        }
+        if edges.len() > u32::MAX as usize + 1 {
+            return Err(GraphError::IndexOverflow {
+                what: "edge count",
+                index: edges.len() as u64,
+            });
+        }
         let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(edges.len());
         let mut endpoints = Vec::with_capacity(edges.len());
         let mut degree = vec![0usize; n];
@@ -120,6 +138,148 @@ impl Graph {
     pub fn from_node_id_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
         let raw: Vec<(usize, usize)> = edges.iter().map(|&(u, v)| (u.index(), v.index())).collect();
         Self::from_edges(n, &raw)
+    }
+
+    /// Rebuilds a graph directly from already-materialized CSR parts — the
+    /// fast path for binary snapshot decoding, which skips the hashing and
+    /// per-node sorting of [`Graph::from_edges`] but still validates every
+    /// structural invariant the rest of the workspace relies on.
+    ///
+    /// Expected shape (exactly what [`Graph::from_edges`] produces):
+    /// `offsets` has length `n + 1`, starts at 0, is monotone and ends at
+    /// `adj.len() == 2 * endpoints.len()`; each node's adjacency slice is
+    /// strictly sorted by neighbor id; every endpoint pair is stored smaller
+    /// node first; and each adjacency entry `(w, e)` at node `v` agrees with
+    /// `endpoints[e] == (min(v, w), max(v, w))`, with every edge appearing
+    /// exactly twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] describing the first violated
+    /// invariant, or [`GraphError::IndexOverflow`] if the counts exceed the
+    /// `u32` identifier space. The input is validated in `O(n + m)` without
+    /// panicking, so corrupt snapshot payloads surface as typed errors.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        adj: Vec<Neighbor>,
+        endpoints: Vec<(NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let invalid = |detail: String| GraphError::InvalidCsr { detail };
+        if offsets.is_empty() {
+            return Err(invalid("offsets array is empty".to_string()));
+        }
+        let n = offsets.len() - 1;
+        let m = endpoints.len();
+        if n > u32::MAX as usize + 1 {
+            return Err(GraphError::IndexOverflow {
+                what: "node count",
+                index: n as u64,
+            });
+        }
+        if m > u32::MAX as usize + 1 {
+            return Err(GraphError::IndexOverflow {
+                what: "edge count",
+                index: m as u64,
+            });
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!("offsets[0] is {}, expected 0", offsets[0])));
+        }
+        if adj.len() != 2 * m {
+            return Err(invalid(format!(
+                "adjacency has {} entries, expected 2m = {}",
+                adj.len(),
+                2 * m
+            )));
+        }
+        if offsets[n] != adj.len() {
+            return Err(invalid(format!(
+                "offsets end at {}, expected adjacency length {}",
+                offsets[n],
+                adj.len()
+            )));
+        }
+        for (u, v) in &endpoints {
+            if u.index() >= n || v.index() >= n {
+                return Err(invalid(format!("endpoint pair ({u}, {v}) out of range")));
+            }
+            if u >= v {
+                return Err(invalid(format!(
+                    "endpoint pair ({u}, {v}) not stored smaller-first (or self loop)"
+                )));
+            }
+        }
+        // Each edge must appear exactly twice in the adjacency, once per
+        // endpoint; `seen` counts appearances without hashing.
+        let mut seen = vec![0u8; m];
+        for v in 0..n {
+            let (start, end) = (offsets[v], offsets[v + 1]);
+            if start > end {
+                return Err(invalid(format!("offsets not monotone at node {v}")));
+            }
+            let slice = &adj[start..end];
+            for (i, nb) in slice.iter().enumerate() {
+                if i > 0 && slice[i - 1].node >= nb.node {
+                    return Err(invalid(format!(
+                        "adjacency of node {v} not strictly sorted by neighbor id"
+                    )));
+                }
+                let e = nb.edge.index();
+                if e >= m {
+                    return Err(invalid(format!("adjacency edge {} out of range", nb.edge)));
+                }
+                let (a, b) = endpoints[e];
+                let (lo, hi) = if v < nb.node.index() {
+                    (NodeId::new(v), nb.node)
+                } else {
+                    (nb.node, NodeId::new(v))
+                };
+                if (a, b) != (lo, hi) {
+                    return Err(invalid(format!(
+                        "adjacency entry ({}, {}) at node {v} disagrees with endpoints[{e}] = ({a}, {b})",
+                        nb.node, nb.edge
+                    )));
+                }
+                if seen[e] >= 2 {
+                    return Err(invalid(format!("edge {} appears more than twice", nb.edge)));
+                }
+                seen[e] += 1;
+            }
+        }
+        // Counts line up: adjacency length is 2m and no edge exceeded two
+        // appearances, so every edge appeared exactly twice.
+        Ok(Graph {
+            offsets,
+            adj,
+            endpoints,
+        })
+    }
+
+    /// Builds a graph from CSR parts the caller has *already validated* to
+    /// satisfy every invariant [`Graph::from_csr_parts`] checks, skipping
+    /// the second `O(n + m)` walk. The binary snapshot decoder uses this:
+    /// open-time validation proves the same invariants on the raw file
+    /// bytes, so materialization becomes a plain copy.
+    ///
+    /// This is a safe function — handing it inconsistent parts can only
+    /// produce a structurally inconsistent `Graph` (wrong answers or
+    /// panics from *later* accessor calls), never memory unsafety. Debug
+    /// builds re-run the full validation and panic on a violation, so test
+    /// suites catch any caller that breaks the contract.
+    pub fn from_csr_parts_trusted(
+        offsets: Vec<usize>,
+        adj: Vec<Neighbor>,
+        endpoints: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        if let Err(e) = Self::from_csr_parts(offsets.clone(), adj.clone(), endpoints.clone()) {
+            panic!("from_csr_parts_trusted called with invalid CSR parts: {e}");
+        }
+        Graph {
+            offsets,
+            adj,
+            endpoints,
+        }
     }
 
     /// Number of nodes.
@@ -564,6 +724,77 @@ mod tests {
         for e in g.edges() {
             assert_eq!(lg.degree(NodeId::new(e.index())), g.edge_degree(e));
         }
+    }
+
+    #[test]
+    fn from_edges_rejects_oversized_counts_without_allocating() {
+        // Regression: a corrupt snapshot header used to reach the
+        // `NodeId::new` expect-panic (after attempting a count-sized
+        // allocation); now both counts fail fast with a typed error.
+        let n = u32::MAX as usize + 2;
+        assert_eq!(
+            Graph::from_edges(n, &[]),
+            Err(GraphError::IndexOverflow {
+                what: "node count",
+                index: n as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_from_edges_output() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let rebuilt =
+            Graph::from_csr_parts(g.offsets.clone(), g.adj.clone(), g.endpoints.clone()).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_structural_corruption() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let corrupt = |detail: &str, r: Result<Graph, GraphError>| match r {
+            Err(GraphError::InvalidCsr { .. }) => {}
+            other => panic!("{detail}: expected InvalidCsr, got {other:?}"),
+        };
+
+        // Non-monotone offsets.
+        let mut offsets = g.offsets.clone();
+        offsets[2] = 6;
+        corrupt(
+            "offsets",
+            Graph::from_csr_parts(offsets, g.adj.clone(), g.endpoints.clone()),
+        );
+
+        // Adjacency slice out of sorted order.
+        let mut adj = g.adj.clone();
+        adj.swap(1, 2); // node 1's two neighbors, reversed
+        corrupt(
+            "sorting",
+            Graph::from_csr_parts(g.offsets.clone(), adj, g.endpoints.clone()),
+        );
+
+        // Endpoint pair stored larger-first.
+        let mut endpoints = g.endpoints.clone();
+        endpoints[0] = (endpoints[0].1, endpoints[0].0);
+        corrupt(
+            "endpoints",
+            Graph::from_csr_parts(g.offsets.clone(), g.adj.clone(), endpoints),
+        );
+
+        // Adjacency edge id pointing at the wrong endpoint pair.
+        let mut adj = g.adj.clone();
+        adj[0].edge = EdgeId::new(2);
+        corrupt(
+            "edge ids",
+            Graph::from_csr_parts(g.offsets.clone(), adj, g.endpoints.clone()),
+        );
+
+        // Truncated endpoints table.
+        let endpoints = g.endpoints[..2].to_vec();
+        corrupt(
+            "truncation",
+            Graph::from_csr_parts(g.offsets.clone(), g.adj.clone(), endpoints),
+        );
     }
 
     #[test]

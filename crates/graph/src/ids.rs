@@ -4,6 +4,7 @@
 //! constantly; newtypes prevent mixing them up (a node index used as an edge
 //! index is a compile error rather than a silent bug).
 
+use crate::error::GraphError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -30,9 +31,31 @@ pub type Color = usize;
 
 impl NodeId {
     /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`. Loader / ingestion code paths
+    /// that may face corrupt or oversized inputs must use
+    /// [`NodeId::try_new`] instead so overflow surfaces as a typed error.
     #[inline]
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+        Self::try_new(index).expect("node index exceeds u32::MAX")
+    }
+
+    /// Creates a node identifier from a dense index, returning a typed
+    /// error instead of panicking when the index does not fit in `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if `index > u32::MAX`.
+    #[inline]
+    pub fn try_new(index: usize) -> Result<Self, GraphError> {
+        u32::try_from(index)
+            .map(NodeId)
+            .map_err(|_| GraphError::IndexOverflow {
+                what: "node index",
+                index: index as u64,
+            })
     }
 
     /// Returns the dense index of this node.
@@ -44,9 +67,31 @@ impl NodeId {
 
 impl EdgeId {
     /// Creates an edge identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`. Loader / ingestion code paths
+    /// that may face corrupt or oversized inputs must use
+    /// [`EdgeId::try_new`] instead so overflow surfaces as a typed error.
     #[inline]
     pub fn new(index: usize) -> Self {
-        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+        Self::try_new(index).expect("edge index exceeds u32::MAX")
+    }
+
+    /// Creates an edge identifier from a dense index, returning a typed
+    /// error instead of panicking when the index does not fit in `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if `index > u32::MAX`.
+    #[inline]
+    pub fn try_new(index: usize) -> Result<Self, GraphError> {
+        u32::try_from(index)
+            .map(EdgeId)
+            .map_err(|_| GraphError::IndexOverflow {
+                what: "edge index",
+                index: index as u64,
+            })
     }
 
     /// Returns the dense index of this edge.
@@ -130,6 +175,30 @@ mod tests {
         assert_eq!(id.index(), 7);
         assert_eq!(EdgeId::from(7usize), id);
         assert_eq!(format!("{id}"), "e7");
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_indices_with_typed_errors() {
+        // Regression: these used to be reachable only as `expect` panics,
+        // which let a corrupt snapshot header abort the process instead of
+        // surfacing a decodable error.
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            NodeId::try_new(too_big),
+            Err(GraphError::IndexOverflow {
+                what: "node index",
+                index: too_big as u64,
+            })
+        );
+        assert_eq!(
+            EdgeId::try_new(too_big),
+            Err(GraphError::IndexOverflow {
+                what: "edge index",
+                index: too_big as u64,
+            })
+        );
+        assert_eq!(NodeId::try_new(u32::MAX as usize), Ok(NodeId(u32::MAX)));
+        assert_eq!(EdgeId::try_new(0), Ok(EdgeId(0)));
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod graph;
 mod ids;
 mod lists;
 mod orientation;
+mod reorder;
 
 pub use bipartite::BipartiteGraph;
 pub use coloring::{EdgeColoring, VertexColoring};
@@ -57,3 +58,4 @@ pub use graph::{Graph, Neighbor};
 pub use ids::{Color, EdgeId, NodeId, Side};
 pub use lists::ListAssignment;
 pub use orientation::Orientation;
+pub use reorder::{reorder_permutation, NodePermutation, ReorderStrategy};

@@ -1,0 +1,401 @@
+//! Locality-oriented node reordering: degree, BFS and reverse Cuthill–McKee
+//! permutations, applied as a renumbering pass before CSR construction.
+//!
+//! The round engine walks the CSR in node order; when neighboring nodes sit
+//! close together in that order, a round's memory traffic stays in cache.
+//! The generators emit whatever order their construction happens to produce,
+//! and ingested real graphs are worse. [`reorder_permutation`] computes a
+//! deterministic [`NodePermutation`] for a chosen [`ReorderStrategy`] and
+//! [`Graph::renumber_nodes`] applies it.
+//!
+//! **Edge identities survive reordering**: `renumber_nodes` keeps the edge
+//! list in its original order (only the endpoint node ids are remapped), so
+//! `EdgeId`s — and therefore edge colorings, stable-id tables and everything
+//! else keyed on edges — remain valid on the reordered graph. The
+//! permutation itself is stored in binary snapshots (section `PERM`, see
+//! `docs/SNAPSHOTS.md`) so node-keyed data can always be mapped back.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Which node ordering to renumber a graph into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReorderStrategy {
+    /// Nodes sorted by decreasing degree (ties by original id). Groups the
+    /// hubs of skewed graphs at the front of the id space.
+    Degree,
+    /// Breadth-first order: per connected component (components by smallest
+    /// original id), BFS from the component's smallest id visiting
+    /// neighbors in ascending id order.
+    Bfs,
+    /// Reverse Cuthill–McKee: per component, BFS from a minimum-degree
+    /// start node visiting neighbors in ascending degree order, with the
+    /// final order reversed — the classic bandwidth-minimizing ordering.
+    Rcm,
+}
+
+impl ReorderStrategy {
+    /// Stable lower-case name, used in snapshot manifests and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReorderStrategy::Degree => "degree",
+            ReorderStrategy::Bfs => "bfs",
+            ReorderStrategy::Rcm => "rcm",
+        }
+    }
+}
+
+/// A bijective renumbering of the nodes `0..n`, stored in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePermutation {
+    /// `new_of_old[old] = new`.
+    new_of_old: Vec<u32>,
+    /// `old_of_new[new] = old`.
+    old_of_new: Vec<u32>,
+}
+
+impl NodePermutation {
+    /// The identity permutation on `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if `n` exceeds the `u32`
+    /// identifier space.
+    pub fn identity(n: usize) -> Result<Self, GraphError> {
+        if n > u32::MAX as usize + 1 {
+            return Err(GraphError::IndexOverflow {
+                what: "node count",
+                index: n as u64,
+            });
+        }
+        let ids: Vec<u32> = (0..n as u64).map(|v| v as u32).collect();
+        Ok(NodePermutation {
+            new_of_old: ids.clone(),
+            old_of_new: ids,
+        })
+    }
+
+    /// Builds a permutation from the `old_of_new` direction (for each new
+    /// id, the original node id) — the direction snapshots store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if the vector is not a bijection
+    /// on `0..n` (the typed error a corrupted `PERM` section decodes to).
+    pub fn from_old_of_new(old_of_new: Vec<u32>) -> Result<Self, GraphError> {
+        let n = old_of_new.len();
+        let mut new_of_old = vec![u32::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            let slot = new_of_old
+                .get_mut(old as usize)
+                .ok_or_else(|| GraphError::InvalidCsr {
+                    detail: format!("permutation entry {old} out of range for {n} nodes"),
+                })?;
+            if *slot != u32::MAX {
+                return Err(GraphError::InvalidCsr {
+                    detail: format!("permutation maps two new ids to old node {old}"),
+                });
+            }
+            *slot = new as u32;
+        }
+        Ok(NodePermutation {
+            new_of_old,
+            old_of_new,
+        })
+    }
+
+    /// Number of nodes the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Returns `true` for the permutation on zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// Returns `true` if the permutation maps every node to itself.
+    pub fn is_identity(&self) -> bool {
+        self.new_of_old
+            .iter()
+            .enumerate()
+            .all(|(old, &new)| old as u32 == new)
+    }
+
+    /// The new id of original node `old`.
+    #[inline]
+    pub fn new_id(&self, old: NodeId) -> NodeId {
+        NodeId::new(self.new_of_old[old.index()] as usize)
+    }
+
+    /// The original id of renumbered node `new`.
+    #[inline]
+    pub fn old_id(&self, new: NodeId) -> NodeId {
+        NodeId::new(self.old_of_new[new.index()] as usize)
+    }
+
+    /// The `old_of_new` direction as a slice (what snapshots serialize).
+    pub fn old_of_new(&self) -> &[u32] {
+        &self.old_of_new
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> NodePermutation {
+        NodePermutation {
+            new_of_old: self.old_of_new.clone(),
+            old_of_new: self.new_of_old.clone(),
+        }
+    }
+}
+
+/// Computes the deterministic node permutation of `strategy` for `graph`.
+///
+/// The result maps the graph's current ids to the new locality-friendly
+/// order; apply it with [`Graph::renumber_nodes`].
+pub fn reorder_permutation(graph: &Graph, strategy: ReorderStrategy) -> NodePermutation {
+    let n = graph.n();
+    let order: Vec<u32> = match strategy {
+        ReorderStrategy::Degree => {
+            let mut nodes: Vec<u32> = (0..n).map(|v| v as u32).collect();
+            nodes.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(NodeId::new(v as usize))), v));
+            nodes
+        }
+        ReorderStrategy::Bfs => bfs_order(graph, false),
+        ReorderStrategy::Rcm => {
+            let mut order = bfs_order(graph, true);
+            order.reverse();
+            order
+        }
+    };
+    // `order` is old ids in visit sequence, i.e. exactly `old_of_new`.
+    NodePermutation::from_old_of_new(order).expect("visit orders are bijections")
+}
+
+/// BFS visit order over all components. With `by_degree` the start node of
+/// each component is its minimum-degree node and neighbors are visited in
+/// ascending degree (the Cuthill–McKee rule); otherwise components start at
+/// their smallest id and neighbors are visited in ascending id order (the
+/// adjacency's native order).
+fn bfs_order(graph: &Graph, by_degree: bool) -> Vec<u32> {
+    let n = graph.n();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    // Component seeds in a deterministic sequence: ascending id, or
+    // ascending (degree, id) under the Cuthill–McKee rule.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    if by_degree {
+        seeds.sort_by_key(|&v| (graph.degree(NodeId::new(v)), v));
+    }
+    let mut scratch: Vec<(usize, usize)> = Vec::new();
+    for seed in seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        queue.push_back(NodeId::new(seed));
+        while let Some(v) = queue.pop_front() {
+            order.push(v.index() as u32);
+            if by_degree {
+                scratch.clear();
+                scratch.extend(
+                    graph
+                        .neighbors(v)
+                        .iter()
+                        .filter(|nb| !visited[nb.node.index()])
+                        .map(|nb| (graph.degree(nb.node), nb.node.index())),
+                );
+                scratch.sort_unstable();
+                for &(_, w) in &scratch {
+                    if !visited[w] {
+                        visited[w] = true;
+                        queue.push_back(NodeId::new(w));
+                    }
+                }
+            } else {
+                for nb in graph.neighbors(v) {
+                    if !visited[nb.node.index()] {
+                        visited[nb.node.index()] = true;
+                        queue.push_back(nb.node);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+impl Graph {
+    /// Renumbers the nodes of the graph according to `perm`, preserving the
+    /// edge order (and therefore every `EdgeId`): edge `e` of the result
+    /// connects `perm.new_id(u)` and `perm.new_id(v)` where `{u, v}` are the
+    /// endpoints of edge `e` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` does not act on exactly [`Graph::n`] nodes.
+    pub fn renumber_nodes(&self, perm: &NodePermutation) -> Graph {
+        assert_eq!(
+            perm.len(),
+            self.n(),
+            "permutation acts on {} nodes, graph has {}",
+            perm.len(),
+            self.n()
+        );
+        let edges: Vec<(usize, usize)> = self
+            .edge_list()
+            .into_iter()
+            .map(|(_, u, v)| (perm.new_id(u).index(), perm.new_id(v).index()))
+            .collect();
+        Graph::from_edges(self.n(), &edges).expect("renumbering a valid graph stays valid")
+    }
+
+    /// The mean absolute endpoint-id gap `|u - v|` over all edges — the
+    /// locality figure the reordering pass optimizes (0 for an edgeless
+    /// graph). Deterministic, so the IO benchmark pins it exactly.
+    pub fn mean_edge_bandwidth(&self) -> f64 {
+        if self.m() == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .edge_list()
+            .iter()
+            .map(|&(_, u, v)| (v.index() as u64).abs_diff(u.index() as u64))
+            .sum();
+        total as f64 / self.m() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn sample() -> Graph {
+        // Two components: a 6-cycle with a chord, plus an isolated edge.
+        Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (7, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn permutations_are_bijections() {
+        let g = sample();
+        for strategy in [
+            ReorderStrategy::Degree,
+            ReorderStrategy::Bfs,
+            ReorderStrategy::Rcm,
+        ] {
+            let perm = reorder_permutation(&g, strategy);
+            assert_eq!(perm.len(), g.n());
+            let mut hit = vec![false; g.n()];
+            for v in g.nodes() {
+                let new = perm.new_id(v);
+                assert_eq!(perm.old_id(new), v);
+                assert!(!hit[new.index()]);
+                hit[new.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_preserves_structure_and_edge_ids() {
+        let g = sample();
+        for strategy in [
+            ReorderStrategy::Degree,
+            ReorderStrategy::Bfs,
+            ReorderStrategy::Rcm,
+        ] {
+            let perm = reorder_permutation(&g, strategy);
+            let h = g.renumber_nodes(&perm);
+            assert_eq!(h.n(), g.n());
+            assert_eq!(h.m(), g.m());
+            assert_eq!(h.max_degree(), g.max_degree());
+            assert_eq!(h.connected_components(), g.connected_components());
+            for e in g.edges() {
+                let (u, v) = g.endpoints(e);
+                // Same EdgeId names the same edge, modulo node renumbering.
+                let (a, b) = h.endpoints(e);
+                let mapped = (perm.new_id(u), perm.new_id(v));
+                let mapped = (mapped.0.min(mapped.1), mapped.0.max(mapped.1));
+                assert_eq!((a, b), mapped);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = sample();
+        let perm = reorder_permutation(&g, ReorderStrategy::Degree);
+        // Node 0 and 3 have degree 3, the maximum; node 0 wins the tie.
+        assert_eq!(perm.old_id(NodeId::new(0)), NodeId::new(0));
+        assert_eq!(perm.old_id(NodeId::new(1)), NodeId::new(3));
+        // Degrees are non-increasing along the new order.
+        let degs: Vec<usize> = (0..g.n())
+            .map(|v| g.degree(perm.old_id(NodeId::new(v))))
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_a_grid() {
+        // A torus generated in row-major order already has decent locality;
+        // scramble it with a degree sort (which is effectively arbitrary on
+        // a regular graph) and check RCM wins it back.
+        let g = generators::grid_torus(12, 11);
+        let scrambled = {
+            // Deterministic scramble: reverse the identity.
+            let n = g.n();
+            let old_of_new: Vec<u32> = (0..n as u32).rev().collect();
+            let perm = NodePermutation::from_old_of_new(old_of_new).unwrap();
+            // Interleave halves to break locality properly.
+            let half = n / 2;
+            let interleaved: Vec<u32> = (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        (i / 2) as u32
+                    } else {
+                        (half + i / 2) as u32
+                    }
+                })
+                .collect();
+            let perm2 = NodePermutation::from_old_of_new(interleaved).unwrap();
+            g.renumber_nodes(&perm).renumber_nodes(&perm2)
+        };
+        let rcm = reorder_permutation(&scrambled, ReorderStrategy::Rcm);
+        let reordered = scrambled.renumber_nodes(&rcm);
+        assert!(
+            reordered.mean_edge_bandwidth() < scrambled.mean_edge_bandwidth(),
+            "RCM should reduce mean bandwidth ({} vs {})",
+            reordered.mean_edge_bandwidth(),
+            scrambled.mean_edge_bandwidth()
+        );
+    }
+
+    #[test]
+    fn from_old_of_new_rejects_non_bijections() {
+        assert!(matches!(
+            NodePermutation::from_old_of_new(vec![0, 0, 1]),
+            Err(GraphError::InvalidCsr { .. })
+        ));
+        assert!(matches!(
+            NodePermutation::from_old_of_new(vec![0, 5]),
+            Err(GraphError::InvalidCsr { .. })
+        ));
+        let id = NodePermutation::identity(4).unwrap();
+        assert!(id.is_identity());
+        assert_eq!(id.inverse(), id);
+    }
+}

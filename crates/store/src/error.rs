@@ -1,0 +1,233 @@
+//! The typed error surface of the snapshot layer.
+//!
+//! Every way a snapshot can be malformed — truncated file, flipped magic,
+//! stale version, forged checksum, misaligned or out-of-bounds section,
+//! semantically corrupt payload — maps to a distinct [`SnapshotError`]
+//! variant. The load path never panics on untrusted bytes; the corruption
+//! proptests in `tests/` feed mutated snapshots through [`crate::Snapshot::open`]
+//! and assert exactly this.
+
+use distgraph::GraphError;
+use std::fmt;
+use std::io;
+
+/// Renders a 4-byte section tag for error messages (`OFFS`, `COLR`, ...).
+pub(crate) fn tag_name(tag: [u8; 4]) -> String {
+    tag.iter()
+        .map(|&b| {
+            if b.is_ascii_graphic() {
+                char::from(b)
+            } else {
+                '?'
+            }
+        })
+        .collect()
+}
+
+/// Errors produced while encoding, opening or materializing snapshots, or
+/// while parsing text edge lists.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with the `DSTSNAP\0` magic bytes.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The buffer ends before a structure that must be present.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+        /// Bytes needed to read it.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A section-table entry points outside the file.
+    SectionOutOfBounds {
+        /// The section's tag.
+        tag: String,
+        /// Section byte offset from the start of the file.
+        offset: u64,
+        /// Section byte length.
+        len: u64,
+        /// Total file length.
+        file_len: u64,
+    },
+    /// A section's payload does not hash to the checksum in the table.
+    ChecksumMismatch {
+        /// The section's tag.
+        tag: String,
+    },
+    /// A section's byte length is impossible for its element type, e.g. a
+    /// `u32` array section whose length is not a multiple of 4.
+    MisalignedSection {
+        /// The section's tag.
+        tag: String,
+        /// The offending byte length.
+        len: u64,
+    },
+    /// A section required by the header flags (or unconditionally) is absent.
+    MissingSection {
+        /// The missing section's tag.
+        tag: String,
+    },
+    /// The same section tag appears twice in the section table.
+    DuplicateSection {
+        /// The repeated tag.
+        tag: String,
+    },
+    /// A section decodes but its contents violate a structural invariant.
+    CorruptSection {
+        /// The section's tag.
+        tag: String,
+        /// Human-readable description of the first violated invariant.
+        detail: String,
+    },
+    /// Materializing graph structures out of valid-looking sections failed
+    /// the graph crate's own validation.
+    Graph(GraphError),
+    /// An underlying filesystem error.
+    Io(io::Error),
+    /// A text edge-list line failed to parse.
+    Text {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with the line.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => {
+                write!(f, "not a snapshot: missing DSTSNAP magic bytes")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is newer than the supported version {supported}"
+            ),
+            SnapshotError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated reading {what}: need {needed} bytes, have {available}"
+            ),
+            SnapshotError::SectionOutOfBounds {
+                tag,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "section {tag} at offset {offset} with length {len} exceeds the {file_len}-byte file"
+            ),
+            SnapshotError::ChecksumMismatch { tag } => {
+                write!(f, "section {tag} failed its checksum")
+            }
+            SnapshotError::MisalignedSection { tag, len } => write!(
+                f,
+                "section {tag} has byte length {len}, not a whole number of elements"
+            ),
+            SnapshotError::MissingSection { tag } => {
+                write!(f, "required section {tag} is missing")
+            }
+            SnapshotError::DuplicateSection { tag } => {
+                write!(f, "section {tag} appears more than once")
+            }
+            SnapshotError::CorruptSection { tag, detail } => {
+                write!(f, "section {tag} is corrupt: {detail}")
+            }
+            SnapshotError::Graph(e) => write!(f, "snapshot payload rejected: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Text { line, detail } => {
+                write!(f, "edge list parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Graph(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SnapshotError {
+    fn from(e: GraphError) -> Self {
+        SnapshotError::Graph(e)
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let cases: Vec<(SnapshotError, &str)> = vec![
+            (SnapshotError::BadMagic, "DSTSNAP"),
+            (
+                SnapshotError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                SnapshotError::Truncated {
+                    what: "header",
+                    needed: 16,
+                    available: 3,
+                },
+                "need 16 bytes, have 3",
+            ),
+            (
+                SnapshotError::ChecksumMismatch {
+                    tag: "OFFS".to_string(),
+                },
+                "OFFS failed its checksum",
+            ),
+            (
+                SnapshotError::MisalignedSection {
+                    tag: "ADJN".to_string(),
+                    len: 7,
+                },
+                "byte length 7",
+            ),
+            (
+                SnapshotError::Text {
+                    line: 4,
+                    detail: "bad".to_string(),
+                },
+                "line 4",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn tag_names_replace_non_ascii() {
+        assert_eq!(tag_name(*b"OFFS"), "OFFS");
+        assert_eq!(tag_name([b'A', 0, 0xFF, b'Z']), "A??Z");
+    }
+}

@@ -1,0 +1,197 @@
+//! Text edge-list ingestion and emission — the slow-path baseline the
+//! binary snapshots are measured against.
+//!
+//! The format is the common whitespace edge list:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! p <n> <m>        (one header line, before any edge)
+//! <u> <v>          (one line per edge, in EdgeId order)
+//! ```
+//!
+//! Parsing goes through [`distgraph::Graph::from_edges`], so all graph-level
+//! validation (range, self loops, duplicates) applies; malformed lines
+//! surface as [`SnapshotError::Text`] with a 1-based line number.
+
+use crate::error::SnapshotError;
+use distgraph::Graph;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Serializes a graph as a text edge list.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] on filesystem failure.
+pub fn write_edge_list(graph: &Graph, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    let mut out = Vec::with_capacity(16 + graph.m() * 14);
+    writeln!(out, "p {} {}", graph.n(), graph.m()).expect("writing to a Vec cannot fail");
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        writeln!(out, "{} {}", u.index(), v.index()).expect("writing to a Vec cannot fail");
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Parses a text edge list into a graph.
+///
+/// # Errors
+///
+/// [`SnapshotError::Text`] for malformed lines, [`SnapshotError::Graph`] if
+/// the edges fail graph validation.
+pub fn parse_edge_list(input: &str) -> Result<Graph, SnapshotError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let err = |detail: String| SnapshotError::Text { line, detail };
+        let mut fields = text.split_whitespace();
+        if let Some(rest) = text.strip_prefix("p ") {
+            if header.is_some() {
+                return Err(err("repeated header line".to_string()));
+            }
+            if !edges.is_empty() {
+                return Err(err("header after edge lines".to_string()));
+            }
+            let mut nums = rest.split_whitespace().map(parse_count);
+            let n = nums
+                .next()
+                .ok_or_else(|| err("header missing node count".to_string()))?
+                .map_err(&err)?;
+            let m = nums
+                .next()
+                .ok_or_else(|| err("header missing edge count".to_string()))?
+                .map_err(&err)?;
+            if nums.next().is_some() {
+                return Err(err("trailing fields after header".to_string()));
+            }
+            header = Some((n, m));
+            if m <= u32::MAX as usize {
+                edges.reserve(m);
+            }
+            continue;
+        }
+        let u = fields
+            .next()
+            .map(parse_count)
+            .ok_or_else(|| err("empty edge line".to_string()))?
+            .map_err(&err)?;
+        let v = fields
+            .next()
+            .map(parse_count)
+            .ok_or_else(|| err("edge line missing second endpoint".to_string()))?
+            .map_err(&err)?;
+        if fields.next().is_some() {
+            return Err(err("trailing fields after edge".to_string()));
+        }
+        edges.push((u, v));
+    }
+    let (n, m) = header.ok_or(SnapshotError::Text {
+        line: input.lines().count() + 1,
+        detail: "missing 'p <n> <m>' header line".to_string(),
+    })?;
+    if edges.len() != m {
+        return Err(SnapshotError::Text {
+            line: input.lines().count() + 1,
+            detail: format!("header promises {m} edges, file has {}", edges.len()),
+        });
+    }
+    Ok(Graph::from_edges(n, &edges)?)
+}
+
+/// Strict decimal parse: no sign, no leading '+', digits only.
+/// (`usize::from_str` accepts a leading '+', which an edge list never
+/// legitimately contains.)
+fn parse_count(field: &str) -> Result<usize, String> {
+    if field.is_empty() || !field.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("expected a non-negative integer, found {field:?}"));
+    }
+    field
+        .parse::<usize>()
+        .map_err(|_| format!("integer {field:?} out of range"))
+}
+
+/// Reads and parses a text edge list from `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on filesystem failure, [`SnapshotError::Text`] on a
+/// malformed file (including non-UTF-8 bytes), [`SnapshotError::Graph`] on
+/// invalid edges.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
+    let bytes = fs::read(path)?;
+    let text = String::from_utf8(bytes).map_err(|e| SnapshotError::Text {
+        line: 0,
+        detail: format!("file is not UTF-8: {e}"),
+    })?;
+    parse_edge_list(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distgraph::generators;
+
+    #[test]
+    fn roundtrips_through_a_file() {
+        let g = generators::grid_torus(6, 5);
+        let path = std::env::temp_dir().join("diststore_text_roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let g =
+            parse_edge_list("# a triangle\n\np 3 3\n0 1\n1 2\n# middle comment\n0 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let cases = [
+            ("p 3 1\n0 x\n", 2, "non-negative integer"),
+            ("p 3 1\n0\n", 2, "second endpoint"),
+            ("p 3 1\n0 1 2\n", 2, "trailing"),
+            ("p 3\n", 1, "edge count"),
+            ("p 3 2\np 3 2\n", 2, "repeated header"),
+            ("0 1\n", 2, "header"),
+            ("p 2 1\n+0 1\n", 2, "non-negative integer"),
+            ("p 2 1\n-1 1\n", 2, "non-negative integer"),
+        ];
+        for (input, line, needle) in cases {
+            match parse_edge_list(input) {
+                Err(SnapshotError::Text { line: l, detail }) => {
+                    assert_eq!(l, line, "line number for {input:?}");
+                    assert!(detail.contains(needle), "{detail:?} vs {needle:?}");
+                }
+                other => panic!("{input:?}: expected Text error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_rejected() {
+        assert!(matches!(
+            parse_edge_list("p 3 2\n0 1\n"),
+            Err(SnapshotError::Text { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_validation_applies() {
+        assert!(matches!(
+            parse_edge_list("p 2 1\n1 1\n"),
+            Err(SnapshotError::Graph(_))
+        ));
+    }
+}

@@ -1,0 +1,741 @@
+//! Opening snapshots and serving them zero-copy.
+//!
+//! [`Snapshot::open`] maps the file (through the `mmapc` shim), validates
+//! **everything** — header, section table, per-section checksums, and the
+//! full set of CSR structural invariants — and then hands out
+//! [`SnapshotView`]s: `Graph`-shaped accessors that read `u32`s straight out
+//! of the backing buffer. Because validation is complete at open time, the
+//! accessors are panic-free and allocation-free; a million-edge graph is
+//! queryable for `degree`/`neighbors`/`color` without ever materializing a
+//! [`distgraph::Graph`].
+//!
+//! All byte slicing goes through the safe [`U32s`] wrapper
+//! (`chunks_exact(4)` + `u32::from_le_bytes`); the crate keeps
+//! `#![forbid(unsafe_code)]` with zero transmutes.
+
+use crate::error::{tag_name, SnapshotError};
+use crate::format::{
+    checksum64, FLAG_ALL, FLAG_COLORING, FLAG_PERMUTATION, FLAG_STABLE, HEADER_LEN, MAGIC,
+    META_LEN, TABLE_ENTRY_LEN, TAG_ADJE, TAG_ADJN, TAG_COLR, TAG_ENDP, TAG_META, TAG_OFFS,
+    TAG_PERM, TAG_STBL, VERSION,
+};
+use distgraph::{Color, EdgeId, NodeId};
+use mmapc::Mmap;
+use std::ops::Range;
+use std::path::Path;
+
+/// A borrowed little-endian `u32` array inside a snapshot buffer.
+///
+/// Constructed only by [`Snapshot`] after the byte length has been checked
+/// to be a multiple of 4 and every index the accessors can produce has been
+/// validated, so [`U32s::get`] never observes an out-of-range index in
+/// practice (and is still a safe, bounds-checked slice read if it did).
+#[derive(Debug, Clone, Copy)]
+pub struct U32s<'a>(&'a [u8]);
+
+impl<'a> U32s<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        debug_assert_eq!(bytes.len() % 4, 0);
+        U32s(bytes)
+    }
+
+    /// Number of `u32` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len() / 4
+    }
+
+    /// Returns `true` for an empty array.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The element at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` — which open-time validation rules out for
+    /// every index reachable through [`SnapshotView`].
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        let bytes: [u8; 4] = self.0[i * 4..i * 4 + 4]
+            .try_into()
+            .expect("4-byte window of a u32 array");
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Iterator over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.0
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4) yields 4 bytes")))
+    }
+
+    /// Iterator over consecutive element pairs `(a[2i], a[2i + 1])` — the
+    /// interleaved layout of the `ENDP` section. A trailing odd element is
+    /// never observed: every pair-shaped section holds `2m` elements.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        self.0.chunks_exact(8).map(|c| {
+            (
+                u32::from_le_bytes(c[..4].try_into().expect("4-byte low half")),
+                u32::from_le_bytes(c[4..].try_into().expect("4-byte high half")),
+            )
+        })
+    }
+}
+
+/// Ranges of every section inside the backing buffer, plus the decoded META
+/// words. Byte ranges, not copies: the payloads stay where the file put them.
+#[derive(Debug, Clone)]
+struct Layout {
+    n: usize,
+    m: usize,
+    max_degree: usize,
+    next_stable: usize,
+    offs: Range<usize>,
+    adjn: Range<usize>,
+    adje: Range<usize>,
+    endp: Range<usize>,
+    colr: Option<Range<usize>>,
+    stbl: Option<Range<usize>>,
+    perm: Option<Range<usize>>,
+}
+
+/// An opened, fully validated snapshot.
+///
+/// Owns the backing buffer (an [`mmapc::Mmap`]); [`Snapshot::view`] borrows
+/// zero-copy accessors out of it.
+///
+/// # Examples
+///
+/// ```
+/// use diststore::{Snapshot, SnapshotSource};
+/// use distgraph::{generators, NodeId};
+///
+/// let g = generators::grid_torus(10, 10);
+/// let snap = Snapshot::from_bytes(SnapshotSource::graph(&g).encode()?)?;
+/// let view = snap.view();
+/// assert_eq!(view.n(), g.n());
+/// assert_eq!(view.degree(NodeId::new(7)), 4);
+/// # Ok::<(), diststore::SnapshotError>(())
+/// ```
+#[derive(Debug)]
+pub struct Snapshot {
+    data: Mmap,
+    layout: Layout,
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4-byte window"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte window"))
+}
+
+impl Snapshot {
+    /// Opens and validates the snapshot file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] for filesystem failures, otherwise any of the
+    /// format errors described on [`SnapshotError`]: corrupted inputs of
+    /// every kind return typed errors, never panic.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_mmap(Mmap::map_path(path)?)
+    }
+
+    /// Validates an in-memory snapshot buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Snapshot::open`], minus the I/O.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        Self::from_mmap(Mmap::from_vec(bytes))
+    }
+
+    fn from_mmap(data: Mmap) -> Result<Self, SnapshotError> {
+        let layout = validate(&data)?;
+        Ok(Snapshot { data, layout })
+    }
+
+    /// A zero-copy view over the snapshot's contents.
+    pub fn view(&self) -> SnapshotView<'_> {
+        let l = &self.layout;
+        let bytes: &[u8] = &self.data;
+        SnapshotView {
+            n: l.n,
+            m: l.m,
+            max_degree: l.max_degree,
+            next_stable: l.next_stable,
+            offs: U32s::new(&bytes[l.offs.clone()]),
+            adjn: U32s::new(&bytes[l.adjn.clone()]),
+            adje: U32s::new(&bytes[l.adje.clone()]),
+            endp: U32s::new(&bytes[l.endp.clone()]),
+            colr: l.colr.clone().map(|r| U32s::new(&bytes[r])),
+            stbl: l.stbl.clone().map(|r| U32s::new(&bytes[r])),
+            perm: l.perm.clone().map(|r| U32s::new(&bytes[r])),
+        }
+    }
+
+    /// Total size of the backing buffer in bytes.
+    pub fn file_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Full open-time validation: header, section table, checksums, then every
+/// structural invariant the view accessors rely on. `O(n + m)` time with no
+/// scratch allocation; returns the first violation as a typed error.
+fn validate(data: &[u8]) -> Result<Layout, SnapshotError> {
+    let file_len = data.len() as u64;
+    if data.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            what: "header",
+            needed: HEADER_LEN as u64,
+            available: file_len,
+        });
+    }
+    if data[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u32(data, 8);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let count = read_u32(data, 12) as usize;
+    let table_end = HEADER_LEN + count * TABLE_ENTRY_LEN;
+    if data.len() < table_end {
+        return Err(SnapshotError::Truncated {
+            what: "section table",
+            needed: table_end as u64,
+            available: file_len,
+        });
+    }
+
+    // Walk the table: resolve each known tag to its byte range, verifying
+    // bounds, uniqueness and checksums as we go. Unknown tags are rejected —
+    // version 1 defines the complete tag set, so anything else is corruption.
+    let mut ranges: [Option<Range<usize>>; 8] = Default::default();
+    const TAGS: [[u8; 4]; 8] = [
+        TAG_META, TAG_OFFS, TAG_ADJN, TAG_ADJE, TAG_ENDP, TAG_COLR, TAG_STBL, TAG_PERM,
+    ];
+    for i in 0..count {
+        let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let tag: [u8; 4] = data[at..at + 4].try_into().expect("4-byte tag");
+        let offset = read_u64(data, at + 4);
+        let len = read_u64(data, at + 12);
+        let checksum = read_u64(data, at + 20);
+        let end = offset
+            .checked_add(len)
+            .ok_or(SnapshotError::SectionOutOfBounds {
+                tag: tag_name(tag),
+                offset,
+                len,
+                file_len,
+            })?;
+        if end > file_len || offset < table_end as u64 {
+            return Err(SnapshotError::SectionOutOfBounds {
+                tag: tag_name(tag),
+                offset,
+                len,
+                file_len,
+            });
+        }
+        let range = offset as usize..end as usize;
+        if checksum64(&data[range.clone()]) != checksum {
+            return Err(SnapshotError::ChecksumMismatch { tag: tag_name(tag) });
+        }
+        let slot = TAGS
+            .iter()
+            .position(|t| *t == tag)
+            .ok_or(SnapshotError::CorruptSection {
+                tag: tag_name(tag),
+                detail: "unknown section tag for format version 1".to_string(),
+            })?;
+        if ranges[slot].replace(range).is_some() {
+            return Err(SnapshotError::DuplicateSection { tag: tag_name(tag) });
+        }
+    }
+
+    let require = |slot: usize| -> Result<Range<usize>, SnapshotError> {
+        ranges[slot].clone().ok_or(SnapshotError::MissingSection {
+            tag: tag_name(TAGS[slot]),
+        })
+    };
+
+    // META first: it declares the element counts everything else is sized by.
+    let meta = require(0)?;
+    if meta.len() != META_LEN {
+        return Err(SnapshotError::MisalignedSection {
+            tag: tag_name(TAG_META),
+            len: meta.len() as u64,
+        });
+    }
+    let meta_err = |detail: String| SnapshotError::CorruptSection {
+        tag: tag_name(TAG_META),
+        detail,
+    };
+    let n_raw = read_u64(data, meta.start);
+    let m_raw = read_u64(data, meta.start + 8);
+    let flags = read_u64(data, meta.start + 16);
+    let next_stable_raw = read_u64(data, meta.start + 24);
+    let max_degree_raw = read_u64(data, meta.start + 32);
+    // Node/edge ids are u32 and CSR offsets (up to 2m) are stored as u32.
+    if n_raw > u32::MAX as u64 {
+        return Err(meta_err(format!("node count {n_raw} exceeds u32 ids")));
+    }
+    if 2 * m_raw > u32::MAX as u64 {
+        return Err(meta_err(format!("edge count {m_raw} exceeds u32 offsets")));
+    }
+    if flags & !FLAG_ALL != 0 {
+        return Err(meta_err(format!("unknown flag bits {flags:#x}")));
+    }
+    if next_stable_raw > u32::MAX as u64 + 1 {
+        return Err(meta_err(format!(
+            "stable-id high-water mark {next_stable_raw} exceeds u32 ids"
+        )));
+    }
+    let n = n_raw as usize;
+    let m = m_raw as usize;
+
+    // Resolve the required array sections, checking alignment and exact
+    // element counts against META.
+    let sized = |slot: usize, elems: usize| -> Result<Range<usize>, SnapshotError> {
+        let range = require(slot)?;
+        if range.len() % 4 != 0 {
+            return Err(SnapshotError::MisalignedSection {
+                tag: tag_name(TAGS[slot]),
+                len: range.len() as u64,
+            });
+        }
+        if range.len() / 4 != elems {
+            return Err(SnapshotError::CorruptSection {
+                tag: tag_name(TAGS[slot]),
+                detail: format!("holds {} elements, META promises {elems}", range.len() / 4),
+            });
+        }
+        Ok(range)
+    };
+    let offs_r = sized(1, n + 1)?;
+    let adjn_r = sized(2, 2 * m)?;
+    let adje_r = sized(3, 2 * m)?;
+    let endp_r = sized(4, 2 * m)?;
+    let optional =
+        |slot: usize, flag: u64, elems: usize| -> Result<Option<Range<usize>>, SnapshotError> {
+            if flags & flag != 0 {
+                sized(slot, elems).map(Some)
+            } else if ranges[slot].is_some() {
+                Err(SnapshotError::CorruptSection {
+                    tag: tag_name(TAGS[slot]),
+                    detail: "section present but its META flag is clear".to_string(),
+                })
+            } else {
+                Ok(None)
+            }
+        };
+    let colr_r = optional(5, FLAG_COLORING, m)?;
+    let stbl_r = optional(6, FLAG_STABLE, m)?;
+    let perm_r = optional(7, FLAG_PERMUTATION, n)?;
+
+    // Structural invariants, exactly the ones `Graph::from_csr_parts`
+    // enforces — validated here so the zero-copy accessors (which skip
+    // materialization entirely) and the trusted materialization path
+    // (`Graph::from_csr_parts_trusted`) can rely on them. The walk streams
+    // raw byte slices with `chunks_exact` instead of indexing element by
+    // element: this pass touches every section byte and sits on the
+    // cold-start path the IO benchmark gates.
+    let offs_b = &data[offs_r.clone()];
+    let adjn_b = &data[adjn_r.clone()];
+    let adje_b = &data[adje_r.clone()];
+    let endp_b = &data[endp_r.clone()];
+    let corrupt = |tag: [u8; 4], detail: String| SnapshotError::CorruptSection {
+        tag: tag_name(tag),
+        detail,
+    };
+
+    if read_u32(offs_b, 0) != 0 {
+        return Err(corrupt(
+            TAG_OFFS,
+            format!("offsets[0] is {}, expected 0", read_u32(offs_b, 0)),
+        ));
+    }
+    if read_u32(offs_b, n * 4) as usize != 2 * m {
+        return Err(corrupt(
+            TAG_OFFS,
+            format!(
+                "offsets end at {}, expected 2m = {}",
+                read_u32(offs_b, n * 4),
+                2 * m
+            ),
+        ));
+    }
+    let (ok, max_degree) = structure_sweep(offs_b, adjn_b, adje_b, endp_b, n, m);
+    if !ok {
+        return Err(structure_error(offs_b, adjn_b, adje_b, endp_b, n, m));
+    }
+    // META's max_degree must agree with the offsets-derived walk.
+    if max_degree_raw != max_degree as u64 {
+        return Err(meta_err(format!(
+            "max degree {max_degree_raw} disagrees with offsets ({max_degree})"
+        )));
+    }
+
+    // Optional sections: stable ids must respect the high-water mark
+    // (distinctness is re-checked by `DynamicGraph::from_saved` when
+    // materializing); a permutation must be a bijection on the nodes.
+    if let Some(r) = &stbl_r {
+        for (e, id) in U32s::new(&data[r.clone()]).iter().enumerate() {
+            if u64::from(id) >= next_stable_raw {
+                return Err(corrupt(
+                    TAG_STBL,
+                    format!("stable id {id} of edge {e} exceeds high-water mark {next_stable_raw}"),
+                ));
+            }
+        }
+    }
+    if let Some(r) = &perm_r {
+        let mut hit = vec![false; n];
+        for old in U32s::new(&data[r.clone()]).iter() {
+            let old = old as usize;
+            if old >= n {
+                return Err(corrupt(
+                    TAG_PERM,
+                    format!("permutation entry {old} out of range for {n} nodes"),
+                ));
+            }
+            if hit[old] {
+                return Err(corrupt(
+                    TAG_PERM,
+                    format!("permutation maps two new ids to old node {old}"),
+                ));
+            }
+            hit[old] = true;
+        }
+    }
+    // COLR needs no deep check: any u32 is a valid color or the uncolored
+    // sentinel, and the checksum already vouches for the bytes.
+
+    Ok(Layout {
+        n,
+        m,
+        max_degree,
+        next_stable: next_stable_raw as usize,
+        offs: offs_r,
+        adjn: adjn_r,
+        adje: adje_r,
+        endp: endp_r,
+        colr: colr_r,
+        stbl: stbl_r,
+        perm: perm_r,
+    })
+}
+
+/// Branch-light structural sweep over the CSR sections: returns whether
+/// every invariant holds, plus the offsets-derived maximum degree (garbage
+/// when the sweep fails — callers must check `ok` first).
+///
+/// This is the hot half of open-time validation (the cold-start path the IO
+/// benchmark gates): violations are folded into one boolean instead of
+/// branching per element, so the loops stay pipelined, and the exact typed
+/// error is recovered by [`structure_error`]'s detailed re-walk only on
+/// failure. Callers must have checked `offsets[0] == 0` and
+/// `offsets[n] == 2m` already.
+///
+/// The invariants checked are exactly `Graph::from_csr_parts`'s, minus its
+/// per-edge appearance counter, which is implied here: strict per-node
+/// sorting means a node lists each neighbor at most once, and
+/// endpoint agreement means edge `e` can only ever be listed at its two
+/// endpoints — so each edge appears at most twice, and with the adjacency
+/// holding exactly `2m` entries, pigeonhole makes it exactly twice.
+fn structure_sweep(
+    offs_b: &[u8],
+    adjn_b: &[u8],
+    adje_b: &[u8],
+    endp_b: &[u8],
+    n: usize,
+    m: usize,
+) -> (bool, usize) {
+    let two_m = 2 * m;
+    let mut ok = true;
+
+    // OFFS: monotone and bounded by 2m (entries 1..=n; 0 and n are pinned
+    // by the caller). Degrees fall out of the same scan.
+    let mut prev = 0u32;
+    let mut max_degree = 0u32;
+    for c in offs_b[4..].chunks_exact(4) {
+        let o = u32::from_le_bytes(c.try_into().expect("4-byte offset"));
+        ok &= o >= prev;
+        ok &= o as usize <= two_m;
+        max_degree = max_degree.max(o.wrapping_sub(prev));
+        prev = o;
+    }
+
+    // ENDP: smaller-first pairs with both endpoints in range (`u < v < n`
+    // covers `u`).
+    for pair in endp_b.chunks_exact(8) {
+        let u = u32::from_le_bytes(pair[..4].try_into().expect("4-byte endpoint"));
+        let v = u32::from_le_bytes(pair[4..].try_into().expect("4-byte endpoint"));
+        ok &= u < v;
+        ok &= (v as usize) < n;
+    }
+
+    // Adjacency: per-node strict sorting, ids in range, and agreement with
+    // ENDP. Only entered once the offsets proved monotone-bounded, so the
+    // zipped iterator is consumed exactly `2m` times and never exhausts
+    // early. The endpoint read is clamped (`min(e, m - 1)`) so an
+    // out-of-range edge id folds into `ok` instead of panicking the gather.
+    if ok {
+        let mut entries = adjn_b.chunks_exact(4).zip(adje_b.chunks_exact(4));
+        let mut start = 0usize;
+        for v in 0..n {
+            let end = read_u32(offs_b, (v + 1) * 4) as usize;
+            let vv = v as u32;
+            let mut prev_w = -1i64;
+            for _ in start..end {
+                let (nc, ec) = entries.next().expect("offsets sum to 2m");
+                let w = u32::from_le_bytes(nc.try_into().expect("4-byte neighbor id"));
+                let e = u32::from_le_bytes(ec.try_into().expect("4-byte edge id")) as usize;
+                ok &= (w as usize) < n;
+                ok &= i64::from(w) > prev_w;
+                prev_w = i64::from(w);
+                ok &= e < m;
+                let at = e.min(m - 1) * 8;
+                ok &= read_u32(endp_b, at) == vv.min(w);
+                ok &= read_u32(endp_b, at + 4) == vv.max(w);
+            }
+            start = end;
+        }
+    }
+    (ok, max_degree as usize)
+}
+
+/// The detailed re-walk behind [`structure_sweep`]: finds the first
+/// violated invariant and names it in a typed error. Only runs on corrupt
+/// input, so it favors clarity over speed.
+#[cold]
+fn structure_error(
+    offs_b: &[u8],
+    adjn_b: &[u8],
+    adje_b: &[u8],
+    endp_b: &[u8],
+    n: usize,
+    m: usize,
+) -> SnapshotError {
+    let corrupt = |tag: [u8; 4], detail: String| SnapshotError::CorruptSection {
+        tag: tag_name(tag),
+        detail,
+    };
+    for (e, pair) in endp_b.chunks_exact(8).enumerate() {
+        let u = u32::from_le_bytes(pair[..4].try_into().expect("4-byte endpoint"));
+        let v = u32::from_le_bytes(pair[4..].try_into().expect("4-byte endpoint"));
+        if u as usize >= n || v as usize >= n {
+            return corrupt(
+                TAG_ENDP,
+                format!("endpoint pair ({u}, {v}) of edge {e} out of range"),
+            );
+        }
+        if u >= v {
+            return corrupt(
+                TAG_ENDP,
+                format!("endpoint pair ({u}, {v}) not stored smaller-first (or self loop)"),
+            );
+        }
+    }
+    let mut start = 0usize; // offsets[0], pinned to 0 by the caller
+    for v in 0..n {
+        let end = read_u32(offs_b, (v + 1) * 4) as usize;
+        if start > end {
+            return corrupt(TAG_OFFS, format!("offsets not monotone at node {v}"));
+        }
+        // An inflated intermediate offset must be rejected *before* it is
+        // used to index the adjacency: only the final offset is pinned to
+        // 2m, so a forged-checksum OFFS section can otherwise smuggle
+        // `end > 2m` into this loop (and used to panic the walk rather
+        // than produce a typed error).
+        if end > 2 * m {
+            return corrupt(
+                TAG_OFFS,
+                format!(
+                    "offset {end} at node {v} exceeds adjacency length {}",
+                    2 * m
+                ),
+            );
+        }
+        let mut prev: Option<u32> = None;
+        for i in start..end {
+            let w = read_u32(adjn_b, i * 4);
+            if w as usize >= n {
+                return corrupt(TAG_ADJN, format!("neighbor {w} of node {v} out of range"));
+            }
+            if prev.is_some_and(|p| p >= w) {
+                return corrupt(
+                    TAG_ADJN,
+                    format!("adjacency of node {v} not strictly sorted by neighbor id"),
+                );
+            }
+            prev = Some(w);
+            let e = read_u32(adje_b, i * 4) as usize;
+            if e >= m {
+                return corrupt(TAG_ADJE, format!("adjacency edge {e} out of range"));
+            }
+            let (lo, hi) = (read_u32(endp_b, e * 8), read_u32(endp_b, e * 8 + 4));
+            let (a, b) = if (v as u32) < w {
+                (v as u32, w)
+            } else {
+                (w, v as u32)
+            };
+            if (lo, hi) != (a, b) {
+                return corrupt(
+                    TAG_ADJE,
+                    format!(
+                        "adjacency entry ({w}, {e}) at node {v} disagrees with endpoints ({lo}, {hi})"
+                    ),
+                );
+            }
+        }
+        start = end;
+    }
+    // The sweep tripped but the walk found nothing: a diststore bug, but
+    // still a typed rejection rather than accepting a flagged snapshot.
+    corrupt(
+        TAG_OFFS,
+        "structural sweep failed but the detailed walk found no violation".to_string(),
+    )
+}
+
+/// `Graph`-shaped zero-copy accessors over an opened [`Snapshot`].
+///
+/// Every method reads little-endian `u32`s directly from the snapshot
+/// buffer; nothing is deserialized up front and nothing allocates. The
+/// structural invariants behind the indexing were checked at open time, so
+/// no accessor can panic on any buffer that [`Snapshot::open`] accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    n: usize,
+    m: usize,
+    max_degree: usize,
+    next_stable: usize,
+    offs: U32s<'a>,
+    adjn: U32s<'a>,
+    adje: U32s<'a>,
+    endp: U32s<'a>,
+    colr: Option<U32s<'a>>,
+    stbl: Option<U32s<'a>>,
+    perm: Option<U32s<'a>>,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Maximum node degree Δ (from META, verified against the offsets).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range (as the same call on [`distgraph::Graph`]
+    /// would); never panics for in-range nodes.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offs.get(v.index() + 1) - self.offs.get(v.index())) as usize
+    }
+
+    /// The neighbors of `v` with their connecting edges, in ascending
+    /// neighbor-id order — the same contract as [`distgraph::Graph::neighbors`],
+    /// served straight from the file bytes.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = distgraph::Neighbor> + 'a {
+        let start = self.offs.get(v.index()) as usize;
+        let end = self.offs.get(v.index() + 1) as usize;
+        let (adjn, adje) = (self.adjn, self.adje);
+        (start..end).map(move |i| distgraph::Neighbor {
+            node: NodeId(adjn.get(i)),
+            edge: EdgeId(adje.get(i)),
+        })
+    }
+
+    /// The two endpoints of edge `e` (smaller node id first).
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        (
+            NodeId(self.endp.get(2 * e.index())),
+            NodeId(self.endp.get(2 * e.index() + 1)),
+        )
+    }
+
+    /// Returns `true` if the snapshot carries an edge coloring.
+    pub fn has_coloring(&self) -> bool {
+        self.colr.is_some()
+    }
+
+    /// The stored color of edge `e`: `None` if the snapshot has no coloring
+    /// section or the edge is uncolored.
+    #[inline]
+    pub fn color(&self, e: EdgeId) -> Option<Color> {
+        let raw = self.colr?.get(e.index());
+        (raw != u32::MAX).then_some(raw as Color)
+    }
+
+    /// Returns `true` if the snapshot carries a stable-id table.
+    pub fn has_stable_ids(&self) -> bool {
+        self.stbl.is_some()
+    }
+
+    /// The stable id of edge `e`, if the snapshot carries the table.
+    #[inline]
+    pub fn stable_id(&self, e: EdgeId) -> Option<EdgeId> {
+        self.stbl.map(|t| EdgeId(t.get(e.index())))
+    }
+
+    /// The stable-id high-water mark (0 when no table is stored).
+    pub fn next_stable_id(&self) -> usize {
+        self.next_stable
+    }
+
+    /// Returns `true` if the snapshot records the node permutation that
+    /// produced its numbering.
+    pub fn has_permutation(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// The original id of renumbered node `new`, if a permutation is stored.
+    #[inline]
+    pub fn original_id(&self, new: NodeId) -> Option<NodeId> {
+        self.perm.map(|p| NodeId(p.get(new.index())))
+    }
+
+    /// Raw CSR offsets as a borrowed `u32` array (length `n + 1`).
+    pub fn csr_offsets(&self) -> U32s<'a> {
+        self.offs
+    }
+
+    /// The raw parallel adjacency arrays (`ADJN`, `ADJE`), `2m` elements
+    /// each — the bulk decode path of [`crate::LoadedSnapshot`] streams
+    /// these instead of calling [`SnapshotView::neighbors`] per node.
+    pub(crate) fn adj_arrays(&self) -> (U32s<'a>, U32s<'a>) {
+        (self.adjn, self.adje)
+    }
+
+    /// The raw interleaved endpoint array (`ENDP`), `m` `(u, v)` pairs.
+    pub(crate) fn endpoint_array(&self) -> U32s<'a> {
+        self.endp
+    }
+}

@@ -1,0 +1,323 @@
+//! Corruption battery: every mutation of a valid snapshot — truncation,
+//! bit flips anywhere in the file, flipped magic, bumped version, forged
+//! section table entries — must surface as a typed [`SnapshotError`],
+//! never a panic. And when a mutation *forges the checksum* so the file
+//! still opens, every zero-copy accessor must serve it without panicking.
+
+use distgraph::{EdgeColoring, EdgeId, Graph, NodeId};
+use diststore::{LoadedSnapshot, Snapshot, SnapshotError, SnapshotSource};
+use proptest::prelude::*;
+
+/// Random simple graph, matching the workspace's other property suites.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(60)).prop_map(move |pairs| {
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                }
+            }
+            Graph::from_edges(n, &edges).expect("sanitized edges are valid")
+        })
+    })
+}
+
+/// Encodes a snapshot exercising every section (coloring + stable table +
+/// permutation) so mutations can land anywhere in the format.
+fn full_snapshot_bytes(g: &Graph) -> Vec<u8> {
+    let mut coloring = EdgeColoring::empty(g.m());
+    for e in g.edges() {
+        if e.index() % 4 != 3 {
+            coloring.set(e, e.index() % 6);
+        }
+    }
+    let perm = distgraph::reorder_permutation(g, distgraph::ReorderStrategy::Bfs);
+    // Snapshot the *original* graph with an identity-shaped stable table via
+    // the dynamic wrapper, plus the coloring and a (valid) permutation of
+    // the same node count.
+    let dynamic = distgraph::DynamicGraph::from_graph(g.clone());
+    let mut source = SnapshotSource::dynamic(&dynamic).with_coloring(&coloring);
+    // The permutation is only attachable when it acts on the graph's nodes.
+    source = source.with_permutation(&perm);
+    source.encode().expect("valid inputs encode")
+}
+
+/// The format's word-chunked FNV-1a 64 checksum (local copy — the crate
+/// keeps its checksum private). Must stay in lockstep with
+/// `diststore::format::checksum64`: these tests forge checksums to smuggle
+/// corrupted payloads past the table walk.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    if bytes.len() < 32 {
+        let mut hash = BASIS;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        return hash;
+    }
+    let word = |chunk: &[u8]| u64::from_le_bytes(chunk.try_into().expect("8-byte word"));
+    let mut lanes = [
+        BASIS,
+        BASIS ^ PRIME,
+        BASIS.rotate_left(17),
+        BASIS.rotate_left(31),
+    ];
+    let mut groups = bytes.chunks_exact(32);
+    for g in &mut groups {
+        lanes[0] = (lanes[0] ^ word(&g[0..8])).wrapping_mul(PRIME);
+        lanes[1] = (lanes[1] ^ word(&g[8..16])).wrapping_mul(PRIME);
+        lanes[2] = (lanes[2] ^ word(&g[16..24])).wrapping_mul(PRIME);
+        lanes[3] = (lanes[3] ^ word(&g[24..32])).wrapping_mul(PRIME);
+    }
+    let mut hash = lanes[0];
+    for &lane in &lanes[1..] {
+        hash = (hash ^ lane).wrapping_mul(PRIME);
+    }
+    for &b in groups.remainder() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Exercises every zero-copy accessor and the materialization path; the
+/// point is that none of them panic, whatever the snapshot contains.
+fn drain_accessors(snapshot: &Snapshot) {
+    let view = snapshot.view();
+    let mut checksum = 0usize;
+    for v in 0..view.n() {
+        let v = NodeId::new(v);
+        checksum ^= view.degree(v);
+        for nb in view.neighbors(v) {
+            checksum ^= nb.node.index() ^ nb.edge.index();
+        }
+        checksum ^= view.original_id(v).map_or(0, |o| o.index());
+    }
+    for e in 0..view.m() {
+        let e = EdgeId::new(e);
+        let (u, w) = view.endpoints(e);
+        checksum ^= u.index() ^ w.index();
+        checksum ^= view.color(e).unwrap_or(0);
+        checksum ^= view.stable_id(e).map_or(0, |s| s.index());
+    }
+    std::hint::black_box(checksum);
+    // Materialization re-validates; it may reject, but must not panic.
+    let _ = LoadedSnapshot::load(snapshot);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any strict prefix of a snapshot fails to open with a typed error.
+    #[test]
+    fn truncation_is_rejected(g in arb_graph(), cut in 0.0f64..1.0) {
+        let bytes = full_snapshot_bytes(&g);
+        let len = ((bytes.len() as f64) * cut) as usize;
+        let truncated = bytes[..len.min(bytes.len() - 1)].to_vec();
+        prop_assert!(Snapshot::from_bytes(truncated).is_err());
+    }
+
+    /// Any single flipped byte fails to open with a typed error: either the
+    /// header/table check trips, or the section checksum does.
+    #[test]
+    fn single_byte_flips_are_rejected(g in arb_graph(), at in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = full_snapshot_bytes(&g);
+        let idx = ((bytes.len() as f64) * at) as usize;
+        let idx = idx.min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(Snapshot::from_bytes(bytes).is_err());
+    }
+
+    /// Forging the checksum after a payload flip must not let any accessor
+    /// panic: the snapshot either fails open-time structural validation or
+    /// serves (possibly semantically different) values safely.
+    #[test]
+    fn checksum_forged_flips_never_panic(g in arb_graph(), at in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = full_snapshot_bytes(&g);
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = 16 + count * 28;
+        // Aim the flip at payload bytes only, then re-hash that section.
+        let payload_len = bytes.len() - table_end;
+        if payload_len == 0 {
+            return Ok(());
+        }
+        let idx = table_end + (((payload_len as f64) * at) as usize).min(payload_len - 1);
+        bytes[idx] ^= 1 << bit;
+        for entry in 0..count {
+            let at = 16 + entry * 28;
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            if (offset..offset + len).contains(&idx) {
+                let sum = checksum64(&bytes[offset..offset + len]);
+                bytes[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+            }
+        }
+        // Must not panic; Ok and Err are both acceptable outcomes.
+        if let Ok(snapshot) = Snapshot::from_bytes(bytes) {
+            drain_accessors(&snapshot);
+        }
+    }
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_unsupported() {
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+    ));
+}
+
+#[test]
+fn short_buffers_are_truncated_errors() {
+    for len in 0..16 {
+        let bytes = diststore::MAGIC[..len.min(8)].to_vec();
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::BadMagic | SnapshotError::Truncated { .. })
+        ));
+    }
+}
+
+#[test]
+fn misaligned_section_length_is_typed() {
+    // Shrink the OFFS section by one byte (and fix its checksum) so its
+    // length is no longer a multiple of 4.
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut fixed = false;
+    for entry in 0..count {
+        let at = 16 + entry * 28;
+        if &bytes[at..at + 4] == b"OFFS" {
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            bytes[at + 12..at + 20].copy_from_slice(&((len - 1) as u64).to_le_bytes());
+            let sum = checksum64(&bytes[offset..offset + len - 1]);
+            bytes[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+            fixed = true;
+        }
+    }
+    assert!(fixed, "snapshot has an OFFS section");
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::MisalignedSection { .. })
+    ));
+}
+
+#[test]
+fn out_of_bounds_section_is_typed() {
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    let file_len = bytes.len() as u64;
+    // Point the first section past the end of the file.
+    bytes[20..28].copy_from_slice(&(file_len + 1).to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::SectionOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn duplicate_section_is_typed() {
+    // Duplicate the META table entry over the OFFS entry (both point at the
+    // original META payload, checksums stay valid).
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    let meta_entry = bytes[16..44].to_vec();
+    bytes[44..72].copy_from_slice(&meta_entry);
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::DuplicateSection { .. })
+    ));
+}
+
+#[test]
+fn missing_required_section_is_typed() {
+    // Keep only the META entry by shrinking the declared section count.
+    // (The table bytes for the dropped sections remain in the file but are
+    // no longer part of the table; META's own payload still checksums.)
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    bytes[12..16].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(bytes),
+        Err(SnapshotError::MissingSection { .. })
+    ));
+}
+
+#[test]
+fn semantic_corruption_with_forged_checksum_is_typed() {
+    // Break a structural invariant (offsets[0] != 0) and forge the OFFS
+    // checksum: the table is consistent, but structural validation trips.
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    for entry in 0..count {
+        let at = 16 + entry * 28;
+        if &bytes[at..at + 4] == b"OFFS" {
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            bytes[offset] = 1; // offsets[0] = 1
+            let sum = checksum64(&bytes[offset..offset + len]);
+            bytes[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+        }
+    }
+    match Snapshot::from_bytes(bytes) {
+        Err(SnapshotError::CorruptSection { tag, .. }) => assert_eq!(tag, "OFFS"),
+        other => panic!("expected CorruptSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn inflated_intermediate_offset_is_typed_not_panic() {
+    // Regression: only offsets[0] and offsets[n] were pinned before the
+    // adjacency walk, so an *intermediate* offset inflated past 2m (with a
+    // forged OFFS checksum) used to panic the walk's adjacency indexing
+    // instead of returning a typed error.
+    let g = distgraph::generators::cycle(6);
+    let mut bytes = SnapshotSource::graph(&g).encode().unwrap();
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut fixed = false;
+    for entry in 0..count {
+        let at = 16 + entry * 28;
+        if &bytes[at..at + 4] == b"OFFS" {
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            // offsets[1] = 1000, far past the 2m = 12 adjacency entries;
+            // the surrounding entries stay valid so only the new bound
+            // check can catch it.
+            bytes[offset + 4..offset + 8].copy_from_slice(&1000u32.to_le_bytes());
+            let sum = checksum64(&bytes[offset..offset + len]);
+            bytes[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+            fixed = true;
+        }
+    }
+    assert!(fixed, "snapshot has an OFFS section");
+    match Snapshot::from_bytes(bytes) {
+        Err(SnapshotError::CorruptSection { tag, .. }) => assert_eq!(tag, "OFFS"),
+        other => panic!("expected CorruptSection, got {other:?}"),
+    }
+}
