@@ -1,6 +1,6 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds bench-io snapshot-fuzz
+.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds bench-io snapshot-fuzz serve-smoke serve-fuzz
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # bench compilation, example compilation and the rustdoc gate.
@@ -37,23 +37,26 @@ doc:
 # recoloring experiment (million-edge update streams), the SHARD
 # partitioned-substrate experiment (partition quality + cross-shard
 # traffic), the FAULT adversary experiment (delivery losses + recovery
-# cost) and the IO out-of-core experiment (snapshot load paths + locality
-# reordering), serialized to BENCH_1.json at the repo root (schema:
+# cost), the IO out-of-core experiment (snapshot load paths + locality
+# reordering) and the SERVE daemon experiment (concurrent seeded
+# read/write mix with replay audit, including the million-edge serving
+# row), serialized to BENCH_1.json at the repo root (schema:
 # docs/BENCH_SCHEMA.md).
 bench:
-	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault io --emit-json BENCH_1.json
+	cargo run --release -p edgecolor-bench --bin experiments -- quick scale dyn shard fault io serve --emit-json BENCH_1.json
 
 # CI-sized variant: tiny sweeps and down-scaled SCALE/DYN/SHARD graphs
-# (FAULT and IO always run their baseline-comparable configurations).
+# (FAULT and IO always run their baseline-comparable configurations;
+# SERVE keeps its small-torus row and skips the million-edge row).
 bench-smoke:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io --emit-json /tmp/bench.json
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io serve --emit-json /tmp/bench.json
 
 # The regression gate: the smoke run diffed against the committed
 # BENCH_1.json under the tolerance table of crates/bench/src/regression.rs.
 # Fails on any deterministic-field mismatch; the diff lands in
 # /tmp/bench-regression-diff.txt (CI uploads it as an artifact).
 bench-regression:
-	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt
+	cargo run --release -p edgecolor-bench --bin experiments -- smoke scale dyn shard fault io serve --emit-json /tmp/bench.json --check-baseline BENCH_1.json --diff-out /tmp/bench-regression-diff.txt
 
 # The IO gate on its own: the out-of-core load paths (text parse vs binary
 # decode vs zero-copy open, plus reorder on/off) diffed against the
@@ -68,6 +71,20 @@ bench-io:
 # determinism battery.
 snapshot-fuzz:
 	cargo test --release -p diststore --test snapshot_corruption --test snapshot_roundtrip --test reorder_determinism -- --nocapture
+
+# The serving gate: an in-process daemon + the deterministic loadgen on a
+# small torus over real TCP. Fails unless qps is nonzero, zero protocol
+# errors occurred, every deliberate duplicate was rejected and the final
+# coloring passes the checkers (see docs/SERVE.md).
+serve-smoke:
+	cargo run --release -p distserve --bin serve-loadgen -- --smoke
+
+# The serving test battery: protocol fuzz (arbitrary/truncated/mutated
+# byte streams → typed errors, zero panics, committed proptest seeds),
+# multi-client concurrency with batch-log replay equivalence, and hot-swap
+# epoch coherence (torn-read detector + corrupt-snapshot rejection).
+serve-fuzz:
+	cargo test --release -p distserve --test protocol_fuzz --test concurrency --test hot_swap -- --nocapture
 
 # The round-complexity gate: only E1/E2/E3 (quick-size sweeps, same rows as
 # the committed baseline) with the ledger-derived columns — per-doubling

@@ -223,6 +223,18 @@ fn main() {
             table
         });
     }
+    // SERVE runs its small-torus row at every selector size (like FAULT
+    // and IO, so the row stays key-comparable to the baseline); the
+    // million-edge serving row joins on full-size runs only.
+    let serve_wanted = selectors.is_empty() || selectors.iter().any(|a| a == "serve" || a == "all");
+    let mut serve_measurements = Vec::new();
+    if serve_wanted {
+        timed(&mut || {
+            let (table, measurements) = bench::run_serve(!smoke);
+            serve_measurements = measurements;
+            table
+        });
+    }
 
     for entry in &tables {
         println!("{}", entry.table);
@@ -240,6 +252,7 @@ fn main() {
         &shard_measurements,
         &fault_measurements,
         &io_measurements,
+        &serve_measurements,
     );
     if let Some(path) = emit_json {
         std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -325,14 +338,14 @@ fn prune_baseline_for_rounds(doc: JsonValue) -> JsonValue {
     prune_baseline(
         doc,
         &|id| matches!(id, "E1" | "E2" | "E3"),
-        &["scale", "shard", "fault", "io"],
+        &["scale", "shard", "fault", "io", "serve"],
     )
 }
 
 /// The `io` gate reproduces only the IO experiment: the IO table and the
 /// `io` measurement array (with its cold-start floor) keep their contract.
 fn prune_baseline_for_io(doc: JsonValue) -> JsonValue {
-    prune_baseline(doc, &|id| id == "IO", &["scale", "shard", "fault"])
+    prune_baseline(doc, &|id| id == "IO", &["scale", "shard", "fault", "serve"])
 }
 
 /// Assembles the `edgecolor-bench/v1` JSON document (schema in
@@ -343,6 +356,7 @@ fn build_json(
     shard: &[bench::ShardMeasurement],
     fault: &[bench::FaultMeasurement],
     io: &[bench::IoMeasurement],
+    serve: &[bench::ServeMeasurement],
 ) -> JsonValue {
     let experiments = tables
         .iter()
@@ -514,6 +528,35 @@ fn build_json(
             ])
         })
         .collect();
+    let serve_entries = serve
+        .iter()
+        .map(|m| {
+            JsonValue::obj(vec![
+                ("graph", JsonValue::str(m.graph.clone())),
+                ("clients", JsonValue::Int(m.clients as i64)),
+                ("read_permille", JsonValue::Int(m.read_permille as i64)),
+                ("n", JsonValue::Int(m.n as i64)),
+                ("m0", JsonValue::Int(m.m0 as i64)),
+                ("final_m", JsonValue::Int(m.final_m as i64)),
+                ("ops", JsonValue::Int(m.ops as i64)),
+                ("reads", JsonValue::Int(m.reads as i64)),
+                ("accepted", JsonValue::Int(m.accepted as i64)),
+                ("rejected", JsonValue::Int(m.rejected as i64)),
+                ("retries", JsonValue::Int(m.retries as i64)),
+                ("protocol_errors", JsonValue::Int(m.protocol_errors as i64)),
+                ("repaired_edges", JsonValue::Int(m.repaired_edges as i64)),
+                ("full_recolors", JsonValue::Int(m.full_recolors as i64)),
+                ("checker_valid", JsonValue::Bool(m.checker_valid)),
+                ("replay_equivalent", JsonValue::Bool(m.replay_equivalent)),
+                ("qps", JsonValue::Num(m.qps)),
+                ("p50_ms", JsonValue::Num(m.p50_ms)),
+                ("p95_ms", JsonValue::Num(m.p95_ms)),
+                ("p99_ms", JsonValue::Num(m.p99_ms)),
+                ("ticks", JsonValue::Int(m.ticks as i64)),
+                ("wall_ms", JsonValue::Num(m.wall_ms)),
+            ])
+        })
+        .collect();
     let available = std::thread::available_parallelism()
         .map(|p| p.get() as i64)
         .unwrap_or(1);
@@ -532,5 +575,6 @@ fn build_json(
         ("shard", JsonValue::Arr(shard_entries)),
         ("fault", JsonValue::Arr(fault_entries)),
         ("io", JsonValue::Arr(io_entries)),
+        ("serve", JsonValue::Arr(serve_entries)),
     ])
 }

@@ -1933,6 +1933,227 @@ pub fn run_e11(deltas: &[usize]) -> Table {
     table
 }
 
+/// One SERVE row: the serving daemon under the deterministic loadgen mix.
+/// Keyed by `(graph, clients, read_permille)`. Every count except
+/// `retries`, `ticks` and the wall-clock-derived fields is deterministic:
+/// the loadgen's disjoint-anchor workload admits the same operations
+/// regardless of thread interleaving, and coalescing only changes *which*
+/// tick repairs an insert, never how many edges get repaired in total.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeMeasurement {
+    /// Graph description, e.g. `grid_torus(80x80)`.
+    pub graph: String,
+    /// Concurrent loadgen clients.
+    pub clients: usize,
+    /// Reads per 1000 operations in the seeded mix.
+    pub read_permille: u32,
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge count before the run.
+    pub m0: usize,
+    /// Edge count after every admitted batch applied.
+    pub final_m: usize,
+    /// Total operations the loadgen issued (reads + admitted writes).
+    pub ops: u64,
+    /// Lookup operations issued.
+    pub reads: u64,
+    /// Admitted mutation batches (client-side count — deterministic,
+    /// unlike the server's rejected counter which sees backpressure
+    /// retries).
+    pub accepted: u64,
+    /// Deliberate duplicate submissions rejected (exactly one per client).
+    pub rejected: u64,
+    /// Backpressure retries (QueueFull/SwapInProgress) — timing-dependent.
+    pub retries: u64,
+    /// Wire-level protocol errors the daemon observed. Must stay 0.
+    pub protocol_errors: u64,
+    /// Edges (re)colored across all coalesced repairs — equals the number
+    /// of admitted inserts while the palette budget holds.
+    pub repaired_edges: u64,
+    /// Full-recolor fallbacks — stays 0 while the headroom provisioning
+    /// absorbs the workload's degree growth.
+    pub full_recolors: u64,
+    /// Final coloring passed `check_proper_edge_coloring` + `check_complete`.
+    pub checker_valid: bool,
+    /// Final coloring is bit-identical to a sequential replay of the
+    /// daemon's coalesced batch log through a fresh repair session.
+    pub replay_equivalent: bool,
+    /// Operations per second over the loadgen wall clock.
+    pub qps: f64,
+    /// Repair latency percentiles over the daemon's per-tick samples (ms).
+    pub p50_ms: f64,
+    /// 95th percentile repair latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile repair latency (ms).
+    pub p99_ms: f64,
+    /// Ticks that applied at least one coalesced batch.
+    pub ticks: u64,
+    /// Loadgen wall clock (ms).
+    pub wall_ms: f64,
+}
+
+/// SERVE: the edge-coloring daemon under a concurrent seeded read/write
+/// mix (experiment behind `make serve-smoke` at CI scale and the
+/// million-edge torus row on full runs).
+///
+/// Each configuration boots an in-process daemon ([`distserve::ServerCore`]
+/// plus the TCP front door), replays the deterministic loadgen mix against
+/// it over real sockets, then audits the outcome in-harness: the final
+/// coloring
+/// must be checker-valid and bit-identical to a sequential replay of the
+/// coalesced batch log (the daemon's post-repair stabilize pass is a
+/// certify-only no-op on a clean coloring, so plain repair replay must
+/// agree exactly).
+pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
+    use distserve::loadgen::{run_against, LoadgenConfig};
+    use distserve::wire::Response;
+    use distserve::{Client, DaemonHandle, ServeConfig, ServerCore};
+
+    let mut table = Table::new(
+        "SERVE",
+        "Serving daemon: concurrent seeded read/write mix, coalesced repairs, replay audit",
+        &[
+            "graph",
+            "clients",
+            "read‰",
+            "n",
+            "m0",
+            "final m",
+            "ops",
+            "reads",
+            "accepted",
+            "rejected",
+            "proto errs",
+            "repaired",
+            "full recolors",
+            "checker",
+            "replay",
+            "qps",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "ticks",
+            "wall ms",
+        ],
+    );
+    let mut measurements = Vec::new();
+
+    // The small torus runs at every selector size so the row stays
+    // key-comparable to the committed baseline; the million-edge torus
+    // (the ISSUE's serving target) only on full runs.
+    let mut configs: Vec<(usize, usize, usize)> = vec![(80, 80, 1500)];
+    if full_size {
+        configs.push((1000, 500, 2000));
+    }
+    for (rows, cols, ops_per_client) in configs {
+        let graph_label = format!("grid_torus({rows}x{cols})");
+        let graph = generators::grid_torus(rows, cols);
+        let (n, m0, max_deg0) = (graph.n(), graph.m(), graph.max_degree());
+        let config = ServeConfig::default();
+        let headroom = config.headroom;
+        let core = ServerCore::new(graph, config).expect("daemon boots");
+        let daemon = DaemonHandle::spawn(core).expect("daemon binds");
+        let lg = LoadgenConfig {
+            rows,
+            cols,
+            clients: 4,
+            ops_per_client,
+            read_permille: 700,
+            seed: 42,
+        };
+        let report = run_against(daemon.addr(), &lg).expect("loadgen completes");
+
+        let mut client = Client::connect(daemon.addr()).expect("connect");
+        match client.flush().expect("flush") {
+            Response::Flushed { .. } => {}
+            other => panic!("flush answered {other:?}"),
+        }
+        let metrics = client.metrics().expect("metrics");
+        let core = daemon.core().clone();
+        daemon.shutdown();
+        assert_eq!(
+            core.internal_errors(),
+            0,
+            "{graph_label}: daemon hit internal errors"
+        );
+
+        // In-harness audit: checker validity and batch-log replay
+        // equivalence are part of the regression contract, not just test
+        // suite properties.
+        let st = core.state_snapshot();
+        let served = st.dynamic().graph();
+        let checker_valid = check_proper_edge_coloring(served, st.coloring()).is_ok()
+            && check_complete(served, st.coloring()).is_ok();
+        let log = core.batch_log();
+        let ids = st.ids().clone();
+        let params = *core.params();
+        let budget = edgecolor::default_palette(max_deg0 + headroom);
+        let mut dg = DynamicGraph::from_graph(generators::grid_torus(rows, cols));
+        let (mut rec, _) =
+            Recoloring::with_budget(&dg, &ids, &params, budget).expect("replay boots");
+        let mut replay_equivalent = true;
+        for (_, batch) in &log {
+            let diff = dg.apply(batch).expect("logged batches replay cleanly");
+            if rec.repair(&dg, &diff, &ids, &params).is_err() {
+                replay_equivalent = false;
+                break;
+            }
+        }
+        replay_equivalent =
+            replay_equivalent && dg.graph().m() == served.m() && rec.coloring() == st.coloring();
+
+        let m = ServeMeasurement {
+            graph: graph_label,
+            clients: lg.clients,
+            read_permille: lg.read_permille,
+            n,
+            m0,
+            final_m: served.m(),
+            ops: report.ops,
+            reads: report.reads,
+            accepted: report.accepted,
+            rejected: report.rejected,
+            retries: report.retries,
+            protocol_errors: metrics.protocol_errors,
+            repaired_edges: metrics.repaired_edges,
+            full_recolors: metrics.full_recolors,
+            checker_valid,
+            replay_equivalent,
+            qps: report.qps,
+            p50_ms: metrics.repair_p50_ms,
+            p95_ms: metrics.repair_p95_ms,
+            p99_ms: metrics.repair_p99_ms,
+            ticks: metrics.ticks,
+            wall_ms: report.wall_ms,
+        };
+        table.push_row(vec![
+            m.graph.clone(),
+            m.clients.to_string(),
+            m.read_permille.to_string(),
+            m.n.to_string(),
+            m.m0.to_string(),
+            m.final_m.to_string(),
+            m.ops.to_string(),
+            m.reads.to_string(),
+            m.accepted.to_string(),
+            m.rejected.to_string(),
+            m.protocol_errors.to_string(),
+            m.repaired_edges.to_string(),
+            m.full_recolors.to_string(),
+            m.checker_valid.to_string(),
+            m.replay_equivalent.to_string(),
+            format!("{:.0}", m.qps),
+            format!("{:.2}", m.p50_ms),
+            format!("{:.2}", m.p95_ms),
+            format!("{:.2}", m.p99_ms),
+            m.ticks.to_string(),
+            format!("{:.1}", m.wall_ms),
+        ]);
+        measurements.push(m);
+    }
+    (table, measurements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

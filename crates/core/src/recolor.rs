@@ -150,6 +150,63 @@ impl Recoloring {
         Ok((rec, report))
     }
 
+    /// Adopts an existing proper, complete coloring of `dg`'s current graph
+    /// — for example one carried by a `diststore` snapshot — instead of
+    /// recoloring from scratch. The coloring is audited (proper, complete,
+    /// within `palette`) in one `O(m · Δ)` pass, so resuming a serving
+    /// session from a snapshot costs validation, not a fresh
+    /// `polylog(Δ) + O(log* n)` coloring run. Headroom above the tight
+    /// `2Δ − 1` requirement is remembered exactly as in
+    /// [`Recoloring::with_budget`].
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::InvalidParameter`] if the coloring does not cover
+    /// exactly the graph's edges, if `palette < 2Δ − 1`, or if the coloring
+    /// fails the proper/complete/palette audit.
+    pub fn adopt(
+        dg: &DynamicGraph,
+        coloring: EdgeColoring,
+        palette: usize,
+    ) -> Result<Self, ColoringError> {
+        let graph = dg.graph();
+        if coloring.len() != graph.m() {
+            return Err(ColoringError::InvalidParameter {
+                name: "coloring",
+                reason: format!(
+                    "coloring covers {} edges but the graph has {}",
+                    coloring.len(),
+                    graph.m()
+                ),
+            });
+        }
+        let needed = default_palette(graph.max_degree());
+        if palette < needed {
+            return Err(ColoringError::InvalidParameter {
+                name: "palette",
+                reason: format!("budget {palette} is below the required 2Δ−1 = {needed}"),
+            });
+        }
+        let mut audit = edgecolor_verify::check_proper_edge_coloring(graph, &coloring);
+        audit.merge(edgecolor_verify::check_complete(graph, &coloring));
+        audit.merge(edgecolor_verify::check_palette_size(&coloring, palette));
+        if !audit.is_ok() {
+            return Err(ColoringError::InvalidParameter {
+                name: "coloring",
+                reason: format!(
+                    "adopted coloring fails the audit with {} violation(s), first: {:?}",
+                    audit.violations().len(),
+                    audit.violations().first()
+                ),
+            });
+        }
+        Ok(Recoloring {
+            coloring,
+            palette,
+            headroom: palette - needed,
+        })
+    }
+
     /// The maintained coloring, indexed by the *current* internal ids of the
     /// dynamic graph it was last repaired against.
     pub fn coloring(&self) -> &EdgeColoring {

@@ -219,6 +219,26 @@ impl SelfStabilizing {
         touched
     }
 
+    /// Applies a mutation-batch repair to the wrapped session — a
+    /// passthrough to [`Recoloring::repair`], so a long-lived owner (for
+    /// example the serving daemon of `crates/serve`) can drive the whole
+    /// maintain–detect–heal lifecycle through one handle: `repair` after
+    /// every [`DynamicGraph::apply`], `stabilize` whenever faults are
+    /// suspected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the underlying coloring machinery.
+    pub fn repair(
+        &mut self,
+        dg: &DynamicGraph,
+        diff: &distgraph::BatchDiff,
+        ids: &IdAssignment,
+        params: &ColoringParams,
+    ) -> Result<crate::recolor::RepairReport, ColoringError> {
+        self.rec.repair(dg, diff, ids, params)
+    }
+
     /// Detects conflicts in the `suspects` neighborhood and repairs them.
     ///
     /// `suspects` is the set of edges faults may have corrupted (for an

@@ -1,0 +1,68 @@
+//! `serve-daemon`: boot a serving daemon from a snapshot file or a
+//! generated torus and print the bound address.
+//!
+//! ```text
+//! serve-daemon --snapshot PATH          # boot from a diststore snapshot
+//! serve-daemon --torus ROWSxCOLS        # boot from a generated grid torus
+//! ```
+//!
+//! The process serves until a client sends the `Shutdown` request.
+
+use distgraph::generators;
+use distserve::{DaemonHandle, ServeConfig, ServerCore};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: serve-daemon --snapshot PATH | --torus ROWSxCOLS");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ServeConfig::default();
+    let core = match args.as_slice() {
+        [flag, path] if flag == "--snapshot" => {
+            match ServerCore::from_snapshot_path(path, config) {
+                Ok(core) => core,
+                Err(e) => {
+                    eprintln!("serve-daemon: cannot boot from {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        [flag, dims] if flag == "--torus" => {
+            let Some((rows, cols)) = dims
+                .split_once('x')
+                .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
+            else {
+                return usage();
+            };
+            if rows < 3 || cols < 3 {
+                eprintln!("serve-daemon: torus dimensions must be at least 3x3");
+                return ExitCode::FAILURE;
+            }
+            match ServerCore::new(generators::grid_torus(rows, cols), config) {
+                Ok(core) => core,
+                Err(e) => {
+                    eprintln!("serve-daemon: initial coloring failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    };
+
+    let daemon = match DaemonHandle::spawn(core) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve-daemon: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serve-daemon listening on {}", daemon.addr());
+
+    // Serve until a Shutdown request flips the running flag; the handle's
+    // threads do all the work, so this thread just waits for them.
+    daemon.wait();
+    ExitCode::SUCCESS
+}

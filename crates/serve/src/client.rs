@@ -1,0 +1,109 @@
+//! A minimal blocking client for the wire protocol: one request, one
+//! response, in order, over a single connection.
+
+use crate::error::WireError;
+use crate::wire::{read_frame, write_frame, MetricsReport, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on transport failure (including the server closing
+    /// mid-exchange), [`WireError::Protocol`] if the response payload is
+    /// malformed.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            ))),
+        }
+    }
+
+    /// Color lookup by stable edge id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn lookup(&mut self, stable: u64) -> Result<Response, WireError> {
+        self.request(&Request::Lookup { stable })
+    }
+
+    /// Submits a mutation batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn submit(
+        &mut self,
+        delete: Vec<u64>,
+        insert: Vec<(u32, u32)>,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Submit { delete, insert })
+    }
+
+    /// Fetches the metrics snapshot, decoded into a [`MetricsReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; an unexpected response kind maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn metrics(&mut self) -> Result<MetricsReport, WireError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics report, got {other:?}"),
+            ))),
+        }
+    }
+
+    /// Applies all pending batches server-side.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn flush(&mut self) -> Result<Response, WireError> {
+        self.request(&Request::Flush)
+    }
+
+    /// Requests a snapshot hot-swap.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn swap(&mut self, path: &str) -> Result<Response, WireError> {
+        self.request(&Request::Swap { path: path.into() })
+    }
+
+    /// Asks the daemon to stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Response, WireError> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,220 @@
+//! The TCP front door: accept loop, per-connection workers, optional tick
+//! thread, cooperative shutdown.
+//!
+//! Transport policy:
+//!
+//! * **Payload-level** protocol errors (bad opcode, truncated body, …) keep
+//!   the connection alive — framing is still in sync, so the worker answers
+//!   [`Response::ProtocolRejected`] and keeps reading.
+//! * **Framing-level** errors (oversize/zero length declaration, EOF inside
+//!   a frame) desynchronize the stream: the worker answers once and closes.
+//! * Shutdown never blocks on idle readers: the handle keeps a registry of
+//!   connection streams and `TcpStream::shutdown`s them, which wakes every
+//!   blocked `read` with EOF.
+
+use crate::error::WireError;
+use crate::state::ServerCore;
+use crate::wire::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running daemon: owns the listener thread, connection workers and the
+/// optional background ticker over one shared [`ServerCore`].
+#[derive(Debug)]
+pub struct DaemonHandle {
+    core: Arc<ServerCore>,
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DaemonHandle {
+    /// Binds `127.0.0.1:0` (an OS-assigned port) and starts serving `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures.
+    pub fn spawn(core: ServerCore) -> io::Result<Self> {
+        let core = Arc::new(core);
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let core = Arc::clone(&core);
+            let running = Arc::clone(&running);
+            let conns = Arc::clone(&conns);
+            let workers = Arc::clone(&workers);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+                    }
+                    let core = Arc::clone(&core);
+                    let running = Arc::clone(&running);
+                    let conns = Arc::clone(&conns);
+                    let worker = std::thread::spawn(move || {
+                        serve_connection(&core, stream, &running, addr, &conns);
+                    });
+                    workers
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(worker);
+                }
+            })
+        };
+
+        let ticker = core.config().tick_interval_ms.map(|interval| {
+            let core = Arc::clone(&core);
+            let running = Arc::clone(&running);
+            std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    core.tick();
+                    std::thread::sleep(Duration::from_millis(interval));
+                }
+            })
+        });
+
+        Ok(DaemonHandle {
+            core,
+            addr,
+            running,
+            conns,
+            accept: Some(accept),
+            ticker,
+            workers,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving core — tests and the bench harness use this for
+    /// in-process introspection (batch log, state snapshots, manual ticks).
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+
+    /// Stops accepting, wakes every blocked reader, and joins all daemon
+    /// threads.
+    pub fn shutdown(mut self) {
+        stop(&self.running, self.addr, &self.conns);
+        self.join_all();
+    }
+
+    /// Blocks until some client asks the daemon to stop (a `Shutdown`
+    /// request), then joins all daemon threads. This is the standalone
+    /// binary's serve loop.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept loop only exits after `stop` ran; finish the cleanup
+        // (idempotent) and join the rest.
+        stop(&self.running, self.addr, &self.conns);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        let drained: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        // Best-effort stop without joining (joining here could deadlock if
+        // a worker drops the handle); `shutdown` is the clean path.
+        stop(&self.running, self.addr, &self.conns);
+    }
+}
+
+/// Flips the running flag, closes every registered connection (waking
+/// blocked reads with EOF) and pokes the listener so `accept` returns.
+fn stop(running: &AtomicBool, addr: SocketAddr, conns: &Mutex<Vec<TcpStream>>) {
+    if !running.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    for conn in conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn serve_connection(
+    core: &ServerCore,
+    stream: TcpStream,
+    running: &AtomicBool,
+    addr: SocketAddr,
+    conns: &Mutex<Vec<TcpStream>>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => match Request::decode(&payload) {
+                Ok(req) => {
+                    let resp = core.handle(&req);
+                    let stop_after = matches!(req, Request::Shutdown);
+                    if write_frame(&mut writer, &resp.encode()).is_err() {
+                        break;
+                    }
+                    if stop_after {
+                        stop(running, addr, conns);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    core.note_protocol_error();
+                    let reject = Response::ProtocolRejected {
+                        detail: e.to_string(),
+                    };
+                    if write_frame(&mut writer, &reject.encode()).is_err() {
+                        break;
+                    }
+                }
+            },
+            Err(WireError::Protocol(e)) => {
+                core.note_protocol_error();
+                let reject = Response::ProtocolRejected {
+                    detail: e.to_string(),
+                };
+                let _ = write_frame(&mut writer, &reject.encode());
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+        }
+    }
+}

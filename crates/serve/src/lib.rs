@@ -1,0 +1,45 @@
+//! Edge-coloring as a service: a long-lived daemon over live snapshots.
+//!
+//! This crate is the front door of the reproduction's serving story. It
+//! owns a loaded snapshot ([`diststore`]) materialized into a
+//! [`distgraph::DynamicGraph`], maintains a live
+//! [`edgecolor::Recoloring`] session wrapped in
+//! [`edgecolor::SelfStabilizing`], and speaks a hand-rolled,
+//! length-prefixed TCP protocol over `std::net` — no async runtime, no
+//! network dependencies, offline-friendly.
+//!
+//! The pipeline is **request → admit → coalesce → repair → respond**:
+//!
+//! * **Lookups** (color by stable [`distgraph::EdgeId`]) are answered off an
+//!   epoch-pinned immutable state — readers never block writers and never
+//!   observe torn state ([`state`] module docs).
+//! * **Submissions** pass bounded-queue admission control with typed
+//!   rejects ([`wire::RejectCode`]); each tick coalesces every admitted
+//!   batch into *one* [`distgraph::UpdateBatch`] and one local repair —
+//!   the paper's Theorem 1.1 machinery recoloring only the dirty subgraph,
+//!   which is what makes low-latency online serving plausible at all.
+//! * **Hot swap** replaces the served snapshot under an epoch bump;
+//!   in-flight reads finish on the old epoch, and a corrupt snapshot is
+//!   rejected with the old one still serving.
+//! * **Introspection** (metrics, palette, shard cut) and a deterministic
+//!   [`loadgen`] close the loop for the bench layer's `SERVE` experiment.
+//!
+//! See `docs/SERVE.md` for the frame format, admission semantics and the
+//! hot-swap epoch contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod loadgen;
+pub mod state;
+pub mod wire;
+
+pub use client::Client;
+pub use daemon::DaemonHandle;
+pub use error::{ProtocolError, SetupError, WireError};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use state::{EpochState, ServeConfig, ServerCore};
+pub use wire::{LookupOutcome, MetricsReport, RejectCode, Request, Response, MAX_FRAME_LEN};

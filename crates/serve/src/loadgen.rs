@@ -1,0 +1,302 @@
+//! Deterministic load generator: seeded read/write mixes whose *accounting*
+//! is reproducible under any thread interleaving.
+//!
+//! Timing-dependent quantities (qps, latency percentiles, tick counts) vary
+//! run to run, but every count the bench regression gate compares exactly —
+//! ops, reads, inserts, deletes, accepted, rejected — is a pure function of
+//! the config. The trick is partitioning the write universe by client over
+//! the `rows × cols` grid torus:
+//!
+//! * **Inserts** are *diagonal* pairs `(a, diag(a))` with
+//!   `diag(r, c) = ((r+1) mod rows, (c+1) mod cols)`. A diagonal is never a
+//!   torus edge, every anchor yields a distinct pair (both need
+//!   `rows, cols ≥ 3`), and client `k` of `K` only uses anchors
+//!   `a ≡ k (mod K)` — so no two clients ever race for the same pair and
+//!   every insert is admitted no matter how submissions interleave.
+//! * **Deletes** target initial stable ids `k, k + K, k + 2K, …` (all
+//!   `< 2·rows·cols`, i.e. original torus edges), each exactly once — again
+//!   collision-free across clients, so every delete is admitted.
+//! * Each client that inserted anything re-submits its **first** diagonal at
+//!   the end; that pair is by then pending or live, so the daemon's typed
+//!   [`RejectCode::DuplicateEdge`](crate::wire::RejectCode) answer is
+//!   guaranteed — pinning the reject path end-to-end with a deterministic
+//!   `rejected` count.
+//!
+//! Backpressure ([`RejectCode::QueueFull`](crate::wire::RejectCode)) and
+//! swap quiescing are retried with a short pause and counted separately in
+//! `retries`, which the regression contract ignores (host-dependent).
+//!
+//! Degree growth is bounded by construction: a node gains at most two
+//! diagonal edges (once as anchor, once as target), so Δ never exceeds 6
+//! and a daemon provisioned with Δ-headroom ≥ 2 never full-recolors —
+//! making `repaired_edges` (= total inserts) and `full_recolors` (= 0)
+//! exact too.
+
+use crate::client::Client;
+use crate::error::WireError;
+use crate::wire::{MetricsReport, RejectCode, Response};
+use distsim::faults::splitmix64;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Load-mix parameters. The graph served by the daemon must be the
+/// `rows × cols` grid torus with its initial stable ids (the state
+/// [`ServerCore::new`](crate::state::ServerCore::new) boots into).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Torus rows (≥ 3).
+    pub rows: usize,
+    /// Torus columns (≥ 3).
+    pub cols: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Operations each client issues (excluding the final deliberate
+    /// duplicate).
+    pub ops_per_client: usize,
+    /// Reads per 1000 operations; the rest are writes.
+    pub read_permille: u32,
+    /// Seed of the op-mix stream.
+    pub seed: u64,
+}
+
+/// Aggregated client-side accounting of one load run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadgenReport {
+    /// Total operations issued (reads + writes + deliberate duplicates).
+    pub ops: u64,
+    /// Lookup requests issued.
+    pub reads: u64,
+    /// Write submissions issued (inserts + deletes, excluding duplicates).
+    pub writes: u64,
+    /// Insert submissions (all admitted).
+    pub inserts: u64,
+    /// Delete submissions (all admitted).
+    pub deletes: u64,
+    /// Submissions the daemon admitted.
+    pub accepted: u64,
+    /// Deliberate duplicate submissions the daemon rejected with
+    /// `DuplicateEdge`.
+    pub rejected: u64,
+    /// Backpressure retries (queue full / swap in progress) — host
+    /// dependent, ignored by the regression contract.
+    pub retries: u64,
+    /// Unexpected responses (0 on a correct daemon).
+    pub errors: u64,
+    /// Wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// `ops / wall` in operations per second.
+    pub qps: f64,
+}
+
+#[derive(Debug, Default)]
+struct ClientStats {
+    ops: u64,
+    reads: u64,
+    inserts: u64,
+    deletes: u64,
+    accepted: u64,
+    rejected: u64,
+    retries: u64,
+    errors: u64,
+}
+
+/// Replays the seeded mix against a running daemon and aggregates the
+/// per-client accounting.
+///
+/// # Errors
+///
+/// [`WireError`] if any client connection fails mid-run.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is below 3 (no valid torus) or `clients` is 0.
+pub fn run_against(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadgenReport, WireError> {
+    assert!(
+        cfg.rows >= 3 && cfg.cols >= 3,
+        "loadgen needs a ≥3×≥3 torus"
+    );
+    assert!(cfg.clients > 0, "loadgen needs at least one client");
+    let started = Instant::now();
+    let stats: Vec<Result<ClientStats, WireError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| scope.spawn(move || run_client(addr, cfg, client)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = LoadgenReport {
+        wall_ms,
+        ..LoadgenReport::default()
+    };
+    for s in stats {
+        let s = s?;
+        report.ops += s.ops;
+        report.reads += s.reads;
+        report.inserts += s.inserts;
+        report.deletes += s.deletes;
+        report.accepted += s.accepted;
+        report.rejected += s.rejected;
+        report.retries += s.retries;
+        report.errors += s.errors;
+    }
+    report.writes = report.inserts + report.deletes;
+    report.qps = if wall_ms > 0.0 {
+        report.ops as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+fn run_client(
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+    client: usize,
+) -> Result<ClientStats, WireError> {
+    let n = cfg.rows * cfg.cols;
+    let m0 = 2 * n;
+    let stride = cfg.clients;
+    let insert_budget = if client < n {
+        (n - client).div_ceil(stride)
+    } else {
+        0
+    };
+    let delete_budget = if client < m0 {
+        (m0 - client).div_ceil(stride)
+    } else {
+        0
+    };
+    let diag = |a: usize| {
+        let (r, c) = (a / cfg.cols, a % cfg.cols);
+        ((r + 1) % cfg.rows) * cfg.cols + (c + 1) % cfg.cols
+    };
+
+    let mut conn = Client::connect(addr).map_err(WireError::Io)?;
+    let mut s = ClientStats::default();
+    let mut inserts_done = 0usize;
+    let mut deletes_done = 0usize;
+
+    for i in 0..cfg.ops_per_client {
+        let z = splitmix64(cfg.seed ^ ((client as u64) << 40) ^ (i as u64));
+        let mut read = z % 1000 < u64::from(cfg.read_permille);
+        if !read {
+            let want_insert = (inserts_done + deletes_done).is_multiple_of(2);
+            if want_insert && inserts_done < insert_budget {
+                let a = client + inserts_done * stride;
+                submit_admitted(&mut conn, &mut s, vec![], vec![(a as u32, diag(a) as u32)])?;
+                inserts_done += 1;
+                s.inserts += 1;
+            } else if deletes_done < delete_budget {
+                let sid = (client + deletes_done * stride) as u64;
+                submit_admitted(&mut conn, &mut s, vec![sid], vec![])?;
+                deletes_done += 1;
+                s.deletes += 1;
+            } else if inserts_done < insert_budget {
+                let a = client + inserts_done * stride;
+                submit_admitted(&mut conn, &mut s, vec![], vec![(a as u32, diag(a) as u32)])?;
+                inserts_done += 1;
+                s.inserts += 1;
+            } else {
+                // Both write budgets exhausted: degrade to a read so the op
+                // count stays exact.
+                read = true;
+            }
+        }
+        if read {
+            let stable = (z >> 10) % m0 as u64;
+            match conn.lookup(stable)? {
+                Response::Color { .. } => {}
+                _ => s.errors += 1,
+            }
+            s.reads += 1;
+        }
+        s.ops += 1;
+    }
+
+    // Deliberate duplicate: the first diagonal again. Its pair is pending or
+    // live by now, so the typed reject is guaranteed.
+    if inserts_done > 0 {
+        let a = client;
+        loop {
+            match conn.submit(vec![], vec![(a as u32, diag(a) as u32)])? {
+                Response::Rejected {
+                    code: RejectCode::DuplicateEdge,
+                    ..
+                } => {
+                    s.rejected += 1;
+                    break;
+                }
+                Response::Rejected {
+                    code: RejectCode::QueueFull | RejectCode::SwapInProgress,
+                    ..
+                } => {
+                    s.retries += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                _ => {
+                    s.errors += 1;
+                    break;
+                }
+            }
+        }
+        s.ops += 1;
+    }
+    Ok(s)
+}
+
+/// Submits a batch that admission *must* accept (by the anchor-partition
+/// construction), retrying through backpressure.
+fn submit_admitted(
+    conn: &mut Client,
+    s: &mut ClientStats,
+    delete: Vec<u64>,
+    insert: Vec<(u32, u32)>,
+) -> Result<(), WireError> {
+    loop {
+        match conn.submit(delete.clone(), insert.clone())? {
+            Response::Submitted { .. } => {
+                s.accepted += 1;
+                return Ok(());
+            }
+            Response::Rejected {
+                code: RejectCode::QueueFull | RejectCode::SwapInProgress,
+                ..
+            } => {
+                s.retries += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            _ => {
+                s.errors += 1;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Convenience for smoke checks: a one-line summary of a report plus the
+/// final server metrics.
+pub fn summary(report: &LoadgenReport, metrics: &MetricsReport) -> String {
+    format!(
+        "ops {} (reads {}, writes {}, dup-rejects {}) qps {:.0} | server: epoch {} version {} \
+         ticks {} repaired {} full-recolors {} protocol-errors {} repair p50/p95/p99 \
+         {:.2}/{:.2}/{:.2} ms",
+        report.ops,
+        report.reads,
+        report.writes,
+        report.rejected,
+        report.qps,
+        metrics.epoch,
+        metrics.version,
+        metrics.ticks,
+        metrics.repaired_edges,
+        metrics.full_recolors,
+        metrics.protocol_errors,
+        metrics.repair_p50_ms,
+        metrics.repair_p95_ms,
+        metrics.repair_p99_ms,
+    )
+}

@@ -1,0 +1,335 @@
+//! Protocol fuzz battery for the serve wire codec.
+//!
+//! Arbitrary byte soup, truncated prefixes of valid encodings, single-byte
+//! mutations and hostile frame headers are all fed through
+//! [`Request::decode`], [`Response::decode`] and [`read_frame`]; the codec
+//! must never panic, must always answer with a typed
+//! [`distserve::ProtocolError`], and must round-trip every valid frame
+//! bit-for-bit. Mirrors the corruption-battery style of
+//! `crates/store/tests/snapshot_corruption.rs`.
+
+use distserve::wire::{
+    read_frame, write_frame, LookupOutcome, MetricsReport, RejectCode, Request, Response,
+    MAX_FRAME_LEN,
+};
+use distserve::{ProtocolError, WireError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Arbitrary raw payload bytes (possibly empty, possibly huge counts).
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..160)
+}
+
+/// Hand-rolled request strategy: the compat proptest has no `prop_oneof`,
+/// so a variant selector integer is elaborated with the test RNG.
+#[derive(Debug, Clone)]
+struct ArbRequest;
+
+impl Strategy for ArbRequest {
+    type Value = Request;
+
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> Request {
+        use rand::Rng;
+        match rng.gen_range(0..8usize) {
+            0 => Request::Lookup {
+                stable: rng.gen_range(0..u64::MAX),
+            },
+            1 => {
+                let deletes = rng.gen_range(0..5usize);
+                let inserts = rng.gen_range(0..5usize);
+                Request::Submit {
+                    delete: (0..deletes).map(|_| rng.gen_range(0..u64::MAX)).collect(),
+                    insert: (0..inserts)
+                        .map(|_| (rng.gen_range(0..u32::MAX), rng.gen_range(0..u32::MAX)))
+                        .collect(),
+                }
+            }
+            2 => Request::Metrics,
+            3 => Request::Palette,
+            4 => Request::ShardInfo {
+                shards: rng.gen_range(0..u32::MAX),
+            },
+            5 => {
+                let len = rng.gen_range(0..24usize);
+                let path: String = (0..len)
+                    .map(|_| char::from(rng.gen_range(32u8..127)))
+                    .collect();
+                Request::Swap { path }
+            }
+            6 => Request::Flush,
+            _ => Request::Shutdown,
+        }
+    }
+}
+
+/// Hand-rolled response strategy covering every opcode and outcome shape.
+#[derive(Debug, Clone)]
+struct ArbResponse;
+
+impl Strategy for ArbResponse {
+    type Value = Response;
+
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> Response {
+        use rand::Rng;
+        let detail: String = {
+            let len = rng.gen_range(0..24usize);
+            (0..len)
+                .map(|_| char::from(rng.gen_range(32u8..127)))
+                .collect()
+        };
+        match rng.gen_range(0..12usize) {
+            0 => {
+                let outcome = match rng.gen_range(0..3usize) {
+                    0 => LookupOutcome::Unknown,
+                    1 => LookupOutcome::Colored {
+                        color: rng.gen_range(0..u64::MAX),
+                        u: rng.gen_range(0..u64::MAX),
+                        v: rng.gen_range(0..u64::MAX),
+                    },
+                    _ => LookupOutcome::Uncolored {
+                        u: rng.gen_range(0..u64::MAX),
+                        v: rng.gen_range(0..u64::MAX),
+                    },
+                };
+                Response::Color {
+                    epoch: rng.gen_range(0..u64::MAX),
+                    version: rng.gen_range(0..u64::MAX),
+                    outcome,
+                }
+            }
+            1 => Response::Submitted {
+                ticket: rng.gen_range(0..u64::MAX),
+                queued: rng.gen_range(0..u32::MAX),
+            },
+            2 => {
+                let code = match rng.gen_range(0..6usize) {
+                    0 => RejectCode::QueueFull,
+                    1 => RejectCode::UnknownEdge,
+                    2 => RejectCode::DuplicateEdge,
+                    3 => RejectCode::NodeOutOfRange,
+                    4 => RejectCode::SelfLoop,
+                    _ => RejectCode::SwapInProgress,
+                };
+                Response::Rejected { code, detail }
+            }
+            3 => {
+                let m = MetricsReport {
+                    epoch: rng.gen_range(0..u64::MAX),
+                    lookups: rng.gen_range(0..u64::MAX),
+                    repaired_edges: rng.gen_range(0..u64::MAX),
+                    repair_p95_ms: rng.gen_range(0.0..1.0e6),
+                    ..MetricsReport::default()
+                };
+                Response::Metrics(m)
+            }
+            4 => Response::Palette {
+                epoch: rng.gen_range(0..u64::MAX),
+                palette: rng.gen_range(0..u64::MAX),
+                max_degree: rng.gen_range(0..u64::MAX),
+                colors_used: rng.gen_range(0..u64::MAX),
+            },
+            5 => Response::Shards {
+                shards: rng.gen_range(0..u32::MAX),
+                cut_edges: rng.gen_range(0..u64::MAX),
+                cut_fraction: rng.gen_range(0.0..1.0),
+                balance_factor: rng.gen_range(0.0..64.0),
+            },
+            6 => Response::Swapped {
+                epoch: rng.gen_range(0..u64::MAX),
+                n: rng.gen_range(0..u64::MAX),
+                m: rng.gen_range(0..u64::MAX),
+            },
+            7 => Response::SwapRejected { detail },
+            8 => Response::Flushed {
+                epoch: rng.gen_range(0..u64::MAX),
+                version: rng.gen_range(0..u64::MAX),
+                ticks: rng.gen_range(0..u64::MAX),
+            },
+            9 => Response::ShuttingDown,
+            10 => Response::ServerError { detail },
+            _ => Response::ProtocolRejected { detail },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payload bytes: the decoders must return `Ok` or a typed
+    /// error — never panic, never allocate unbounded buffers.
+    #[test]
+    fn arbitrary_payloads_never_panic(bytes in arb_bytes()) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Every valid request encoding decodes back to itself.
+    #[test]
+    fn requests_round_trip(req in ArbRequest) {
+        let encoded = req.encode();
+        prop_assert_eq!(Request::decode(&encoded), Ok(req));
+    }
+
+    /// Every valid response encoding decodes back to itself (bit-exact,
+    /// including the f64 fields carried as `to_bits`).
+    #[test]
+    fn responses_round_trip(resp in ArbResponse) {
+        let encoded = resp.encode();
+        prop_assert_eq!(Response::decode(&encoded), Ok(resp));
+    }
+
+    /// Every strict prefix of a valid encoding is an error, not a panic and
+    /// not a silent partial decode: the payload grammar has no valid
+    /// strict prefixes because `finish` demands full consumption.
+    #[test]
+    fn truncated_requests_yield_typed_errors(req in ArbRequest, cut in 0usize..4096) {
+        let encoded = req.encode();
+        let cut = cut % encoded.len(); // encode() is never empty (opcode byte)
+        prop_assert!(Request::decode(&encoded[..cut]).is_err());
+    }
+
+    /// Same for responses.
+    #[test]
+    fn truncated_responses_yield_typed_errors(resp in ArbResponse, cut in 0usize..4096) {
+        let encoded = resp.encode();
+        let cut = cut % encoded.len();
+        prop_assert!(Response::decode(&encoded[..cut]).is_err());
+    }
+
+    /// Single-byte mutations of a valid encoding never panic the decoder;
+    /// they either still decode (the flip landed in a value) or fail typed.
+    #[test]
+    fn mutated_requests_never_panic(req in ArbRequest, pos in 0usize..4096, flip in 1u8..=255) {
+        let mut encoded = req.encode();
+        let pos = pos % encoded.len();
+        encoded[pos] ^= flip;
+        let _ = Request::decode(&encoded);
+        let _ = Response::decode(&encoded);
+    }
+
+    /// Appending trailing garbage to a valid encoding is always rejected
+    /// (`TrailingBytes`), keeping framing honest.
+    #[test]
+    fn trailing_bytes_are_rejected(req in ArbRequest, extra in 1usize..16) {
+        let mut encoded = req.encode();
+        encoded.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert_eq!(
+            Request::decode(&encoded),
+            Err(ProtocolError::TrailingBytes { extra })
+        );
+    }
+
+    /// Frame streams assembled from valid frames read back in order; the
+    /// reader then reports a clean end-of-stream.
+    #[test]
+    fn frame_streams_round_trip(reqs in proptest::collection::vec(ArbRequest, 1..6)) {
+        let mut stream = Vec::new();
+        for req in &reqs {
+            write_frame(&mut stream, &req.encode()).expect("valid frames write");
+        }
+        let mut cursor = Cursor::new(stream);
+        for req in &reqs {
+            let payload = read_frame(&mut cursor)
+                .expect("frame reads")
+                .expect("frame present");
+            let decoded = Request::decode(&payload);
+            prop_assert_eq!(decoded.as_ref(), Ok(req));
+        }
+        prop_assert!(matches!(read_frame(&mut cursor), Ok(None)));
+    }
+
+    /// Arbitrary bytes fed to the frame reader never panic: they surface as
+    /// frames (whose payloads then decode or fail typed), framing errors,
+    /// or clean EOF — and the reader never over-allocates on hostile
+    /// length declarations.
+    #[test]
+    fn arbitrary_streams_never_panic_the_reader(bytes in arb_bytes()) {
+        let mut cursor = Cursor::new(bytes);
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(Some(payload)) => {
+                    let _ = Request::decode(&payload);
+                }
+                Ok(None) => break,
+                Err(WireError::Protocol(_)) => break, // typed: desync, stop
+                Err(WireError::Io(_)) => break,       // truncated mid-frame
+            }
+        }
+    }
+
+    /// A frame header declaring a hostile length (zero or beyond the cap)
+    /// is rejected before any payload allocation happens.
+    #[test]
+    fn hostile_lengths_are_rejected(extra in 0u32..1024) {
+        let oversize = (MAX_FRAME_LEN as u32).saturating_add(extra + 1);
+        let mut stream = oversize.to_le_bytes().to_vec();
+        stream.extend_from_slice(&[0u8; 8]);
+        match read_frame(&mut Cursor::new(stream)) {
+            Err(WireError::Protocol(ProtocolError::FrameTooLarge { len })) => {
+                prop_assert_eq!(len, oversize as usize);
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other.map(|_| ())),
+        }
+        let zero = 0u32.to_le_bytes().to_vec();
+        match read_frame(&mut Cursor::new(zero)) {
+            Err(WireError::Protocol(ProtocolError::EmptyFrame)) => {}
+            other => prop_assert!(false, "expected EmptyFrame, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+/// A frame that ends mid-payload is `Truncated` — distinguishable from the
+/// clean between-frames EOF (`Ok(None)`).
+#[test]
+fn eof_inside_a_frame_is_truncated() {
+    let payload = Request::Metrics.encode();
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &payload).unwrap();
+    stream.truncate(stream.len() - 1);
+    match read_frame(&mut Cursor::new(stream)) {
+        Err(WireError::Protocol(ProtocolError::Truncated { expected, have })) => {
+            assert_eq!(expected, payload.len());
+            assert_eq!(have, payload.len() - 1);
+        }
+        other => panic!("expected Truncated, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// Unknown opcodes and tags surface as their own typed errors with the
+/// offending byte, not as generic failures.
+#[test]
+fn unknown_opcodes_and_tags_are_typed() {
+    assert_eq!(
+        Request::decode(&[0x7F]),
+        Err(ProtocolError::UnknownOpcode(0x7F))
+    );
+    assert_eq!(
+        Response::decode(&[0x01]),
+        Err(ProtocolError::UnknownOpcode(0x01))
+    );
+    // 0x83 = Rejected; tag 99 is not a RejectCode.
+    let bad_tag = vec![0x83, 99, 0, 0, 0, 0];
+    match Response::decode(&bad_tag) {
+        Err(ProtocolError::UnknownTag { field, tag }) => {
+            assert_eq!(field, "reject code");
+            assert_eq!(tag, 99);
+        }
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+}
+
+/// A declared element count far beyond the remaining bytes is refused
+/// before allocation (`CountTooLarge`), so hostile counts cannot OOM.
+#[test]
+fn hostile_counts_are_refused_before_allocation() {
+    // Submit opcode + delete count u32::MAX with no element bytes.
+    let mut payload = vec![0x02];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    match Request::decode(&payload) {
+        Err(ProtocolError::CountTooLarge { declared, .. }) => {
+            assert_eq!(declared, u32::MAX as usize);
+        }
+        other => panic!("expected CountTooLarge, got {other:?}"),
+    }
+}
