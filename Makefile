@@ -1,6 +1,6 @@
 # Verification entry points for the edge-coloring reproduction workspace.
 
-.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds bench-io snapshot-fuzz serve-smoke serve-fuzz
+.PHONY: verify verify-fast build test clippy fmt bench-check examples doc bench bench-smoke bench-regression bench-rounds bench-io snapshot-fuzz serve-smoke serve-pipeline-smoke serve-fuzz
 
 # The full gate: tier-1 (release build + tests) plus lints, formatting,
 # bench compilation, example compilation and the rustdoc gate.
@@ -79,12 +79,21 @@ snapshot-fuzz:
 serve-smoke:
 	cargo run --release -p distserve --bin serve-loadgen -- --smoke
 
-# The serving test battery: protocol fuzz (arbitrary/truncated/mutated
-# byte streams → typed errors, zero panics, committed proptest seeds),
-# multi-client concurrency with batch-log replay equivalence, and hot-swap
-# epoch coherence (torn-read detector + corrupt-snapshot rejection).
+# The v2 serving gate: one daemon serving two torus tenants, driven by
+# pipelined connections spread across both graphs. Fails unless every
+# tenant's admission counters match the deterministic expectation exactly
+# and both final colorings pass the checkers (see docs/SERVE.md).
+serve-pipeline-smoke:
+	cargo run --release -p distserve --bin serve-loadgen -- --pipeline-smoke
+
+# The serving test battery: protocol fuzz over v1 and v2 framing
+# (arbitrary/truncated/mutated byte streams and handshakes → typed errors,
+# zero panics, committed proptest seeds), multi-client concurrency with
+# batch-log replay equivalence, multi-graph tenant isolation with
+# out-of-order pipelined completion, and hot-swap epoch coherence
+# (torn-read detector + corrupt-snapshot rejection).
 serve-fuzz:
-	cargo test --release -p distserve --test protocol_fuzz --test concurrency --test hot_swap -- --nocapture
+	cargo test --release -p distserve --test protocol_fuzz --test concurrency --test multi_graph --test hot_swap -- --nocapture
 
 # The round-complexity gate: only E1/E2/E3 (quick-size sweeps, same rows as
 # the committed baseline) with the ledger-derived columns — per-doubling

@@ -535,6 +535,8 @@ fn build_json(
                 ("graph", JsonValue::str(m.graph.clone())),
                 ("clients", JsonValue::Int(m.clients as i64)),
                 ("read_permille", JsonValue::Int(m.read_permille as i64)),
+                ("graphs", JsonValue::Int(m.graphs as i64)),
+                ("inflight", JsonValue::Int(m.inflight as i64)),
                 ("n", JsonValue::Int(m.n as i64)),
                 ("m0", JsonValue::Int(m.m0 as i64)),
                 ("final_m", JsonValue::Int(m.final_m as i64)),
@@ -552,6 +554,7 @@ fn build_json(
                 ("p50_ms", JsonValue::Num(m.p50_ms)),
                 ("p95_ms", JsonValue::Num(m.p95_ms)),
                 ("p99_ms", JsonValue::Num(m.p99_ms)),
+                ("repair_p999_ms", JsonValue::Num(m.repair_p999_ms)),
                 ("ticks", JsonValue::Int(m.ticks as i64)),
                 ("wall_ms", JsonValue::Num(m.wall_ms)),
             ])

@@ -1934,11 +1934,15 @@ pub fn run_e11(deltas: &[usize]) -> Table {
 }
 
 /// One SERVE row: the serving daemon under the deterministic loadgen mix.
-/// Keyed by `(graph, clients, read_permille)`. Every count except
-/// `retries`, `ticks` and the wall-clock-derived fields is deterministic:
-/// the loadgen's disjoint-anchor workload admits the same operations
-/// regardless of thread interleaving, and coalescing only changes *which*
-/// tick repairs an insert, never how many edges get repaired in total.
+/// Keyed by `(graph, clients, read_permille, graphs, inflight)`. Every
+/// count except `retries`, `ticks` and the wall-clock-derived fields is
+/// deterministic: the loadgen's disjoint-anchor workload admits the same
+/// operations regardless of thread interleaving, pipelining depth and
+/// client→graph spread, and coalescing only changes *which* tick repairs
+/// an insert, never how many edges get repaired in total. Multi-tenant
+/// rows sum the per-tenant counters and merge the latency histograms;
+/// `n`/`m0`/`final_m` stay per-tenant (every tenant serves the same torus
+/// and receives the same per-tenant workload shape).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeMeasurement {
     /// Graph description, e.g. `grid_torus(80x80)`.
@@ -1947,11 +1951,17 @@ pub struct ServeMeasurement {
     pub clients: usize,
     /// Reads per 1000 operations in the seeded mix.
     pub read_permille: u32,
-    /// Number of nodes.
+    /// Tenants served by the daemon (loadgen spreads clients across them).
+    pub graphs: usize,
+    /// Requests each loadgen connection keeps in flight (1 = strict
+    /// request-reply).
+    pub inflight: usize,
+    /// Number of nodes (per tenant).
     pub n: usize,
-    /// Edge count before the run.
+    /// Edge count before the run (per tenant).
     pub m0: usize,
-    /// Edge count after every admitted batch applied.
+    /// Edge count after every admitted batch applied (summed over
+    /// tenants).
     pub final_m: usize,
     /// Total operations the loadgen issued (reads + admitted writes).
     pub ops: u64,
@@ -1980,13 +1990,18 @@ pub struct ServeMeasurement {
     pub replay_equivalent: bool,
     /// Operations per second over the loadgen wall clock.
     pub qps: f64,
-    /// Repair latency percentiles over the daemon's per-tick samples (ms).
+    /// Repair latency percentiles from the daemon's log-bucket histogram,
+    /// merged across tenants (ms).
     pub p50_ms: f64,
     /// 95th percentile repair latency (ms).
     pub p95_ms: f64,
     /// 99th percentile repair latency (ms).
     pub p99_ms: f64,
-    /// Ticks that applied at least one coalesced batch.
+    /// 99.9th percentile repair latency (ms) — the SLO tail the histogram
+    /// buckets exist to expose.
+    pub repair_p999_ms: f64,
+    /// Ticks that applied at least one coalesced batch (summed over
+    /// tenants).
     pub ticks: u64,
     /// Loadgen wall clock (ms).
     pub wall_ms: f64,
@@ -2006,8 +2021,7 @@ pub struct ServeMeasurement {
 /// agree exactly).
 pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
     use distserve::loadgen::{run_against, LoadgenConfig};
-    use distserve::wire::Response;
-    use distserve::{Client, DaemonHandle, ServeConfig, ServerCore};
+    use distserve::{Client, DaemonHandle, LatencyHistogram, ServeConfig, ServerCore, Tenant};
 
     let mut table = Table::new(
         "SERVE",
@@ -2016,6 +2030,8 @@ pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
             "graph",
             "clients",
             "read‰",
+            "graphs",
+            "inflight",
             "n",
             "m0",
             "final m",
@@ -2032,27 +2048,40 @@ pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
             "p50 ms",
             "p95 ms",
             "p99 ms",
+            "p99.9 ms",
             "ticks",
             "wall ms",
         ],
     );
     let mut measurements = Vec::new();
 
-    // The small torus runs at every selector size so the row stays
-    // key-comparable to the committed baseline; the million-edge torus
-    // (the ISSUE's serving target) only on full runs.
-    let mut configs: Vec<(usize, usize, usize)> = vec![(80, 80, 1500)];
+    // The small toruses run at every selector size so the rows stay
+    // key-comparable to the committed baseline — one strict
+    // request-reply single-tenant row and one pipelined two-tenant row;
+    // the million-edge torus (the ISSUE's serving target) only on full
+    // runs.
+    let mut configs: Vec<(usize, usize, usize, usize, usize)> =
+        vec![(80, 80, 1500, 1, 1), (48, 48, 600, 2, 8)];
     if full_size {
-        configs.push((1000, 500, 2000));
+        configs.push((1000, 500, 2000, 1, 1));
     }
-    for (rows, cols, ops_per_client) in configs {
+    for (rows, cols, ops_per_client, graphs, inflight) in configs {
         let graph_label = format!("grid_torus({rows}x{cols})");
-        let graph = generators::grid_torus(rows, cols);
-        let (n, m0, max_deg0) = (graph.n(), graph.m(), graph.max_degree());
         let config = ServeConfig::default();
         let headroom = config.headroom;
-        let core = ServerCore::new(graph, config).expect("daemon boots");
-        let daemon = DaemonHandle::spawn(core).expect("daemon binds");
+        let tenants: Vec<Tenant> = (0..graphs)
+            .map(|g| {
+                Tenant::new(
+                    format!("t{g}"),
+                    generators::grid_torus(rows, cols),
+                    config.clone(),
+                )
+                .expect("daemon boots")
+            })
+            .collect();
+        let (n, m0) = (rows * cols, 2 * rows * cols);
+        let max_deg0 = 4;
+        let daemon = DaemonHandle::spawn(ServerCore::from_tenants(tenants)).expect("daemon binds");
         let lg = LoadgenConfig {
             rows,
             cols,
@@ -2060,15 +2089,30 @@ pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
             ops_per_client,
             read_permille: 700,
             seed: 42,
+            graphs,
+            inflight,
         };
         let report = run_against(daemon.addr(), &lg).expect("loadgen completes");
 
+        // Drain every tenant, then fold its counters and histograms into
+        // the row.
         let mut client = Client::connect(daemon.addr()).expect("connect");
-        match client.flush().expect("flush") {
-            Response::Flushed { .. } => {}
-            other => panic!("flush answered {other:?}"),
+        let mut final_m = 0usize;
+        let mut repaired_edges = 0u64;
+        let mut full_recolors = 0u64;
+        let mut ticks = 0u64;
+        let mut repair_hist = LatencyHistogram::default();
+        let mut protocol_errors = 0u64;
+        for g in 0..graphs {
+            client.set_graph(g as u32);
+            client.flush().expect("flush");
+            let metrics = client.metrics().expect("metrics");
+            repaired_edges += metrics.repaired_edges;
+            full_recolors += metrics.full_recolors;
+            ticks += metrics.ticks;
+            repair_hist.merge(&metrics.repair);
+            protocol_errors = metrics.protocol_errors; // connection-level, same everywhere
         }
-        let metrics = client.metrics().expect("metrics");
         let core = daemon.core().clone();
         daemon.shutdown();
         assert_eq!(
@@ -2077,59 +2121,72 @@ pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
             "{graph_label}: daemon hit internal errors"
         );
 
-        // In-harness audit: checker validity and batch-log replay
-        // equivalence are part of the regression contract, not just test
-        // suite properties.
-        let st = core.state_snapshot();
-        let served = st.dynamic().graph();
-        let checker_valid = check_proper_edge_coloring(served, st.coloring()).is_ok()
-            && check_complete(served, st.coloring()).is_ok();
-        let log = core.batch_log();
-        let ids = st.ids().clone();
-        let params = *core.params();
-        let budget = edgecolor::default_palette(max_deg0 + headroom);
-        let mut dg = DynamicGraph::from_graph(generators::grid_torus(rows, cols));
-        let (mut rec, _) =
-            Recoloring::with_budget(&dg, &ids, &params, budget).expect("replay boots");
+        // In-harness audit per tenant: checker validity and batch-log
+        // replay equivalence are part of the regression contract, not
+        // just test suite properties.
+        let mut checker_valid = true;
         let mut replay_equivalent = true;
-        for (_, batch) in &log {
-            let diff = dg.apply(batch).expect("logged batches replay cleanly");
-            if rec.repair(&dg, &diff, &ids, &params).is_err() {
-                replay_equivalent = false;
-                break;
+        for tenant in core.tenants() {
+            let st = tenant.state_snapshot();
+            let served = st.dynamic().graph();
+            final_m += served.m();
+            checker_valid = checker_valid
+                && check_proper_edge_coloring(served, st.coloring()).is_ok()
+                && check_complete(served, st.coloring()).is_ok();
+            let log = tenant.batch_log();
+            let ids = st.ids().clone();
+            let params = *tenant.params();
+            let budget = edgecolor::default_palette(max_deg0 + headroom);
+            let mut dg = DynamicGraph::from_graph(generators::grid_torus(rows, cols));
+            let (mut rec, _) =
+                Recoloring::with_budget(&dg, &ids, &params, budget).expect("replay boots");
+            let mut tenant_ok = true;
+            for (_, batch) in &log {
+                let diff = dg.apply(batch).expect("logged batches replay cleanly");
+                if rec.repair(&dg, &diff, &ids, &params).is_err() {
+                    tenant_ok = false;
+                    break;
+                }
             }
+            replay_equivalent = replay_equivalent
+                && tenant_ok
+                && dg.graph().m() == served.m()
+                && rec.coloring() == st.coloring();
         }
-        replay_equivalent =
-            replay_equivalent && dg.graph().m() == served.m() && rec.coloring() == st.coloring();
 
         let m = ServeMeasurement {
             graph: graph_label,
             clients: lg.clients,
             read_permille: lg.read_permille,
+            graphs,
+            inflight,
             n,
             m0,
-            final_m: served.m(),
+            final_m,
             ops: report.ops,
             reads: report.reads,
             accepted: report.accepted,
             rejected: report.rejected,
             retries: report.retries,
-            protocol_errors: metrics.protocol_errors,
-            repaired_edges: metrics.repaired_edges,
-            full_recolors: metrics.full_recolors,
+            protocol_errors,
+            repaired_edges,
+            full_recolors,
             checker_valid,
             replay_equivalent,
             qps: report.qps,
-            p50_ms: metrics.repair_p50_ms,
-            p95_ms: metrics.repair_p95_ms,
-            p99_ms: metrics.repair_p99_ms,
-            ticks: metrics.ticks,
+            p50_ms: repair_hist.p50_ms(),
+            p95_ms: repair_hist.p95_ms(),
+            p99_ms: repair_hist.p99_ms(),
+            repair_p999_ms: repair_hist.p999_ms(),
+            ticks,
             wall_ms: report.wall_ms,
         };
         table.push_row(vec![
             m.graph.clone(),
             m.clients.to_string(),
             m.read_permille.to_string(),
+            m.graphs.to_string(),
+            m.inflight.to_string(),
             m.n.to_string(),
             m.m0.to_string(),
             m.final_m.to_string(),
@@ -2146,6 +2203,7 @@ pub fn run_serve(full_size: bool) -> (Table, Vec<ServeMeasurement>) {
             format!("{:.2}", m.p50_ms),
             format!("{:.2}", m.p95_ms),
             format!("{:.2}", m.p99_ms),
+            format!("{:.2}", m.repair_p999_ms),
             m.ticks.to_string(),
             format!("{:.1}", m.wall_ms),
         ]);

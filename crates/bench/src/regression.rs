@@ -72,6 +72,7 @@ const IGNORED_TABLE_COLUMNS: &[&str] = &[
     "p50 ms",
     "p95 ms",
     "p99 ms",
+    "p99.9 ms",
     "ticks",
 ];
 
@@ -138,7 +139,7 @@ pub fn key_columns(id: &str) -> &'static [&'static str] {
         "SHARD" => &["workload", "graph", "shards"],
         "FAULT" => &["workload", "graph", "seed"],
         "IO" => &["graph", "method"],
-        "SERVE" => &["graph", "clients", "read‰"],
+        "SERVE" => &["graph", "clients", "read‰", "graphs", "inflight"],
         _ => &[],
     }
 }
@@ -243,7 +244,7 @@ pub const IO_FIELDS: (&[&str], &[(&str, Rule)]) = (
 /// percentiles, tick counts and backpressure retries are wall-clock noise
 /// and deliberately not listed.
 pub const SERVE_FIELDS: (&[&str], &[(&str, Rule)]) = (
-    &["graph", "clients", "read_permille"],
+    &["graph", "clients", "read_permille", "graphs", "inflight"],
     &[
         ("n", Rule::Exact),
         ("m0", Rule::Exact),

@@ -1,11 +1,51 @@
-//! The TCP front door: accept loop, per-connection workers, optional tick
-//! thread, cooperative shutdown.
+//! The TCP front door: accept loop, per-connection workers (v1
+//! request-reply or v2 pipelined), per-tenant tick threads, cooperative
+//! shutdown.
 //!
-//! Transport policy:
+//! # Protocol negotiation
+//!
+//! The **first frame** of a connection decides its generation. A
+//! [`Request::Hello`] opens protocol v2: the daemon answers a headerless
+//! [`Response::Welcome`] (the handshake itself carries no routing header)
+//! and switches the connection to the pipelined v2 worker. Any other
+//! first frame pins the connection to v1 semantics — strict
+//! request-reply, no headers, every request routed to graph 0 — which is
+//! byte-for-byte the PR-9 protocol.
+//!
+//! # Pipelined v2 connections
+//!
+//! A v2 connection runs one reader (the connection thread itself), one
+//! executor thread per served graph, and one writer thread, joined by a
+//! bounded response queue:
+//!
+//! ```text
+//! reader ──(graph 0 queue)── executor 0 ──┐
+//!        ──(graph 1 queue)── executor 1 ──┼──(bounded)── writer
+//!        ──(inline: Hello/unknown-graph/rejects)──┘
+//! ```
+//!
+//! Per-graph queues preserve **per-graph FIFO** (admission order equals
+//! application order within a tenant, which the replay audit relies on)
+//! while letting responses from different graphs complete **out of
+//! order** — a slow repair tick on graph 0 never delays a lookup answer
+//! on graph 1. Every response carries the originating `request_id`, so
+//! clients re-associate answers however they arrive.
+//!
+//! Backpressure is structural, not advisory: the reader blocks once
+//! `max_inflight` requests are unanswered, which stops it draining the
+//! socket and pushes back on the peer through TCP flow control; the
+//! response queue is bounded by the same cap, so a stalled peer can never
+//! balloon daemon memory. After a write error the writer keeps *draining*
+//! the queue without writing, so executors finishing late work never
+//! block on a dead socket.
+//!
+//! # Transport policy (both generations)
 //!
 //! * **Payload-level** protocol errors (bad opcode, truncated body, …) keep
 //!   the connection alive — framing is still in sync, so the worker answers
-//!   [`Response::ProtocolRejected`] and keeps reading.
+//!   [`Response::ProtocolRejected`] and keeps reading. On v2 the reject is
+//!   tagged with the frame's `request_id` when the header was readable,
+//!   else with id 0.
 //! * **Framing-level** errors (oversize/zero length declaration, EOF inside
 //!   a frame) desynchronize the stream: the worker answers once and closes.
 //! * Shutdown never blocks on idle readers: the handle keeps a registry of
@@ -14,16 +54,22 @@
 
 use crate::error::WireError;
 use crate::state::ServerCore;
-use crate::wire::{read_frame, write_frame, Request, Response};
+use crate::wire::{
+    decode_v2_request_header, encode_v2_response, read_frame, write_frame, Request, Response,
+};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A running daemon: owns the listener thread, connection workers and the
-/// optional background ticker over one shared [`ServerCore`].
+/// per-tenant background tickers over one shared [`ServerCore`].
 #[derive(Debug)]
 pub struct DaemonHandle {
     core: Arc<ServerCore>,
@@ -31,12 +77,14 @@ pub struct DaemonHandle {
     running: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     accept: Option<JoinHandle<()>>,
-    ticker: Option<JoinHandle<()>>,
+    tickers: Vec<JoinHandle<()>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl DaemonHandle {
     /// Binds `127.0.0.1:0` (an OS-assigned port) and starts serving `core`.
+    /// One tick thread is spawned per tenant whose config asks for one, so
+    /// a slow repair on one graph never delays another graph's ticks.
     ///
     /// # Errors
     ///
@@ -78,16 +126,23 @@ impl DaemonHandle {
             })
         };
 
-        let ticker = core.config().tick_interval_ms.map(|interval| {
-            let core = Arc::clone(&core);
-            let running = Arc::clone(&running);
-            std::thread::spawn(move || {
-                while running.load(Ordering::SeqCst) {
-                    core.tick();
-                    std::thread::sleep(Duration::from_millis(interval));
-                }
+        let tickers = core
+            .tenants()
+            .iter()
+            .enumerate()
+            .filter_map(|(gid, tenant)| {
+                tenant.config().tick_interval_ms.map(|interval| {
+                    let core = Arc::clone(&core);
+                    let running = Arc::clone(&running);
+                    std::thread::spawn(move || {
+                        while running.load(Ordering::SeqCst) {
+                            core.tenants()[gid].tick();
+                            std::thread::sleep(Duration::from_millis(interval));
+                        }
+                    })
+                })
             })
-        });
+            .collect();
 
         Ok(DaemonHandle {
             core,
@@ -95,7 +150,7 @@ impl DaemonHandle {
             running,
             conns,
             accept: Some(accept),
-            ticker,
+            tickers,
             workers,
         })
     }
@@ -106,7 +161,7 @@ impl DaemonHandle {
     }
 
     /// The shared serving core — tests and the bench harness use this for
-    /// in-process introspection (batch log, state snapshots, manual ticks).
+    /// in-process introspection (batch logs, state snapshots, manual ticks).
     pub fn core(&self) -> &Arc<ServerCore> {
         &self.core
     }
@@ -135,7 +190,7 @@ impl DaemonHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.ticker.take() {
+        for h in self.tickers.drain(..) {
             let _ = h.join();
         }
         let drained: Vec<JoinHandle<()>> =
@@ -166,6 +221,9 @@ fn stop(running: &AtomicBool, addr: SocketAddr, conns: &Mutex<Vec<TcpStream>>) {
     let _ = TcpStream::connect(addr);
 }
 
+/// Reads the first frame and dispatches the connection to the v2 pipelined
+/// worker (first frame is a `Hello`) or the v1 request-reply worker
+/// (anything else, including a malformed payload).
 fn serve_connection(
     core: &ServerCore,
     stream: TcpStream,
@@ -178,43 +236,222 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let first = match read_frame(&mut reader) {
+        Ok(None) => return,
+        Ok(Some(payload)) => payload,
+        Err(WireError::Protocol(e)) => {
+            core.note_protocol_error();
+            let reject = Response::ProtocolRejected {
+                detail: e.to_string(),
+            };
+            let _ = write_frame(&mut writer, &reject.encode());
+            return;
+        }
+        Err(WireError::Io(_)) => return,
+    };
+    match Request::decode(&first) {
+        Ok(Request::Hello { version }) => {
+            // The handshake is headerless in both directions; the routing
+            // header starts with the first post-handshake frame.
+            let answer = core.handle_on(0, &Request::Hello { version });
+            let refused = !matches!(answer, Response::Welcome { .. });
+            if refused {
+                core.note_protocol_error();
+            }
+            if write_frame(&mut writer, &answer.encode()).is_err() || refused {
+                return;
+            }
+            serve_v2(core, reader, writer, running, addr, conns);
+        }
+        first_result => serve_v1(core, reader, writer, running, addr, conns, first_result),
+    }
+}
+
+/// The v1 request-reply loop (the PR-9 protocol): decode, handle against
+/// graph 0, answer, repeat. `first` is the already-read first frame's
+/// decode result.
+fn serve_v1(
+    core: &ServerCore,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    running: &AtomicBool,
+    addr: SocketAddr,
+    conns: &Mutex<Vec<TcpStream>>,
+    first: Result<Request, crate::error::ProtocolError>,
+) {
+    let mut pending = Some(first);
     loop {
         if !running.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(payload)) => match Request::decode(&payload) {
-                Ok(req) => {
-                    let resp = core.handle(&req);
-                    let stop_after = matches!(req, Request::Shutdown);
-                    if write_frame(&mut writer, &resp.encode()).is_err() {
-                        break;
-                    }
-                    if stop_after {
-                        stop(running, addr, conns);
-                        break;
-                    }
-                }
-                Err(e) => {
+        let decoded = match pending.take() {
+            Some(d) => d,
+            None => match read_frame(&mut reader) {
+                Ok(None) => break,
+                Ok(Some(payload)) => Request::decode(&payload),
+                Err(WireError::Protocol(e)) => {
                     core.note_protocol_error();
                     let reject = Response::ProtocolRejected {
                         detail: e.to_string(),
                     };
-                    if write_frame(&mut writer, &reject.encode()).is_err() {
-                        break;
-                    }
+                    let _ = write_frame(&mut writer, &reject.encode());
+                    break;
                 }
+                Err(WireError::Io(_)) => break,
             },
-            Err(WireError::Protocol(e)) => {
+        };
+        match decoded {
+            Ok(req) => {
+                let resp = core.handle(&req);
+                let stop_after = matches!(req, Request::Shutdown);
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    break;
+                }
+                if stop_after {
+                    stop(running, addr, conns);
+                    break;
+                }
+            }
+            Err(e) => {
                 core.note_protocol_error();
                 let reject = Response::ProtocolRejected {
                     detail: e.to_string(),
                 };
-                let _ = write_frame(&mut writer, &reject.encode());
+                if write_frame(&mut writer, &reject.encode()).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Blocks until an in-flight slot is free, then takes one. Called only by
+/// the reader — blocking here stops the socket drain, which is the
+/// backpressure contract.
+fn acquire_slot(slots: &(Mutex<usize>, Condvar), cap: usize) {
+    let mut held = lock(&slots.0);
+    while *held >= cap {
+        held = slots.1.wait(held).unwrap_or_else(|e| e.into_inner());
+    }
+    *held += 1;
+}
+
+/// Returns an in-flight slot and wakes the reader if it was at the cap.
+fn release_slot(slots: &(Mutex<usize>, Condvar)) {
+    *lock(&slots.0) -= 1;
+    slots.1.notify_one();
+}
+
+/// The pipelined v2 worker: reader (this thread) → per-graph executors →
+/// bounded response queue → writer. See the module docs for the ordering
+/// and backpressure contract.
+fn serve_v2(
+    core: &ServerCore,
+    mut reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    running: &AtomicBool,
+    addr: SocketAddr,
+    conns: &Mutex<Vec<TcpStream>>,
+) {
+    let cap = core.default_tenant().config().max_inflight.max(1) as usize;
+    let ntenants = core.tenants().len();
+    let slots = (Mutex::new(0usize), Condvar::new());
+    let (resp_tx, resp_rx) = mpsc::sync_channel::<Vec<u8>>(cap);
+    let mut stop_after = false;
+
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut w = writer;
+            let mut broken = false;
+            for payload in resp_rx {
+                // After a write error, keep draining so executors finishing
+                // late work never block sending into a queue nobody reads.
+                if !broken && write_frame(&mut w, &payload).is_err() {
+                    broken = true;
+                }
+            }
+        });
+
+        let mut work_txs: Vec<mpsc::Sender<(u64, Request)>> = Vec::with_capacity(ntenants);
+        for gid in 0..ntenants {
+            let (tx, rx) = mpsc::channel::<(u64, Request)>();
+            work_txs.push(tx);
+            let resp_tx = resp_tx.clone();
+            let slots = &slots;
+            s.spawn(move || {
+                for (rid, req) in rx {
+                    let resp = core.handle_on(gid as u32, &req);
+                    let _ = resp_tx.send(encode_v2_response(rid, &resp));
+                    release_slot(slots);
+                }
+            });
+        }
+
+        loop {
+            if !running.load(Ordering::SeqCst) {
                 break;
             }
-            Err(WireError::Io(_)) => break,
+            match read_frame(&mut reader) {
+                Ok(None) => break,
+                Ok(Some(payload)) => match decode_v2_request_header(&payload) {
+                    Ok((rid, gid, body)) => match Request::decode(body) {
+                        Ok(Request::Shutdown) => {
+                            // Stop reading first; the daemon-wide stop runs
+                            // after the scope joins, so the tagged answer is
+                            // written before the socket closes.
+                            let _ = resp_tx.send(encode_v2_response(rid, &Response::ShuttingDown));
+                            stop_after = true;
+                            break;
+                        }
+                        Ok(req)
+                            if matches!(req, Request::Hello { .. }) || gid as usize >= ntenants =>
+                        {
+                            // Re-Hellos and unknown-graph routes have no
+                            // tenant executor; answer inline, no slot taken.
+                            let resp = core.handle_on(gid, &req);
+                            let _ = resp_tx.send(encode_v2_response(rid, &resp));
+                        }
+                        Ok(req) => {
+                            acquire_slot(&slots, cap);
+                            let _ = work_txs[gid as usize].send((rid, req));
+                        }
+                        Err(e) => {
+                            core.note_protocol_error();
+                            let reject = Response::ProtocolRejected {
+                                detail: e.to_string(),
+                            };
+                            let _ = resp_tx.send(encode_v2_response(rid, &reject));
+                        }
+                    },
+                    Err(e) => {
+                        // Frame shorter than the v2 header: framing is still
+                        // in sync, answer with request id 0 and keep going.
+                        core.note_protocol_error();
+                        let reject = Response::ProtocolRejected {
+                            detail: e.to_string(),
+                        };
+                        let _ = resp_tx.send(encode_v2_response(0, &reject));
+                    }
+                },
+                Err(WireError::Protocol(e)) => {
+                    core.note_protocol_error();
+                    let reject = Response::ProtocolRejected {
+                        detail: e.to_string(),
+                    };
+                    let _ = resp_tx.send(encode_v2_response(0, &reject));
+                    break;
+                }
+                Err(WireError::Io(_)) => break,
+            }
         }
+        // Closing the work channels lets executors drain and exit; their
+        // dropped response senders then close the queue and the writer
+        // finishes. The scope joins everything.
+        drop(work_txs);
+        drop(resp_tx);
+    });
+
+    if stop_after {
+        stop(running, addr, conns);
     }
 }

@@ -59,6 +59,27 @@ pub enum ProtocolError {
     },
     /// A string field is not valid UTF-8.
     BadUtf8,
+    /// A swap path exceeds the protocol's path-length cap — rejected at
+    /// decode time, before the path ever reaches the filesystem.
+    PathTooLong {
+        /// The declared path length, bytes.
+        len: usize,
+        /// The protocol cap ([`MAX_SWAP_PATH`]).
+        ///
+        /// [`MAX_SWAP_PATH`]: crate::wire::MAX_SWAP_PATH
+        max: usize,
+    },
+    /// A swap path carries an embedded NUL byte — never a valid file name,
+    /// and historically the classic way to smuggle a truncated path past a
+    /// validating layer into a C API. Rejected at decode time.
+    NulInPath,
+    /// A `Hello` requested a protocol version the daemon does not speak.
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: u32,
+        /// The version the daemon serves.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -88,6 +109,19 @@ impl fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::PathTooLong { len, max } => {
+                write!(f, "swap path of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::NulInPath => write!(f, "swap path carries an embedded NUL byte"),
+            ProtocolError::UnsupportedVersion {
+                requested,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "protocol version {requested} is not served (daemon speaks {supported})"
+                )
+            }
         }
     }
 }
@@ -170,6 +204,94 @@ impl From<diststore::SnapshotError> for SetupError {
 impl From<edgecolor::ColoringError> for SetupError {
     fn from(e: edgecolor::ColoringError) -> Self {
         SetupError::Coloring(e)
+    }
+}
+
+/// A typed failure surfaced by the [`Client`](crate::client::Client) API.
+///
+/// The v1 client returned the raw [`Response`](crate::wire::Response) enum
+/// and left every caller to re-match it; the v2 surface decodes the
+/// response into the type the method promises and maps everything else to
+/// one of these variants.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or codec failed beneath the request.
+    Wire(WireError),
+    /// The daemon rejected a submission with a typed admission code.
+    Rejected(crate::client::Rejection),
+    /// The daemon refused a snapshot hot-swap; the old generation is still
+    /// serving.
+    SwapRejected {
+        /// Why the snapshot was refused.
+        detail: String,
+    },
+    /// The daemon hit an internal failure handling a well-formed request.
+    Server {
+        /// Human-readable detail from the daemon.
+        detail: String,
+    },
+    /// The daemon answered `ProtocolRejected` — it considered our frame
+    /// malformed.
+    ProtocolRejected {
+        /// The daemon's echo of its decode error.
+        detail: String,
+    },
+    /// The connection handshake failed (bad `Welcome`, version mismatch).
+    Handshake {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The daemon answered with a response kind the request cannot produce.
+    Unexpected {
+        /// The response kind the method expected.
+        expected: &'static str,
+        /// Debug form of what actually arrived.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Rejected(r) => write!(f, "submission rejected: {r}"),
+            ClientError::SwapRejected { detail } => write!(f, "swap rejected: {detail}"),
+            ClientError::Server { detail } => write!(f, "server error: {detail}"),
+            ClientError::ProtocolRejected { detail } => {
+                write!(f, "daemon rejected our frame: {detail}")
+            }
+            ClientError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, daemon answered {got}")
+            }
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Wire(WireError::Protocol(e))
     }
 }
 

@@ -18,14 +18,25 @@
 //!   batch into *one* [`distgraph::UpdateBatch`] and one local repair —
 //!   the paper's Theorem 1.1 machinery recoloring only the dirty subgraph,
 //!   which is what makes low-latency online serving plausible at all.
-//! * **Hot swap** replaces the served snapshot under an epoch bump;
+//! * **Multi-graph serving** (protocol v2): one daemon hosts a registry of
+//!   independent tenants, each with its own admission queue, tick loop,
+//!   epoch chain and swap contract, routed by the `graph_id` field in the
+//!   v2 frame header. Connections that skip the [`wire::Request::Hello`]
+//!   handshake get v1 semantics against graph 0.
+//! * **Pipelined connections**: a v2 connection decouples reads from
+//!   writes (reader → per-graph executors → bounded response queue →
+//!   writer), so a slow repair on one graph never stalls lookups on
+//!   another; responses carry the originating `request_id` and may
+//!   complete out of order across graphs.
+//! * **Hot swap** replaces a served snapshot under an epoch bump;
 //!   in-flight reads finish on the old epoch, and a corrupt snapshot is
 //!   rejected with the old one still serving.
-//! * **Introspection** (metrics, palette, shard cut) and a deterministic
-//!   [`loadgen`] close the loop for the bench layer's `SERVE` experiment.
+//! * **Introspection** (metrics with full latency [`hist`]ograms, palette,
+//!   shard cut) and a deterministic [`loadgen`] close the loop for the
+//!   bench layer's `SERVE` experiment.
 //!
-//! See `docs/SERVE.md` for the frame format, admission semantics and the
-//! hot-swap epoch contract.
+//! See `docs/SERVE.md` for the frame format, handshake, admission
+//! semantics and the hot-swap epoch contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,13 +44,18 @@
 pub mod client;
 pub mod daemon;
 pub mod error;
+pub mod hist;
 pub mod loadgen;
 pub mod state;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Admitted, Client, ClientBuilder, PipelinedClient, Rejection, Ticket};
 pub use daemon::DaemonHandle;
-pub use error::{ProtocolError, SetupError, WireError};
+pub use error::{ClientError, ProtocolError, SetupError, WireError};
+pub use hist::{LatencyHistogram, HIST_BUCKETS};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use state::{EpochState, ServeConfig, ServerCore};
-pub use wire::{LookupOutcome, MetricsReport, RejectCode, Request, Response, MAX_FRAME_LEN};
+pub use state::{EpochState, ServeConfig, ServerCore, Tenant};
+pub use wire::{
+    GraphInfo, LookupOutcome, MetricsReport, RejectCode, Request, Response, MAX_FRAME_LEN,
+    MAX_SWAP_PATH, PROTOCOL_VERSION,
+};

@@ -1,47 +1,61 @@
 //! Deterministic load generator: seeded read/write mixes whose *accounting*
-//! is reproducible under any thread interleaving.
+//! is reproducible under any thread interleaving, any pipelining depth and
+//! any client→graph spread.
 //!
-//! Timing-dependent quantities (qps, latency percentiles, tick counts) vary
+//! Timing-dependent quantities (qps, latency histograms, tick counts) vary
 //! run to run, but every count the bench regression gate compares exactly —
 //! ops, reads, inserts, deletes, accepted, rejected — is a pure function of
 //! the config. The trick is partitioning the write universe by client over
-//! the `rows × cols` grid torus:
+//! each served `rows × cols` grid torus:
 //!
+//! * **Graph spread**: client `k` of `K` drives graph `k mod G` (all `G`
+//!   tenants must serve the same torus shape). Within its graph it is slot
+//!   `k div G` of the `ceil((K − g) / G)` clients on that graph, and the
+//!   anchor partition below runs per graph — tenants share no write
+//!   universe at all, so admission counts are independent per tenant.
 //! * **Inserts** are *diagonal* pairs `(a, diag(a))` with
 //!   `diag(r, c) = ((r+1) mod rows, (c+1) mod cols)`. A diagonal is never a
 //!   torus edge, every anchor yields a distinct pair (both need
-//!   `rows, cols ≥ 3`), and client `k` of `K` only uses anchors
-//!   `a ≡ k (mod K)` — so no two clients ever race for the same pair and
+//!   `rows, cols ≥ 3`), and slot `s` of `S` only uses anchors
+//!   `a ≡ s (mod S)` — so no two clients ever race for the same pair and
 //!   every insert is admitted no matter how submissions interleave.
-//! * **Deletes** target initial stable ids `k, k + K, k + 2K, …` (all
+//! * **Deletes** target initial stable ids `s, s + S, s + 2S, …` (all
 //!   `< 2·rows·cols`, i.e. original torus edges), each exactly once — again
 //!   collision-free across clients, so every delete is admitted.
 //! * Each client that inserted anything re-submits its **first** diagonal at
-//!   the end; that pair is by then pending or live, so the daemon's typed
+//!   the end, after its window fully drains; that pair is by then pending or
+//!   live, so the daemon's typed
 //!   [`RejectCode::DuplicateEdge`](crate::wire::RejectCode) answer is
 //!   guaranteed — pinning the reject path end-to-end with a deterministic
 //!   `rejected` count.
 //!
+//! Every connection is a [`PipelinedClient`] keeping up to `inflight`
+//! requests outstanding (`inflight = 1` degenerates to strict
+//! request-reply). Pipelining cannot perturb the counts: the daemon
+//! preserves per-connection per-graph FIFO, and a client's own ops are
+//! mutually conflict-free by construction.
+//!
 //! Backpressure ([`RejectCode::QueueFull`](crate::wire::RejectCode)) and
-//! swap quiescing are retried with a short pause and counted separately in
+//! swap quiescing re-enqueue the op and are counted separately in
 //! `retries`, which the regression contract ignores (host-dependent).
 //!
 //! Degree growth is bounded by construction: a node gains at most two
 //! diagonal edges (once as anchor, once as target), so Δ never exceeds 6
 //! and a daemon provisioned with Δ-headroom ≥ 2 never full-recolors —
 //! making `repaired_edges` (= total inserts) and `full_recolors` (= 0)
-//! exact too.
+//! exact too, per tenant.
 
-use crate::client::Client;
-use crate::error::WireError;
-use crate::wire::{MetricsReport, RejectCode, Response};
+use crate::client::{PipelinedClient, Ticket};
+use crate::error::ClientError;
+use crate::wire::{MetricsReport, RejectCode, Request, Response};
 use distsim::faults::splitmix64;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-/// Load-mix parameters. The graph served by the daemon must be the
+/// Load-mix parameters. Every graph served by the daemon must be the
 /// `rows × cols` grid torus with its initial stable ids (the state
-/// [`ServerCore::new`](crate::state::ServerCore::new) boots into).
+/// [`Tenant::new`](crate::state::Tenant::new) boots into).
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Torus rows (≥ 3).
@@ -57,6 +71,28 @@ pub struct LoadgenConfig {
     pub read_permille: u32,
     /// Seed of the op-mix stream.
     pub seed: u64,
+    /// Served graphs to spread clients across (client `k` drives graph
+    /// `k mod graphs`). Must not exceed `clients` or the daemon's tenant
+    /// count.
+    pub graphs: usize,
+    /// Requests each connection keeps in flight (1 = strict
+    /// request-reply).
+    pub inflight: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            rows: 30,
+            cols: 30,
+            clients: 4,
+            ops_per_client: 300,
+            read_permille: 700,
+            seed: 42,
+            graphs: 1,
+            inflight: 1,
+        }
+    }
 }
 
 /// Aggregated client-side accounting of one load run.
@@ -100,24 +136,53 @@ struct ClientStats {
     errors: u64,
 }
 
+/// One client-side operation of the seeded mix.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Insert(u32, u32),
+    Delete(u64),
+}
+
+impl Op {
+    fn request(&self) -> Request {
+        match *self {
+            Op::Read(stable) => Request::Lookup { stable },
+            Op::Insert(a, b) => Request::Submit {
+                delete: vec![],
+                insert: vec![(a, b)],
+            },
+            Op::Delete(sid) => Request::Submit {
+                delete: vec![sid],
+                insert: vec![],
+            },
+        }
+    }
+}
+
 /// Replays the seeded mix against a running daemon and aggregates the
 /// per-client accounting.
 ///
 /// # Errors
 ///
-/// [`WireError`] if any client connection fails mid-run.
+/// [`ClientError`] if any client connection fails mid-run.
 ///
 /// # Panics
 ///
-/// Panics if `rows` or `cols` is below 3 (no valid torus) or `clients` is 0.
-pub fn run_against(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadgenReport, WireError> {
+/// Panics if `rows` or `cols` is below 3 (no valid torus), `clients` is 0,
+/// or `graphs` is 0 or exceeds `clients`.
+pub fn run_against(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     assert!(
         cfg.rows >= 3 && cfg.cols >= 3,
         "loadgen needs a ≥3×≥3 torus"
     );
     assert!(cfg.clients > 0, "loadgen needs at least one client");
+    assert!(
+        cfg.graphs > 0 && cfg.graphs <= cfg.clients,
+        "loadgen needs 1 ≤ graphs ≤ clients"
+    );
     let started = Instant::now();
-    let stats: Vec<Result<ClientStats, WireError>> = std::thread::scope(|scope| {
+    let stats: Vec<Result<ClientStats, ClientError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|client| scope.spawn(move || run_client(addr, cfg, client)))
             .collect();
@@ -152,21 +217,22 @@ pub fn run_against(addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadgenRepor
     Ok(report)
 }
 
-fn run_client(
-    addr: SocketAddr,
-    cfg: &LoadgenConfig,
-    client: usize,
-) -> Result<ClientStats, WireError> {
+/// Builds client `k`'s op list (a pure function of the config) plus its
+/// deliberate duplicate pair, if it inserts anything.
+fn ops_for_client(cfg: &LoadgenConfig, client: usize) -> (Vec<Op>, Option<(u32, u32)>) {
     let n = cfg.rows * cfg.cols;
     let m0 = 2 * n;
-    let stride = cfg.clients;
-    let insert_budget = if client < n {
-        (n - client).div_ceil(stride)
+    let graph = client % cfg.graphs;
+    let slot = client / cfg.graphs;
+    // Clients on this graph: k ∈ {graph, graph + G, …} ∩ [0, clients).
+    let stride = (cfg.clients - graph - 1) / cfg.graphs + 1;
+    let insert_budget = if slot < n {
+        (n - slot).div_ceil(stride)
     } else {
         0
     };
-    let delete_budget = if client < m0 {
-        (m0 - client).div_ceil(stride)
+    let delete_budget = if slot < m0 {
+        (m0 - slot).div_ceil(stride)
     } else {
         0
     };
@@ -175,31 +241,26 @@ fn run_client(
         ((r + 1) % cfg.rows) * cfg.cols + (c + 1) % cfg.cols
     };
 
-    let mut conn = Client::connect(addr).map_err(WireError::Io)?;
-    let mut s = ClientStats::default();
+    let mut ops = Vec::with_capacity(cfg.ops_per_client);
     let mut inserts_done = 0usize;
     let mut deletes_done = 0usize;
-
     for i in 0..cfg.ops_per_client {
         let z = splitmix64(cfg.seed ^ ((client as u64) << 40) ^ (i as u64));
         let mut read = z % 1000 < u64::from(cfg.read_permille);
         if !read {
             let want_insert = (inserts_done + deletes_done).is_multiple_of(2);
             if want_insert && inserts_done < insert_budget {
-                let a = client + inserts_done * stride;
-                submit_admitted(&mut conn, &mut s, vec![], vec![(a as u32, diag(a) as u32)])?;
+                let a = slot + inserts_done * stride;
+                ops.push(Op::Insert(a as u32, diag(a) as u32));
                 inserts_done += 1;
-                s.inserts += 1;
             } else if deletes_done < delete_budget {
-                let sid = (client + deletes_done * stride) as u64;
-                submit_admitted(&mut conn, &mut s, vec![sid], vec![])?;
+                let sid = (slot + deletes_done * stride) as u64;
+                ops.push(Op::Delete(sid));
                 deletes_done += 1;
-                s.deletes += 1;
             } else if inserts_done < insert_budget {
-                let a = client + inserts_done * stride;
-                submit_admitted(&mut conn, &mut s, vec![], vec![(a as u32, diag(a) as u32)])?;
+                let a = slot + inserts_done * stride;
+                ops.push(Op::Insert(a as u32, diag(a) as u32));
                 inserts_done += 1;
-                s.inserts += 1;
             } else {
                 // Both write budgets exhausted: degrade to a read so the op
                 // count stays exact.
@@ -207,22 +268,79 @@ fn run_client(
             }
         }
         if read {
-            let stable = (z >> 10) % m0 as u64;
-            match conn.lookup(stable)? {
-                Response::Color { .. } => {}
-                _ => s.errors += 1,
-            }
-            s.reads += 1;
+            ops.push(Op::Read((z >> 10) % m0 as u64));
         }
-        s.ops += 1;
+    }
+    let dup = (inserts_done > 0).then(|| (slot as u32, diag(slot) as u32));
+    (ops, dup)
+}
+
+/// Deterministic expected admissions per served graph — a pure function of
+/// the config, independent of interleaving and pipelining depth.
+///
+/// Entry `g` is `(accepted, duplicate_rejects, inserts)` for graph `g`:
+/// after a flush, the tenant's [`MetricsReport`] must show exactly
+/// `accepted` admissions (inserts + deletes on that graph) and exactly
+/// `inserts` repaired edges (each admitted insert repairs one edge;
+/// deletes repair nothing). `duplicate_rejects` counts the clients on that
+/// graph that inserted at least once — exact client-side, but only a lower
+/// bound on the tenant's `rejected` counter, which also absorbs
+/// host-dependent backpressure rejects.
+pub fn expected_counts(cfg: &LoadgenConfig) -> Vec<(u64, u64, u64)> {
+    let mut per_graph = vec![(0u64, 0u64, 0u64); cfg.graphs];
+    for client in 0..cfg.clients {
+        let (ops, dup) = ops_for_client(cfg, client);
+        let slot = &mut per_graph[client % cfg.graphs];
+        for op in &ops {
+            match op {
+                Op::Insert(..) => {
+                    slot.0 += 1;
+                    slot.2 += 1;
+                }
+                Op::Delete(_) => slot.0 += 1,
+                Op::Read(_) => {}
+            }
+        }
+        if dup.is_some() {
+            slot.1 += 1;
+        }
+    }
+    per_graph
+}
+
+fn run_client(
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+    client: usize,
+) -> Result<ClientStats, ClientError> {
+    let graph = (client % cfg.graphs) as u32;
+    let (ops, dup) = ops_for_client(cfg, client);
+    let mut conn = PipelinedClient::connect(addr)?;
+    let window = cfg.inflight.max(1);
+    let mut s = ClientStats::default();
+
+    let mut queue: VecDeque<Op> = ops.into();
+    let mut pending: VecDeque<(Ticket, Op)> = VecDeque::new();
+    while !queue.is_empty() || !pending.is_empty() {
+        while pending.len() < window {
+            let Some(op) = queue.pop_front() else { break };
+            let ticket = conn.send(graph, &op.request())?;
+            pending.push_back((ticket, op));
+        }
+        let Some((ticket, op)) = pending.pop_front() else {
+            break;
+        };
+        let resp = conn.recv(ticket)?;
+        complete(&mut s, &mut queue, op, resp);
     }
 
-    // Deliberate duplicate: the first diagonal again. Its pair is pending or
-    // live by now, so the typed reject is guaranteed.
-    if inserts_done > 0 {
-        let a = client;
+    // Deliberate duplicate: the first diagonal again, after the window has
+    // fully drained — its pair is pending or live by now, so the typed
+    // reject is guaranteed.
+    if let Some((a, b)) = dup {
         loop {
-            match conn.submit(vec![], vec![(a as u32, diag(a) as u32)])? {
+            let ticket = conn.send(graph, &Op::Insert(a, b).request())?;
+            match conn.recv(ticket)? {
                 Response::Rejected {
                     code: RejectCode::DuplicateEdge,
                     ..
@@ -248,42 +366,50 @@ fn run_client(
     Ok(s)
 }
 
-/// Submits a batch that admission *must* accept (by the anchor-partition
-/// construction), retrying through backpressure.
-fn submit_admitted(
-    conn: &mut Client,
-    s: &mut ClientStats,
-    delete: Vec<u64>,
-    insert: Vec<(u32, u32)>,
-) -> Result<(), WireError> {
-    loop {
-        match conn.submit(delete.clone(), insert.clone())? {
-            Response::Submitted { .. } => {
-                s.accepted += 1;
-                return Ok(());
-            }
+/// Folds one completed op into the stats; backpressure rejects re-enqueue
+/// the op (its write universe is private to this client, so replaying it
+/// later is always valid).
+fn complete(s: &mut ClientStats, queue: &mut VecDeque<Op>, op: Op, resp: Response) {
+    match (&op, resp) {
+        (Op::Read(_), Response::Color { .. }) => {
+            s.reads += 1;
+            s.ops += 1;
+        }
+        (
+            _,
             Response::Rejected {
                 code: RejectCode::QueueFull | RejectCode::SwapInProgress,
                 ..
-            } => {
-                s.retries += 1;
-                std::thread::sleep(Duration::from_micros(200));
-            }
-            _ => {
-                s.errors += 1;
-                return Ok(());
-            }
+            },
+        ) => {
+            s.retries += 1;
+            std::thread::sleep(Duration::from_micros(200));
+            queue.push_back(op);
+        }
+        (Op::Insert(..), Response::Submitted { .. }) => {
+            s.inserts += 1;
+            s.accepted += 1;
+            s.ops += 1;
+        }
+        (Op::Delete(_), Response::Submitted { .. }) => {
+            s.deletes += 1;
+            s.accepted += 1;
+            s.ops += 1;
+        }
+        _ => {
+            s.errors += 1;
+            s.ops += 1;
         }
     }
 }
 
 /// Convenience for smoke checks: a one-line summary of a report plus the
-/// final server metrics.
+/// final server metrics of one tenant.
 pub fn summary(report: &LoadgenReport, metrics: &MetricsReport) -> String {
     format!(
         "ops {} (reads {}, writes {}, dup-rejects {}) qps {:.0} | server: epoch {} version {} \
-         ticks {} repaired {} full-recolors {} protocol-errors {} repair p50/p95/p99 \
-         {:.2}/{:.2}/{:.2} ms",
+         ticks {} repaired {} full-recolors {} protocol-errors {} repair p50/p95/p99/p99.9 \
+         {:.2}/{:.2}/{:.2}/{:.2} ms lookup p99 {:.3} ms",
         report.ops,
         report.reads,
         report.writes,
@@ -295,8 +421,10 @@ pub fn summary(report: &LoadgenReport, metrics: &MetricsReport) -> String {
         metrics.repaired_edges,
         metrics.full_recolors,
         metrics.protocol_errors,
-        metrics.repair_p50_ms,
-        metrics.repair_p95_ms,
-        metrics.repair_p99_ms,
+        metrics.repair.p50_ms(),
+        metrics.repair.p95_ms(),
+        metrics.repair.p99_ms(),
+        metrics.repair.p999_ms(),
+        metrics.lookup.p99_ms(),
     )
 }

@@ -1,7 +1,21 @@
-//! The daemon's state machine: epoch-published graph + coloring, admission
+//! The daemon's state machine: a registry of independent per-graph
+//! **tenants**, each with epoch-published graph + coloring, admission
 //! control, per-tick batch coalescing and snapshot hot-swap.
 //!
-//! # Concurrency contract
+//! # Multi-graph registry (protocol v2)
+//!
+//! [`ServerCore`] owns a fixed, boot-time vector of [`Tenant`]s. The
+//! `graph_id` in a v2 frame header is a dense index into that vector;
+//! tenant 0 is the **default graph** every v1 (handshake-less) connection
+//! is routed to. Tenants share nothing but the connection-level
+//! `protocol_errors` counter: each has its own admission queue, epoch
+//! chain, batch log, latency histograms and swap quiesce flag, so a slow
+//! repair tick on one graph never blocks admissions or reads on another.
+//! An out-of-range `graph_id` answers a typed
+//! [`RejectCode::UnknownGraph`] reject — routing faults are not admission
+//! faults and are not charged to any tenant's counters.
+//!
+//! # Concurrency contract (per tenant)
 //!
 //! The served state lives in an immutable [`EpochState`] behind
 //! `RwLock<Arc<EpochState>>`. Readers clone the `Arc` under a briefly held
@@ -11,7 +25,7 @@
 //! (`tick`, `swap`) serialize on a dedicated mutex, build the successor
 //! state *off to the side* on clones, and publish it with one pointer swap.
 //!
-//! # Admission control
+//! # Admission control (per tenant)
 //!
 //! Submissions pass through a bounded queue with full validation at the
 //! door: every delete must name a live stable id not already spoken for,
@@ -23,14 +37,16 @@
 //! admission order equals application order. Overflow and quiesced states
 //! answer with typed [`RejectCode`]s instead of errors.
 //!
-//! # Lock order
+//! # Lock order (per tenant)
 //!
 //! `writer → pending → state`. Admission takes `pending → state(read)`,
 //! reads take `state(read)` only; no path acquires them in the opposite
-//! order, so the hierarchy is deadlock-free.
+//! order, so the hierarchy is deadlock-free. No code path holds locks of
+//! two tenants at once.
 
 use crate::error::SetupError;
-use crate::wire::{LookupOutcome, MetricsReport, RejectCode, Request, Response};
+use crate::hist::LatencyHistogram;
+use crate::wire::{GraphInfo, LookupOutcome, MetricsReport, RejectCode, Request, Response};
 use distgraph::{DynamicGraph, EdgeColoring, EdgeId, Graph, NodeId, UpdateBatch};
 use distshard::bfs_partition;
 use distsim::{ExecutionPolicy, IdAssignment};
@@ -42,14 +58,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for a serving session.
+/// Tuning knobs for one serving tenant.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum admitted-but-unapplied batches before submissions are
     /// rejected with [`RejectCode::QueueFull`].
     pub queue_capacity: usize,
     /// Background tick period. `None` runs no tick thread — batches apply
-    /// on `Flush` requests or explicit [`ServerCore::tick`] calls (the mode
+    /// on `Flush` requests or explicit [`Tenant::tick`] calls (the mode
     /// the deterministic tests drive).
     pub tick_interval_ms: Option<u64>,
     /// Δ-growth headroom provisioned into the palette budget
@@ -65,6 +81,10 @@ pub struct ServeConfig {
     /// Optional full-sweep period for the self-stabilization layer
     /// ([`SelfStabilizing::with_full_sweep_every`]).
     pub full_sweep_every: Option<u64>,
+    /// Per-connection in-flight request cap advertised in the v2
+    /// [`Response::Welcome`] and enforced by the pipelined connection
+    /// worker.
+    pub max_inflight: u32,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +97,7 @@ impl Default for ServeConfig {
             policy: ExecutionPolicy::Sequential,
             id_seed: 1,
             full_sweep_every: None,
+            max_inflight: 32,
         }
     }
 }
@@ -156,7 +177,6 @@ struct Counters {
     conflicts_found: AtomicU64,
     swaps: AtomicU64,
     swaps_rejected: AtomicU64,
-    protocol_errors: AtomicU64,
     internal_errors: AtomicU64,
 }
 
@@ -164,12 +184,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The shared serving core: published state, admission queue, counters.
-/// [`DaemonHandle`](crate::daemon::DaemonHandle) wraps it in an `Arc` and
-/// drives it from connection threads; tests can drive it directly without
-/// any sockets.
+/// One independently served graph: published state, admission queue,
+/// counters, latency histograms and batch log. The whole PR-9 per-graph
+/// state machine lives here; [`ServerCore`] is the registry that routes
+/// v2 frames to the right tenant.
 #[derive(Debug)]
-pub struct ServerCore {
+pub struct Tenant {
+    name: String,
     state: RwLock<Arc<EpochState>>,
     pending: Mutex<Pending>,
     drained: Condvar,
@@ -179,29 +200,35 @@ pub struct ServerCore {
     config: ServeConfig,
     params: ColoringParams,
     counters: Counters,
-    repair_ms: Mutex<Vec<f64>>,
+    repair_hist: Mutex<LatencyHistogram>,
+    lookup_hist: Mutex<LatencyHistogram>,
     batch_log: Mutex<Vec<(u64, UpdateBatch)>>,
 }
 
-impl ServerCore {
-    /// Builds a serving core over `graph`, coloring it from scratch with the
+impl Tenant {
+    /// Builds a tenant over `graph`, coloring it from scratch with the
     /// configured budget.
     ///
     /// # Errors
     ///
     /// Propagates errors of the initial coloring run.
-    pub fn new(graph: Graph, config: ServeConfig) -> Result<Self, SetupError> {
-        Self::from_dynamic(DynamicGraph::from_graph(graph), None, config)
+    pub fn new(
+        name: impl Into<String>,
+        graph: Graph,
+        config: ServeConfig,
+    ) -> Result<Self, SetupError> {
+        Self::from_dynamic(name, DynamicGraph::from_graph(graph), None, config)
     }
 
-    /// Builds a serving core over an existing dynamic graph, adopting
-    /// `coloring` if one is supplied and it passes the audit (falling back
-    /// to a fresh coloring run if it does not).
+    /// Builds a tenant over an existing dynamic graph, adopting `coloring`
+    /// if one is supplied and it passes the audit (falling back to a fresh
+    /// coloring run if it does not).
     ///
     /// # Errors
     ///
     /// Propagates errors of the initial coloring run.
     pub fn from_dynamic(
+        name: impl Into<String>,
         dg: DynamicGraph,
         coloring: Option<EdgeColoring>,
         config: ServeConfig,
@@ -220,7 +247,8 @@ impl ServerCore {
             stab,
             ids,
         };
-        Ok(ServerCore {
+        Ok(Tenant {
+            name: name.into(),
             state: RwLock::new(Arc::new(state)),
             pending: Mutex::new(Pending::default()),
             drained: Condvar::new(),
@@ -229,12 +257,13 @@ impl ServerCore {
             config,
             params,
             counters: Counters::default(),
-            repair_ms: Mutex::new(Vec::new()),
+            repair_hist: Mutex::new(LatencyHistogram::new()),
+            lookup_hist: Mutex::new(LatencyHistogram::new()),
             batch_log: Mutex::new(Vec::new()),
         })
     }
 
-    /// Builds a serving core from a snapshot file (the daemon's boot path):
+    /// Builds a tenant from a snapshot file (the daemon's boot path):
     /// open + validate, materialize, adopt the stored coloring if present.
     ///
     /// # Errors
@@ -242,16 +271,22 @@ impl ServerCore {
     /// [`SetupError::Snapshot`] if the file fails validation,
     /// [`SetupError::Coloring`] if the initial coloring run fails.
     pub fn from_snapshot_path(
+        name: impl Into<String>,
         path: impl AsRef<Path>,
         config: ServeConfig,
     ) -> Result<Self, SetupError> {
         let loaded = LoadedSnapshot::load_path(path)?;
         let coloring = loaded.coloring().cloned();
         let dg = loaded.into_dynamic()?;
-        Self::from_dynamic(dg, coloring, config)
+        Self::from_dynamic(name, dg, coloring, config)
     }
 
-    /// The session configuration.
+    /// The tenant's human-readable name (snapshot stem or boot label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
     }
@@ -268,7 +303,8 @@ impl ServerCore {
 
     /// The coalesced batches applied so far, tagged with the epoch each was
     /// applied in — the sequential-replay log the concurrency battery and
-    /// the bench harness certify against.
+    /// the bench harness certify against. Per tenant: replaying tenant `g`'s
+    /// log against tenant `g`'s boot graph reproduces its coloring exactly.
     pub fn batch_log(&self) -> Vec<(u64, UpdateBatch)> {
         lock(&self.batch_log).clone()
     }
@@ -278,39 +314,48 @@ impl ServerCore {
         lock(&self.pending).batches.len()
     }
 
-    /// Counts a malformed frame/payload (called by the transport layer).
-    pub fn note_protocol_error(&self) {
-        self.counters
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
     /// Ticks that dropped a batch to an internal apply/repair failure —
     /// admission control makes this unreachable; nonzero values mean a bug.
     pub fn internal_errors(&self) -> u64 {
         self.counters.internal_errors.load(Ordering::Relaxed)
     }
 
+    /// This tenant's row in the [`Response::Welcome`] catalog.
+    pub fn info(&self, id: u32) -> GraphInfo {
+        let st = self.state_snapshot();
+        GraphInfo {
+            id,
+            name: self.name.clone(),
+            n: st.dg.n() as u64,
+            m: st.dg.m() as u64,
+        }
+    }
+
     // -- request handlers ---------------------------------------------------
 
-    /// Dispatches one decoded request. `Shutdown` only answers
-    /// [`Response::ShuttingDown`]; actually stopping the daemon is the
-    /// transport layer's job.
-    pub fn handle(&self, req: &Request) -> Response {
+    /// Dispatches one decoded request against this tenant. `Shutdown` only
+    /// answers [`Response::ShuttingDown`] (stopping the daemon is the
+    /// transport layer's job); `Hello` needs the registry catalog, so the
+    /// core answers it before routing.
+    pub fn handle(&self, req: &Request, protocol_errors: u64) -> Response {
         match req {
             Request::Lookup { stable } => self.lookup(*stable),
             Request::Submit { delete, insert } => self.submit(delete, insert),
-            Request::Metrics => Response::Metrics(self.metrics()),
+            Request::Metrics => Response::Metrics(Box::new(self.metrics(protocol_errors))),
             Request::Palette => self.palette(),
             Request::ShardInfo { shards } => self.shards(*shards),
             Request::Swap { path } => self.swap(path),
             Request::Flush => self.flush(),
             Request::Shutdown => Response::ShuttingDown,
+            Request::Hello { .. } => Response::ServerError {
+                detail: "Hello is handled by the registry, not a tenant".into(),
+            },
         }
     }
 
     /// Answers a color lookup off the pinned current generation.
     pub fn lookup(&self, stable: u64) -> Response {
+        let started = Instant::now();
         let st = self.state_snapshot();
         self.counters.lookups.fetch_add(1, Ordering::Relaxed);
         // Stable ids beyond the id space are simply unknown, not a fault.
@@ -333,6 +378,7 @@ impl ServerCore {
                 }
             }
         };
+        lock(&self.lookup_hist).record(started.elapsed());
         Response::Color {
             epoch: st.epoch,
             version: st.version,
@@ -495,7 +541,7 @@ impl ServerCore {
                 // Certify (and, if anything were ever inconsistent, heal)
                 // through the self-stabilization layer before publishing.
                 let stabilized = stab.stabilize(&dg, &report.touched, &cur.ids, &self.params);
-                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                let elapsed = started.elapsed();
                 self.counters.ticks.fetch_add(1, Ordering::Relaxed);
                 self.counters
                     .coalesced_batches
@@ -519,7 +565,7 @@ impl ServerCore {
                             .fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                lock(&self.repair_ms).push(elapsed_ms);
+                lock(&self.repair_hist).record(elapsed);
                 lock(&self.batch_log).push((cur.epoch, batch));
                 let next = Arc::new(EpochState {
                     epoch: cur.epoch,
@@ -590,20 +636,12 @@ impl ServerCore {
         }
     }
 
-    /// Snapshot of the server-side counters and latency percentiles.
-    pub fn metrics(&self) -> MetricsReport {
+    /// Snapshot of this tenant's counters and latency histograms.
+    /// `protocol_errors` is connection-level state owned by the registry
+    /// and is passed in for the report.
+    pub fn metrics(&self, protocol_errors: u64) -> MetricsReport {
         let st = self.state_snapshot();
         let queue_depth = self.queue_depth() as u64;
-        let (p50, p95, p99) = {
-            let samples = lock(&self.repair_ms);
-            let mut sorted = samples.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            (
-                percentile(&sorted, 50.0),
-                percentile(&sorted, 95.0),
-                percentile(&sorted, 99.0),
-            )
-        };
         let c = &self.counters;
         MetricsReport {
             epoch: st.epoch,
@@ -625,10 +663,9 @@ impl ServerCore {
             conflicts_found: c.conflicts_found.load(Ordering::Relaxed),
             swaps: c.swaps.load(Ordering::Relaxed),
             swaps_rejected: c.swaps_rejected.load(Ordering::Relaxed),
-            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
-            repair_p50_ms: p50,
-            repair_p95_ms: p95,
-            repair_p99_ms: p99,
+            protocol_errors,
+            repair: *lock(&self.repair_hist),
+            lookup: *lock(&self.lookup_hist),
         }
     }
 
@@ -660,7 +697,8 @@ impl ServerCore {
 
     /// Hot-swaps the served snapshot: quiesce admissions, apply what was
     /// already admitted, open + validate the new snapshot, publish it under
-    /// `epoch + 1`. Any failure leaves the old generation serving.
+    /// `epoch + 1`. Any failure leaves the old generation serving. Scoped
+    /// to this tenant — other graphs keep serving throughout.
     pub fn swap(&self, path: &str) -> Response {
         if self.swapping.swap(true, Ordering::SeqCst) {
             self.counters.swaps_rejected.fetch_add(1, Ordering::Relaxed);
@@ -718,6 +756,237 @@ impl ServerCore {
     }
 }
 
+/// The shared serving core: a boot-time registry of [`Tenant`]s routed by
+/// the dense `graph_id` of the v2 frame header, plus the connection-level
+/// `protocol_errors` counter.
+/// [`DaemonHandle`](crate::daemon::DaemonHandle) wraps it in an `Arc` and
+/// drives it from connection threads; tests can drive it directly without
+/// any sockets.
+#[derive(Debug)]
+pub struct ServerCore {
+    tenants: Vec<Arc<Tenant>>,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerCore {
+    /// Builds a single-tenant core over `graph` (named `default`) — the
+    /// shape every v1 deployment had.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the initial coloring run.
+    pub fn new(graph: Graph, config: ServeConfig) -> Result<Self, SetupError> {
+        Ok(Self::from_tenants(vec![Tenant::new(
+            "default", graph, config,
+        )?]))
+    }
+
+    /// Builds a single-tenant core over an existing dynamic graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the initial coloring run.
+    pub fn from_dynamic(
+        dg: DynamicGraph,
+        coloring: Option<EdgeColoring>,
+        config: ServeConfig,
+    ) -> Result<Self, SetupError> {
+        Ok(Self::from_tenants(vec![Tenant::from_dynamic(
+            "default", dg, coloring, config,
+        )?]))
+    }
+
+    /// Builds a single-tenant core from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError::Snapshot`] if the file fails validation,
+    /// [`SetupError::Coloring`] if the initial coloring run fails.
+    pub fn from_snapshot_path(
+        path: impl AsRef<Path>,
+        config: ServeConfig,
+    ) -> Result<Self, SetupError> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "default".into());
+        Ok(Self::from_tenants(vec![Tenant::from_snapshot_path(
+            name, path, config,
+        )?]))
+    }
+
+    /// Builds a multi-tenant core. Tenant order fixes the `graph_id`
+    /// assignment: `tenants[g]` answers frames routed to graph `g`, and
+    /// tenant 0 is the v1 default graph.
+    ///
+    /// # Panics
+    ///
+    /// If `tenants` is empty — a daemon with no default graph cannot serve
+    /// v1 connections.
+    pub fn from_tenants(tenants: Vec<Tenant>) -> Self {
+        assert!(
+            !tenants.is_empty(),
+            "a ServerCore needs at least one tenant"
+        );
+        ServerCore {
+            tenants: tenants.into_iter().map(Arc::new).collect(),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The tenant registry, in `graph_id` order.
+    pub fn tenants(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// The tenant serving `graph_id`, if it exists.
+    pub fn tenant(&self, graph_id: u32) -> Option<&Arc<Tenant>> {
+        self.tenants.get(graph_id as usize)
+    }
+
+    /// The default graph (id 0) every v1 connection is routed to.
+    pub fn default_tenant(&self) -> &Arc<Tenant> {
+        &self.tenants[0]
+    }
+
+    /// The served-graph catalog, in `graph_id` order.
+    pub fn catalog(&self) -> Vec<GraphInfo> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(id, t)| t.info(id as u32))
+            .collect()
+    }
+
+    /// The handshake answer: protocol version, the in-flight cap of the
+    /// default tenant's config, and the catalog.
+    pub fn welcome(&self) -> Response {
+        Response::Welcome {
+            version: crate::wire::PROTOCOL_VERSION,
+            max_inflight: self.default_tenant().config().max_inflight,
+            graphs: self.catalog(),
+        }
+    }
+
+    /// Counts a malformed frame/payload (called by the transport layer).
+    pub fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Malformed frames/payloads received, daemon-wide.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Internal apply/repair failures summed over every tenant (nonzero
+    /// values mean a bug, never load).
+    pub fn internal_errors(&self) -> u64 {
+        self.tenants.iter().map(|t| t.internal_errors()).sum()
+    }
+
+    /// Routes one decoded request to the tenant serving `graph_id`.
+    /// `Hello` answers the catalog regardless of the routing id; an
+    /// out-of-range id answers a typed [`RejectCode::UnknownGraph`].
+    pub fn handle_on(&self, graph_id: u32, req: &Request) -> Response {
+        if let Request::Hello { version } = req {
+            if *version != crate::wire::PROTOCOL_VERSION {
+                return Response::ProtocolRejected {
+                    detail: crate::error::ProtocolError::UnsupportedVersion {
+                        requested: *version,
+                        supported: crate::wire::PROTOCOL_VERSION,
+                    }
+                    .to_string(),
+                };
+            }
+            return self.welcome();
+        }
+        match self.tenant(graph_id) {
+            Some(t) => t.handle(req, self.protocol_errors()),
+            None => Response::Rejected {
+                code: RejectCode::UnknownGraph,
+                detail: format!(
+                    "graph id {graph_id} names no served graph ({} served)",
+                    self.tenants.len()
+                ),
+            },
+        }
+    }
+
+    /// Dispatches one decoded request with v1 semantics: routed to the
+    /// default graph.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_on(0, req)
+    }
+
+    // -- default-tenant conveniences (v1 semantics; tests and bench) --------
+
+    /// [`Tenant::state_snapshot`] on the default graph.
+    pub fn state_snapshot(&self) -> Arc<EpochState> {
+        self.default_tenant().state_snapshot()
+    }
+
+    /// [`Tenant::batch_log`] on the default graph.
+    pub fn batch_log(&self) -> Vec<(u64, UpdateBatch)> {
+        self.default_tenant().batch_log()
+    }
+
+    /// [`Tenant::queue_depth`] on the default graph.
+    pub fn queue_depth(&self) -> usize {
+        self.default_tenant().queue_depth()
+    }
+
+    /// [`Tenant::lookup`] on the default graph.
+    pub fn lookup(&self, stable: u64) -> Response {
+        self.default_tenant().lookup(stable)
+    }
+
+    /// [`Tenant::submit`] on the default graph.
+    pub fn submit(&self, delete: &[u64], insert: &[(u32, u32)]) -> Response {
+        self.default_tenant().submit(delete, insert)
+    }
+
+    /// [`Tenant::tick`] on the default graph.
+    pub fn tick(&self) -> bool {
+        self.default_tenant().tick()
+    }
+
+    /// [`Tenant::flush`] on the default graph.
+    pub fn flush(&self) -> Response {
+        self.default_tenant().flush()
+    }
+
+    /// [`Tenant::metrics`] on the default graph.
+    pub fn metrics(&self) -> MetricsReport {
+        self.default_tenant().metrics(self.protocol_errors())
+    }
+
+    /// [`Tenant::palette`] on the default graph.
+    pub fn palette(&self) -> Response {
+        self.default_tenant().palette()
+    }
+
+    /// [`Tenant::shards`] on the default graph.
+    pub fn shards(&self, shards: u32) -> Response {
+        self.default_tenant().shards(shards)
+    }
+
+    /// [`Tenant::swap`] on the default graph.
+    pub fn swap(&self, path: &str) -> Response {
+        self.default_tenant().swap(path)
+    }
+
+    /// The default tenant's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        self.default_tenant().config()
+    }
+
+    /// The default tenant's coloring parameters.
+    pub fn params(&self) -> &ColoringParams {
+        self.default_tenant().params()
+    }
+}
+
 /// Builds the recoloring session for a (possibly snapshot-carried) coloring:
 /// adopt it when it passes the audit, otherwise color from scratch with the
 /// configured headroom.
@@ -740,14 +1009,6 @@ fn session_for(
     }
     let (rec, _) = Recoloring::with_budget(dg, ids, params, budget)?;
     Ok((rec, false))
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -787,6 +1048,8 @@ mod tests {
         let metrics = core.metrics();
         assert_eq!(metrics.lookups, 2);
         assert_eq!(metrics.lookup_hits, 1);
+        // Both lookups were timed into the service-time histogram.
+        assert_eq!(metrics.lookup.count(), 2);
     }
 
     #[test]
@@ -910,7 +1173,10 @@ mod tests {
         assert_eq!(m.full_recolors, 0);
         assert_eq!(m.conflicts_found, 0);
         assert_eq!(m.m, 72);
-        assert!(m.repair_p50_ms >= 0.0 && m.repair_p95_ms >= m.repair_p50_ms);
+        // One tick → one repair histogram sample, with ordered quantiles.
+        assert_eq!(m.repair.count(), 1);
+        assert!(m.repair.p50_ms() >= 0.0 && m.repair.p95_ms() >= m.repair.p50_ms());
+        assert!(m.repair.p999_ms() >= m.repair.p99_ms());
         match core.palette() {
             Response::Palette {
                 palette,
@@ -939,6 +1205,73 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(core.batch_log().len(), 1);
+    }
+
+    #[test]
+    fn registry_routes_by_graph_id_with_typed_unknown_graph() {
+        let config = ServeConfig {
+            tick_interval_ms: None,
+            ..ServeConfig::default()
+        };
+        let core = ServerCore::from_tenants(vec![
+            Tenant::new("alpha", generators::grid_torus(6, 6), config.clone()).unwrap(),
+            Tenant::new("beta", generators::grid_torus(4, 4), config).unwrap(),
+        ]);
+        // Independent admission: the same non-edge pair is admitted on both.
+        assert!(matches!(
+            core.handle_on(
+                0,
+                &Request::Submit {
+                    delete: vec![],
+                    insert: vec![(0, 7)]
+                }
+            ),
+            Response::Submitted { .. }
+        ));
+        assert!(matches!(
+            core.handle_on(
+                1,
+                &Request::Submit {
+                    delete: vec![],
+                    insert: vec![(0, 6)]
+                }
+            ),
+            Response::Submitted { .. }
+        ));
+        // Flushing graph 1 leaves graph 0's queue untouched.
+        assert!(matches!(
+            core.handle_on(1, &Request::Flush),
+            Response::Flushed { version: 1, .. }
+        ));
+        assert_eq!(core.tenants()[0].queue_depth(), 1);
+        // Out-of-range graph ids reject typed, charging no tenant.
+        match core.handle_on(9, &Request::Metrics) {
+            Response::Rejected {
+                code: RejectCode::UnknownGraph,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(core.tenants()[0].metrics(0).rejected, 0);
+        assert_eq!(core.tenants()[1].metrics(0).rejected, 0);
+        // The catalog names both tenants in graph-id order.
+        match core.welcome() {
+            Response::Welcome {
+                version, graphs, ..
+            } => {
+                assert_eq!(version, crate::wire::PROTOCOL_VERSION);
+                assert_eq!(graphs.len(), 2);
+                assert_eq!((graphs[0].id, graphs[0].name.as_str()), (0, "alpha"));
+                assert_eq!((graphs[1].id, graphs[1].name.as_str()), (1, "beta"));
+                assert_eq!(graphs[1].n, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A Hello for a version we don't speak is a typed protocol reject.
+        match core.handle_on(0, &Request::Hello { version: 99 }) {
+            Response::ProtocolRejected { detail } => assert!(detail.contains("99")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The hand-rolled, length-prefixed wire protocol.
+//! The hand-rolled, length-prefixed wire protocol (v2, with v1 fallback).
 //!
 //! A message on the wire is one *frame*:
 //!
@@ -8,24 +8,61 @@
 //! +----------------+---------------------+
 //! ```
 //!
-//! with `1 ≤ len ≤` [`MAX_FRAME_LEN`]. The payload's first byte is the
-//! opcode; the rest is the body, all integers little-endian, floats as
-//! `f64::to_bits`, strings and vectors as a `u32` count followed by the
-//! elements. Requests use opcodes `0x01..=0x08`, responses `0x81..=0x8C`.
+//! with `1 ≤ len ≤` [`MAX_FRAME_LEN`]. A *message payload* is a **u8
+//! opcode** plus a little-endian body (floats as `f64::to_bits`, strings
+//! and vectors as a `u32` count followed by the elements). Requests use
+//! opcodes `0x01..=0x10`, responses `0x81..=0x90`.
 //!
-//! [`Request::decode`] / [`Response::decode`] are pure functions over a
-//! payload slice — the protocol fuzz battery drives them with arbitrary
-//! bytes and they must never panic, only return [`ProtocolError`]. Every
-//! declared count is checked against the bytes actually remaining *before*
-//! any allocation, so a hostile length prefix cannot balloon memory.
+//! **Protocol v2** wraps message payloads in a routing header. A
+//! connection opens v2 by sending [`Request::Hello`] as its first frame;
+//! the daemon answers [`Response::Welcome`] with the served-graph catalog,
+//! and every subsequent frame carries the header:
+//!
+//! ```text
+//! v2 request  payload: request_id u64 | graph_id u32 | opcode + body
+//! v2 response payload: request_id u64 |               opcode + body
+//! ```
+//!
+//! `request_id` is client-chosen and echoed verbatim on the response, so
+//! a pipelined connection can match answers that complete out of order
+//! across graphs. A connection whose first frame is *not* a `Hello` is
+//! served **v1 semantics**: no headers, strict request-reply ordering,
+//! every request routed to the default graph (id 0) — the PR-9 protocol,
+//! which the unchanged v1 fuzz corpus still exercises.
+//!
+//! [`Request::decode`] / [`Response::decode`] and the v2 header codecs are
+//! pure functions over a payload slice — the protocol fuzz battery drives
+//! them with arbitrary bytes and they must never panic, only return
+//! [`ProtocolError`]. Every declared count is checked against the bytes
+//! actually remaining *before* any allocation, so a hostile length prefix
+//! cannot balloon memory, and `Swap` paths are validated at decode time
+//! (length cap, no embedded NUL) so hostile paths never reach the
+//! filesystem layer.
 
 use crate::error::{ProtocolError, WireError};
+use crate::hist::{LatencyHistogram, HIST_BUCKETS};
 use std::io::{Read, Write};
 
 /// Hard cap on a frame payload (16 MiB) — comfortably above the largest
 /// legitimate message (a multi-thousand-op batch is ~100 KiB) and small
 /// enough that a hostile length prefix cannot exhaust memory.
 pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// The protocol version this build speaks in a [`Request::Hello`] /
+/// [`Response::Welcome`] handshake. Version 1 is the implicit
+/// handshake-less protocol and has no wire representation.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Hard cap on a `Swap` path, bytes. Enforced at decode time with a typed
+/// [`ProtocolError::PathTooLong`] — longer than any legitimate filesystem
+/// path and far below anything that could stress an allocator.
+pub const MAX_SWAP_PATH: usize = 4096;
+
+/// Size of the v2 request header (`request_id: u64` + `graph_id: u32`).
+pub const V2_REQUEST_HEADER: usize = 12;
+
+/// Size of the v2 response header (`request_id: u64`).
+pub const V2_RESPONSE_HEADER: usize = 8;
 
 /// Why a submission was turned away. Carried by [`Response::Rejected`];
 /// every code mirrors one admission-control rule documented in
@@ -46,6 +83,8 @@ pub enum RejectCode {
     SelfLoop = 4,
     /// A snapshot hot-swap is in progress; mutations are quiesced.
     SwapInProgress = 5,
+    /// The frame's `graph_id` names no served graph (v2 routing).
+    UnknownGraph = 6,
 }
 
 impl RejectCode {
@@ -57,6 +96,7 @@ impl RejectCode {
             3 => RejectCode::NodeOutOfRange,
             4 => RejectCode::SelfLoop,
             5 => RejectCode::SwapInProgress,
+            6 => RejectCode::UnknownGraph,
             t => {
                 return Err(ProtocolError::UnknownTag {
                     field: "reject code",
@@ -93,11 +133,27 @@ pub enum LookupOutcome {
     },
 }
 
-/// Server-side counters and latency summary, snapshotted at answer time.
+/// One served graph in the [`Response::Welcome`] catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// The routing id v2 frames name in their header.
+    pub id: u32,
+    /// Human-readable tenant name (snapshot stem or boot label).
+    pub name: String,
+    /// Nodes at answer time.
+    pub n: u64,
+    /// Edges at answer time.
+    pub m: u64,
+}
+
+/// Server-side counters and latency distributions for **one served
+/// graph**, snapshotted at answer time.
 ///
-/// All fields are totals since daemon start except the `repair_p*` fields,
-/// which summarize per-tick repair wall times (milliseconds) over the
-/// daemon's lifetime.
+/// All counter fields are totals since daemon start. The latency fields
+/// are full log-scale [`LatencyHistogram`]s (per-tick repair wall time and
+/// per-lookup service time), shipped whole so any quantile — p50 through
+/// p99.9 — is derivable client-side; `protocol_errors` is connection-level
+/// and therefore identical across every graph's report.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MetricsReport {
     /// Current snapshot epoch (bumped only by hot swaps).
@@ -140,12 +196,10 @@ pub struct MetricsReport {
     pub swaps_rejected: u64,
     /// Malformed frames/payloads received.
     pub protocol_errors: u64,
-    /// Median per-tick repair latency, milliseconds.
-    pub repair_p50_ms: f64,
-    /// 95th-percentile per-tick repair latency, milliseconds.
-    pub repair_p95_ms: f64,
-    /// 99th-percentile per-tick repair latency, milliseconds.
-    pub repair_p99_ms: f64,
+    /// Per-tick repair wall-time distribution.
+    pub repair: LatencyHistogram,
+    /// Per-lookup service-time distribution.
+    pub lookup: LatencyHistogram,
 }
 
 /// A client-to-server message.
@@ -183,6 +237,12 @@ pub enum Request {
     Flush,
     /// Stop the daemon (`0x08`).
     Shutdown,
+    /// Open a v2 connection (`0x10`). Must be the **first** frame; any
+    /// other first frame pins the connection to v1 semantics.
+    Hello {
+        /// Protocol version the client speaks ([`PROTOCOL_VERSION`]).
+        version: u32,
+    },
 }
 
 /// A server-to-client message.
@@ -212,7 +272,7 @@ pub enum Response {
         detail: String,
     },
     /// Metrics snapshot (`0x84`).
-    Metrics(MetricsReport),
+    Metrics(Box<MetricsReport>),
     /// Palette introspection (`0x85`).
     Palette {
         /// Current epoch.
@@ -269,6 +329,15 @@ pub enum Response {
     ProtocolRejected {
         /// Display form of the [`ProtocolError`].
         detail: String,
+    },
+    /// Handshake answer to [`Request::Hello`] (`0x90`).
+    Welcome {
+        /// Protocol version the daemon will speak on this connection.
+        version: u32,
+        /// Per-connection in-flight request cap the daemon enforces.
+        max_inflight: u32,
+        /// The served-graph catalog, in `graph_id` order.
+        graphs: Vec<GraphInfo>,
     },
 }
 
@@ -339,6 +408,34 @@ impl<'a> PayloadReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
     }
 
+    /// A `Swap` path: a string with the filesystem-hostile shapes rejected
+    /// at decode time, before the daemon ever forms a `Path` from it.
+    fn swap_path(&mut self) -> Result<String, ProtocolError> {
+        let len = self.count(1)?;
+        if len > MAX_SWAP_PATH {
+            return Err(ProtocolError::PathTooLong {
+                len,
+                max: MAX_SWAP_PATH,
+            });
+        }
+        let bytes = self.take(len)?;
+        if bytes.contains(&0) {
+            return Err(ProtocolError::NulInPath);
+        }
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn hist(&mut self) -> Result<LatencyHistogram, ProtocolError> {
+        let count = self.u64()?;
+        let sum_us = self.u64()?;
+        let max_us = self.u64()?;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for b in buckets.iter_mut() {
+            *b = self.u64()?;
+        }
+        Ok(LatencyHistogram::from_parts(count, sum_us, max_us, buckets))
+    }
+
     fn finish(&self) -> Result<(), ProtocolError> {
         match self.remaining() {
             0 => Ok(()),
@@ -362,6 +459,15 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_hist(out: &mut Vec<u8>, h: &LatencyHistogram) {
+    put_u64(out, h.count());
+    put_u64(out, h.sum_us());
+    put_u64(out, h.max_us());
+    for &b in h.buckets() {
+        put_u64(out, b);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +507,10 @@ impl Request {
             }
             Request::Flush => out.push(0x07),
             Request::Shutdown => out.push(0x08),
+            Request::Hello { version } => {
+                out.push(0x10);
+                put_u32(&mut out, *version);
+            }
         }
         out
     }
@@ -436,9 +546,12 @@ impl Request {
             0x03 => Request::Metrics,
             0x04 => Request::Palette,
             0x05 => Request::ShardInfo { shards: r.u32()? },
-            0x06 => Request::Swap { path: r.string()? },
+            0x06 => Request::Swap {
+                path: r.swap_path()?,
+            },
             0x07 => Request::Flush,
             0x08 => Request::Shutdown,
+            0x10 => Request::Hello { version: r.u32()? },
             op => return Err(ProtocolError::UnknownOpcode(op)),
         };
         r.finish()?;
@@ -510,9 +623,8 @@ impl Response {
                 ] {
                     put_u64(&mut out, v);
                 }
-                put_f64(&mut out, report.repair_p50_ms);
-                put_f64(&mut out, report.repair_p95_ms);
-                put_f64(&mut out, report.repair_p99_ms);
+                put_hist(&mut out, &report.repair);
+                put_hist(&mut out, &report.lookup);
             }
             Response::Palette {
                 epoch,
@@ -566,6 +678,22 @@ impl Response {
             Response::ProtocolRejected { detail } => {
                 out.push(0x8C);
                 put_string(&mut out, detail);
+            }
+            Response::Welcome {
+                version,
+                max_inflight,
+                graphs,
+            } => {
+                out.push(0x90);
+                put_u32(&mut out, *version);
+                put_u32(&mut out, *max_inflight);
+                put_u32(&mut out, graphs.len() as u32);
+                for g in graphs {
+                    put_u32(&mut out, g.id);
+                    put_string(&mut out, &g.name);
+                    put_u64(&mut out, g.n);
+                    put_u64(&mut out, g.m);
+                }
             }
         }
         out
@@ -626,7 +754,7 @@ impl Response {
                 for v in vals.iter_mut() {
                     *v = r.u64()?;
                 }
-                Response::Metrics(MetricsReport {
+                Response::Metrics(Box::new(MetricsReport {
                     epoch: vals[0],
                     version: vals[1],
                     n: vals[2],
@@ -647,10 +775,9 @@ impl Response {
                     swaps: vals[17],
                     swaps_rejected: vals[18],
                     protocol_errors: vals[19],
-                    repair_p50_ms: r.f64()?,
-                    repair_p95_ms: r.f64()?,
-                    repair_p99_ms: r.f64()?,
-                })
+                    repair: r.hist()?,
+                    lookup: r.hist()?,
+                }))
             }
             0x85 => Response::Palette {
                 epoch: r.u64()?,
@@ -684,11 +811,101 @@ impl Response {
             0x8C => Response::ProtocolRejected {
                 detail: r.string()?,
             },
+            0x90 => {
+                let version = r.u32()?;
+                let max_inflight = r.u32()?;
+                // Each catalog entry is ≥ 24 bytes (id + name count + n + m).
+                let ng = r.count(24)?;
+                let mut graphs = Vec::with_capacity(ng);
+                for _ in 0..ng {
+                    graphs.push(GraphInfo {
+                        id: r.u32()?,
+                        name: r.string()?,
+                        n: r.u64()?,
+                        m: r.u64()?,
+                    });
+                }
+                Response::Welcome {
+                    version,
+                    max_inflight,
+                    graphs,
+                }
+            }
             op => return Err(ProtocolError::UnknownOpcode(op)),
         };
         r.finish()?;
         Ok(resp)
     }
+}
+
+// ---------------------------------------------------------------------------
+// v2 routing headers
+// ---------------------------------------------------------------------------
+
+/// Encodes a v2 request payload: `request_id | graph_id | opcode + body`.
+pub fn encode_v2_request(request_id: u64, graph_id: u32, req: &Request) -> Vec<u8> {
+    let body = req.encode();
+    let mut out = Vec::with_capacity(V2_REQUEST_HEADER + body.len());
+    put_u64(&mut out, request_id);
+    put_u32(&mut out, graph_id);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Splits a v2 request payload into `(request_id, graph_id, message bytes)`
+/// without decoding the message — the daemon routes on the header first so
+/// it can echo `request_id` even when the body turns out malformed.
+///
+/// # Errors
+///
+/// [`ProtocolError::Truncated`] when the payload is shorter than the header.
+pub fn decode_v2_request_header(payload: &[u8]) -> Result<(u64, u32, &[u8]), ProtocolError> {
+    if payload.len() < V2_REQUEST_HEADER {
+        return Err(ProtocolError::Truncated {
+            expected: V2_REQUEST_HEADER,
+            have: payload.len(),
+        });
+    }
+    let request_id = u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice"));
+    let graph_id = u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice"));
+    Ok((request_id, graph_id, &payload[V2_REQUEST_HEADER..]))
+}
+
+/// Decodes a full v2 request payload into `(request_id, graph_id, Request)`.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] from the header split or the message decode.
+pub fn decode_v2_request(payload: &[u8]) -> Result<(u64, u32, Request), ProtocolError> {
+    let (request_id, graph_id, body) = decode_v2_request_header(payload)?;
+    Ok((request_id, graph_id, Request::decode(body)?))
+}
+
+/// Encodes a v2 response payload: `request_id | opcode + body`.
+pub fn encode_v2_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let body = resp.encode();
+    let mut out = Vec::with_capacity(V2_RESPONSE_HEADER + body.len());
+    put_u64(&mut out, request_id);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a v2 response payload into `(request_id, Response)`.
+///
+/// # Errors
+///
+/// [`ProtocolError::Truncated`] when shorter than the header, else whatever
+/// the message decode reports.
+pub fn decode_v2_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+    if payload.len() < V2_RESPONSE_HEADER {
+        return Err(ProtocolError::Truncated {
+            expected: V2_RESPONSE_HEADER,
+            have: payload.len(),
+        });
+    }
+    let request_id = u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice"));
+    let resp = Response::decode(&payload[V2_RESPONSE_HEADER..])?;
+    Ok((request_id, resp))
 }
 
 // ---------------------------------------------------------------------------
@@ -802,6 +1019,9 @@ mod tests {
         });
         round_trip_request(Request::Flush);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
     }
 
     #[test]
@@ -833,11 +1053,17 @@ mod tests {
             code: RejectCode::QueueFull,
             detail: "queue full".into(),
         });
-        round_trip_response(Response::Metrics(MetricsReport {
+        let mut repair = LatencyHistogram::new();
+        repair.record_us(1500);
+        repair.record_us(80_000);
+        let mut lookup = LatencyHistogram::new();
+        lookup.record_us(3);
+        round_trip_response(Response::Metrics(Box::new(MetricsReport {
             epoch: 2,
-            repair_p99_ms: 1.5,
+            repair,
+            lookup,
             ..MetricsReport::default()
-        }));
+        })));
         round_trip_response(Response::Palette {
             epoch: 1,
             palette: 7,
@@ -870,6 +1096,100 @@ mod tests {
         round_trip_response(Response::ProtocolRejected {
             detail: "unknown opcode".into(),
         });
+        round_trip_response(Response::Welcome {
+            version: PROTOCOL_VERSION,
+            max_inflight: 32,
+            graphs: vec![
+                GraphInfo {
+                    id: 0,
+                    name: "torus-30x30".into(),
+                    n: 900,
+                    m: 1800,
+                },
+                GraphInfo {
+                    id: 1,
+                    name: "snap".into(),
+                    n: 10,
+                    m: 9,
+                },
+            ],
+        });
+        round_trip_response(Response::Welcome {
+            version: PROTOCOL_VERSION,
+            max_inflight: 1,
+            graphs: vec![],
+        });
+    }
+
+    #[test]
+    fn v2_headers_round_trip_and_reject_short_payloads() {
+        let req = Request::Lookup { stable: 42 };
+        let payload = encode_v2_request(u64::MAX, 7, &req);
+        let (rid, gid, body) = decode_v2_request_header(&payload).unwrap();
+        assert_eq!((rid, gid), (u64::MAX, 7));
+        assert_eq!(Request::decode(body).unwrap(), req);
+        assert_eq!(decode_v2_request(&payload).unwrap(), (u64::MAX, 7, req));
+
+        let resp = Response::ShuttingDown;
+        let payload = encode_v2_response(99, &resp);
+        assert_eq!(decode_v2_response(&payload).unwrap(), (99, resp));
+
+        // Payloads shorter than the headers are typed Truncated errors.
+        assert!(matches!(
+            decode_v2_request_header(&[0u8; 11]),
+            Err(ProtocolError::Truncated {
+                expected: V2_REQUEST_HEADER,
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_v2_response(&[0u8; 7]),
+            Err(ProtocolError::Truncated {
+                expected: V2_RESPONSE_HEADER,
+                ..
+            })
+        ));
+        // A well-formed header over a garbage body still surfaces the id,
+        // so the daemon can tag its ProtocolRejected answer.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&5u64.to_le_bytes());
+        evil.extend_from_slice(&0u32.to_le_bytes());
+        evil.push(0xfe);
+        let (rid, _gid, body) = decode_v2_request_header(&evil).unwrap();
+        assert_eq!(rid, 5);
+        assert_eq!(
+            Request::decode(body),
+            Err(ProtocolError::UnknownOpcode(0xfe))
+        );
+    }
+
+    #[test]
+    fn hostile_swap_paths_are_rejected_at_decode_time() {
+        // Embedded NUL: classic truncation smuggling. Typed reject.
+        let evil = Request::Swap {
+            path: "/tmp/ok.bin\0/etc/shadow".into(),
+        };
+        assert_eq!(
+            Request::decode(&evil.encode()),
+            Err(ProtocolError::NulInPath)
+        );
+
+        // Over-long path: rejected by the protocol cap, not the filesystem.
+        let long = Request::Swap {
+            path: "x".repeat(MAX_SWAP_PATH + 1),
+        };
+        assert_eq!(
+            Request::decode(&long.encode()),
+            Err(ProtocolError::PathTooLong {
+                len: MAX_SWAP_PATH + 1,
+                max: MAX_SWAP_PATH,
+            })
+        );
+        // Exactly at the cap is fine.
+        let max = Request::Swap {
+            path: "x".repeat(MAX_SWAP_PATH),
+        };
+        assert_eq!(Request::decode(&max.encode()).unwrap(), max);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! other pairing is a torn read across the swap.
 
 use distgraph::{generators, DynamicGraph, EdgeColoring};
-use distserve::wire::{LookupOutcome, RejectCode, Response};
-use distserve::{Client, DaemonHandle, ServeConfig, ServerCore};
+use distserve::wire::{LookupOutcome, RejectCode};
+use distserve::{Client, ClientError, DaemonHandle, Rejection, ServeConfig, ServerCore};
 use distsim::IdAssignment;
 use diststore::SnapshotSource;
 use edgecolor::{ColoringParams, Recoloring};
@@ -64,23 +64,20 @@ fn concurrent_reads_observe_a_consistent_epoch_across_a_swap() {
                 // post-swap answers are exercised too.
                 let mut post_swap = 0usize;
                 while post_swap < 50 {
-                    match client.lookup(PROBE).expect("lookup") {
-                        Response::Color {
-                            epoch: 1, outcome, ..
-                        } => assert!(
+                    let (outcome, epoch, _) = client.lookup(PROBE).expect("lookup");
+                    match epoch {
+                        1 => assert!(
                             matches!(outcome, LookupOutcome::Colored { .. }),
                             "epoch 1 must still serve the old graph, got {outcome:?}"
                         ),
-                        Response::Color {
-                            epoch: 2, outcome, ..
-                        } => {
+                        2 => {
                             assert!(
                                 matches!(outcome, LookupOutcome::Unknown),
                                 "epoch 2 must serve the new graph, got {outcome:?}"
                             );
                             post_swap += 1;
                         }
-                        other => panic!("torn or invalid answer: {other:?}"),
+                        other => panic!("torn or invalid epoch {other}: {outcome:?}"),
                     }
                     if swapped.load(Ordering::SeqCst) {
                         post_swap += 1; // bounded exit even if epoch-2 reads lag
@@ -91,14 +88,8 @@ fn concurrent_reads_observe_a_consistent_epoch_across_a_swap() {
         s.spawn(|| {
             std::thread::sleep(Duration::from_millis(5));
             let mut client = Client::connect(addr).expect("connect");
-            match client.swap(&snap_path.to_string_lossy()).expect("swap rpc") {
-                Response::Swapped {
-                    epoch: 2,
-                    n: 36,
-                    m: 72,
-                } => {}
-                other => panic!("swap answered {other:?}"),
-            }
+            let sw = client.swap(&snap_path.to_string_lossy()).expect("swap rpc");
+            assert_eq!((sw.epoch, sw.n, sw.m), (2, 36, 72));
             swapped.store(true, Ordering::SeqCst);
         });
     });
@@ -112,15 +103,15 @@ fn concurrent_reads_observe_a_consistent_epoch_across_a_swap() {
     check_proper_edge_coloring(st.dynamic().graph(), st.coloring()).assert_ok();
     check_complete(st.dynamic().graph(), st.coloring()).assert_ok();
     let mut client = Client::connect(addr).expect("connect");
-    assert!(matches!(
-        client.submit(vec![], vec![(0, 7)]).expect("submit"),
-        Response::Submitted { .. }
-    ));
+    client
+        .submit(vec![], vec![(0, 7)])
+        .expect("submit")
+        .expect("admissible on the 6x6 range");
     match client.submit(vec![], vec![(0, 40)]).expect("submit") {
-        Response::Rejected {
+        Err(Rejection {
             code: RejectCode::NodeOutOfRange,
             ..
-        } => {}
+        }) => {}
         other => panic!("epoch-2 admission used stale bounds: {other:?}"),
     }
     daemon.shutdown();
@@ -148,29 +139,22 @@ fn corrupt_snapshot_swaps_are_rejected_and_the_old_generation_keeps_serving() {
     std::fs::write(&flipped, bytes).expect("write");
 
     for path in [&missing, &garbage, &flipped] {
-        match client.swap(&path.to_string_lossy()).expect("swap rpc") {
-            Response::SwapRejected { .. } => {}
-            other => panic!("corrupt swap answered {other:?}"),
+        match client.swap(&path.to_string_lossy()) {
+            Err(ClientError::SwapRejected { .. }) => {}
+            other => panic!("corrupt swap answered {:?}", other.map(|_| ())),
         }
     }
 
     // Old generation intact: epoch still 1, reads and writes still served.
     match client.lookup(0).expect("lookup") {
-        Response::Color {
-            epoch: 1,
-            outcome: LookupOutcome::Colored { .. },
-            ..
-        } => {}
+        (LookupOutcome::Colored { .. }, 1, _) => {}
         other => panic!("old generation stopped serving: {other:?}"),
     }
-    assert!(matches!(
-        client.submit(vec![], vec![(0, 7)]).expect("submit"),
-        Response::Submitted { .. }
-    ));
-    match client.flush().expect("flush") {
-        Response::Flushed { epoch: 1, .. } => {}
-        other => panic!("flush answered {other:?}"),
-    }
+    client
+        .submit(vec![], vec![(0, 7)])
+        .expect("submit")
+        .expect("admissible");
+    assert_eq!(client.flush().expect("flush").epoch, 1);
     let metrics = client.metrics().expect("metrics");
     assert_eq!(metrics.swaps, 0);
     assert_eq!(metrics.swaps_rejected, 3);
@@ -202,20 +186,23 @@ fn pending_admissions_drain_into_the_old_epoch_before_the_swap() {
     let mut client = Client::connect(daemon.addr()).expect("connect");
 
     // Admit two batches; no ticker runs, so they sit in the queue.
-    assert!(matches!(
-        client.submit(vec![], vec![(0, 9)]).expect("submit"),
-        Response::Submitted { .. }
-    ));
-    assert!(matches!(
-        client.submit(vec![3], vec![]).expect("submit"),
-        Response::Submitted { .. }
-    ));
+    client
+        .submit(vec![], vec![(0, 9)])
+        .expect("submit")
+        .expect("admissible");
+    client
+        .submit(vec![3], vec![])
+        .expect("submit")
+        .expect("admissible");
     assert_eq!(core.queue_depth(), 2);
 
-    match client.swap(&snap_path.to_string_lossy()).expect("swap rpc") {
-        Response::Swapped { epoch: 2, .. } => {}
-        other => panic!("swap answered {other:?}"),
-    }
+    assert_eq!(
+        client
+            .swap(&snap_path.to_string_lossy())
+            .expect("swap rpc")
+            .epoch,
+        2
+    );
     assert_eq!(
         core.queue_depth(),
         0,

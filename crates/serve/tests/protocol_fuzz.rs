@@ -1,15 +1,20 @@
-//! Protocol fuzz battery for the serve wire codec.
+//! Protocol fuzz battery for the serve wire codec — v1 *and* v2.
 //!
 //! Arbitrary byte soup, truncated prefixes of valid encodings, single-byte
 //! mutations and hostile frame headers are all fed through
-//! [`Request::decode`], [`Response::decode`] and [`read_frame`]; the codec
-//! must never panic, must always answer with a typed
-//! [`distserve::ProtocolError`], and must round-trip every valid frame
-//! bit-for-bit. Mirrors the corruption-battery style of
-//! `crates/store/tests/snapshot_corruption.rs`.
+//! [`Request::decode`], [`Response::decode`], [`read_frame`] and the v2
+//! header codecs; the codec must never panic, must always answer with a
+//! typed [`distserve::ProtocolError`], and must round-trip every valid
+//! frame bit-for-bit. A second battery drives a *live* daemon with hostile
+//! first frames (mutated handshakes), unknown graph ids, colliding request
+//! ids and interleaved pipelined frames — the daemon must answer typed,
+//! never panic, and keep serving fresh connections afterwards. Mirrors the
+//! corruption-battery style of `crates/store/tests/snapshot_corruption.rs`.
 
+use distserve::hist::LatencyHistogram;
 use distserve::wire::{
-    read_frame, write_frame, LookupOutcome, MetricsReport, RejectCode, Request, Response,
+    decode_v2_request, decode_v2_response, encode_v2_request, encode_v2_response, read_frame,
+    write_frame, GraphInfo, LookupOutcome, MetricsReport, RejectCode, Request, Response,
     MAX_FRAME_LEN,
 };
 use distserve::{ProtocolError, WireError};
@@ -31,7 +36,10 @@ impl Strategy for ArbRequest {
 
     fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> Request {
         use rand::Rng;
-        match rng.gen_range(0..8usize) {
+        match rng.gen_range(0..9usize) {
+            8 => Request::Hello {
+                version: rng.gen_range(0..u32::MAX),
+            },
             0 => Request::Lookup {
                 stable: rng.gen_range(0..u64::MAX),
             },
@@ -78,7 +86,22 @@ impl Strategy for ArbResponse {
                 .map(|_| char::from(rng.gen_range(32u8..127)))
                 .collect()
         };
-        match rng.gen_range(0..12usize) {
+        match rng.gen_range(0..13usize) {
+            12 => {
+                let graphs = (0..rng.gen_range(0..4usize))
+                    .map(|id| GraphInfo {
+                        id: id as u32,
+                        name: detail.clone(),
+                        n: rng.gen_range(0..u64::MAX),
+                        m: rng.gen_range(0..u64::MAX),
+                    })
+                    .collect();
+                Response::Welcome {
+                    version: rng.gen_range(0..u32::MAX),
+                    max_inflight: rng.gen_range(0..u32::MAX),
+                    graphs,
+                }
+            }
             0 => {
                 let outcome = match rng.gen_range(0..3usize) {
                     0 => LookupOutcome::Unknown,
@@ -114,14 +137,23 @@ impl Strategy for ArbResponse {
                 Response::Rejected { code, detail }
             }
             3 => {
+                fn arb_hist(rng: &mut proptest::test_runner::TestRng) -> LatencyHistogram {
+                    use rand::Rng;
+                    let mut h = LatencyHistogram::default();
+                    for _ in 0..rng.gen_range(0..12usize) {
+                        h.record_us(rng.gen_range(0..u64::MAX >> 20));
+                    }
+                    h
+                }
                 let m = MetricsReport {
                     epoch: rng.gen_range(0..u64::MAX),
                     lookups: rng.gen_range(0..u64::MAX),
                     repaired_edges: rng.gen_range(0..u64::MAX),
-                    repair_p95_ms: rng.gen_range(0.0..1.0e6),
+                    repair: arb_hist(rng),
+                    lookup: arb_hist(rng),
                     ..MetricsReport::default()
                 };
-                Response::Metrics(m)
+                Response::Metrics(Box::new(m))
             }
             4 => Response::Palette {
                 epoch: rng.gen_range(0..u64::MAX),
@@ -331,5 +363,245 @@ fn hostile_counts_are_refused_before_allocation() {
             assert_eq!(declared, u32::MAX as usize);
         }
         other => panic!("expected CountTooLarge, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v2 codec properties: the routing headers obey the same contract as the
+// bodies — bit-exact round trips, typed errors on truncation, no panics on
+// mutation.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// v2 request frames round-trip with the request id and graph id intact.
+    #[test]
+    fn v2_requests_round_trip(req in ArbRequest, rid in 0u64..u64::MAX, gid in 0u32..u32::MAX) {
+        let encoded = encode_v2_request(rid, gid, &req);
+        prop_assert_eq!(decode_v2_request(&encoded), Ok((rid, gid, req)));
+    }
+
+    /// v2 response frames round-trip with the request id intact.
+    #[test]
+    fn v2_responses_round_trip(resp in ArbResponse, rid in 0u64..u64::MAX) {
+        let encoded = encode_v2_response(rid, &resp);
+        prop_assert_eq!(decode_v2_response(&encoded), Ok((rid, resp)));
+    }
+
+    /// Every strict prefix of a v2 frame is a typed error — whether the cut
+    /// lands inside the routing header or inside the body.
+    #[test]
+    fn truncated_v2_frames_yield_typed_errors(req in ArbRequest, cut in 0usize..4096) {
+        let encoded = encode_v2_request(7, 0, &req);
+        let cut = cut % encoded.len();
+        prop_assert!(decode_v2_request(&encoded[..cut]).is_err());
+    }
+
+    /// Single-byte mutations of v2 frames never panic either decoder.
+    #[test]
+    fn mutated_v2_frames_never_panic(req in ArbRequest, pos in 0usize..4096, flip in 1u8..=255) {
+        let mut encoded = encode_v2_request(7, 0, &req);
+        let pos = pos % encoded.len();
+        encoded[pos] ^= flip;
+        let _ = decode_v2_request(&encoded);
+        let _ = decode_v2_response(&encoded);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-daemon hostile battery: mutated handshakes, unknown graph ids,
+// request-id collisions and interleaved pipelined frames against a real
+// listener. The daemon must answer typed, never panic, and keep serving
+// fresh connections afterwards.
+// ---------------------------------------------------------------------------
+
+mod live {
+    use super::*;
+    use distgraph::generators;
+    use distserve::{ClientBuilder, DaemonHandle, ServeConfig, ServerCore, Tenant};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn two_tenant_daemon() -> DaemonHandle {
+        let cfg = ServeConfig::default();
+        let a = Tenant::new("alpha", generators::grid_torus(5, 5), cfg.clone()).unwrap();
+        let b = Tenant::new("beta", generators::grid_torus(4, 4), cfg).unwrap();
+        DaemonHandle::spawn(ServerCore::from_tenants(vec![a, b])).unwrap()
+    }
+
+    fn open(daemon: &DaemonHandle) -> TcpStream {
+        let stream = TcpStream::connect(daemon.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+    }
+
+    /// Opens a raw v2 connection: headerless Hello out, headerless Welcome
+    /// back.
+    fn open_v2(daemon: &DaemonHandle) -> TcpStream {
+        let mut stream = open(daemon);
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: distserve::PROTOCOL_VERSION,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        match Response::decode(&payload) {
+            Ok(Response::Welcome { version, .. }) => assert_eq!(version, 2),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+        stream
+    }
+
+    /// The daemon answers something typed to every fresh connection — used
+    /// after each hostile exchange to prove the listener survived.
+    fn daemon_still_serves(daemon: &DaemonHandle) {
+        let mut v1 = ClientBuilder::new()
+            .connect_v1(daemon.addr())
+            .expect("v1 connect after hostile exchange");
+        v1.metrics().expect("v1 metrics after hostile exchange");
+        let mut v2 = ClientBuilder::new()
+            .connect(daemon.addr())
+            .expect("v2 connect after hostile exchange");
+        v2.metrics().expect("v2 metrics after hostile exchange");
+    }
+
+    /// Every single-byte mutation of a valid Hello first frame gets *some*
+    /// deterministic treatment — a typed reject, v1 fallback semantics, or
+    /// a clean close — and the daemon keeps serving afterwards.
+    #[test]
+    fn mutated_handshakes_never_kill_the_daemon() {
+        let daemon = two_tenant_daemon();
+        let hello = Request::Hello { version: 2 }.encode();
+        for pos in 0..hello.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut frame = hello.clone();
+                frame[pos] ^= flip;
+                let mut stream = open(&daemon);
+                write_frame(&mut stream, &frame).unwrap();
+                // The answer is one of: Welcome (flip landed in a dead bit),
+                // ProtocolRejected (bad version / opcode), a v1 answer (the
+                // opcode mutated into another valid request), or clean EOF.
+                // All that matters: no hang, no panic, typed decode.
+                if let Ok(Some(payload)) = read_frame(&mut stream) {
+                    let _ = Response::decode(&payload);
+                }
+                drop(stream);
+            }
+        }
+        daemon_still_serves(&daemon);
+        daemon.shutdown();
+    }
+
+    /// A graph id beyond the catalog is a typed `UnknownGraph` reject that
+    /// echoes the request id and charges no tenant's counters.
+    #[test]
+    fn unknown_graph_ids_are_typed_rejects() {
+        let daemon = two_tenant_daemon();
+        let mut stream = open_v2(&daemon);
+        write_frame(
+            &mut stream,
+            &encode_v2_request(99, 7, &Request::Lookup { stable: 0 }),
+        )
+        .unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (rid, resp) = decode_v2_response(&payload).unwrap();
+        assert_eq!(rid, 99);
+        match resp {
+            Response::Rejected {
+                code: RejectCode::UnknownGraph,
+                detail,
+            } => assert!(detail.contains('7'), "detail names the bad id: {detail}"),
+            other => panic!("expected UnknownGraph, got {other:?}"),
+        }
+        // Routing faults are connection-level: neither tenant was charged.
+        for tenant in daemon.core().tenants() {
+            assert_eq!(tenant.metrics(0).rejected, 0);
+        }
+        daemon_still_serves(&daemon);
+        daemon.shutdown();
+    }
+
+    /// Request ids are opaque to the daemon: colliding ids are answered
+    /// once per frame, all echoing the same id.
+    #[test]
+    fn request_id_collisions_are_answered_per_frame() {
+        let daemon = two_tenant_daemon();
+        let mut stream = open_v2(&daemon);
+        for _ in 0..3 {
+            write_frame(
+                &mut stream,
+                &encode_v2_request(5, 0, &Request::Lookup { stable: 1 }),
+            )
+            .unwrap();
+        }
+        for _ in 0..3 {
+            let payload = read_frame(&mut stream).unwrap().unwrap();
+            let (rid, resp) = decode_v2_response(&payload).unwrap();
+            assert_eq!(rid, 5);
+            assert!(matches!(resp, Response::Color { .. }), "got {resp:?}");
+        }
+        daemon.shutdown();
+    }
+
+    /// Interleaved frames for both graphs on one pipelined connection all
+    /// complete, each answer tagged with its originating request id.
+    #[test]
+    fn interleaved_pipelined_frames_all_complete() {
+        let daemon = two_tenant_daemon();
+        let mut stream = open_v2(&daemon);
+        let total = 10u64;
+        for rid in 0..total {
+            let gid = (rid % 2) as u32;
+            write_frame(
+                &mut stream,
+                &encode_v2_request(rid, gid, &Request::Lookup { stable: rid }),
+            )
+            .unwrap();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..total {
+            let payload = read_frame(&mut stream).unwrap().unwrap();
+            let (rid, resp) = decode_v2_response(&payload).unwrap();
+            assert!(matches!(resp, Response::Color { .. }), "got {resp:?}");
+            assert!(seen.insert(rid), "request id {rid} answered twice");
+        }
+        assert_eq!(seen, (0..total).collect());
+        daemon.shutdown();
+    }
+
+    /// A malformed body under a well-formed v2 header is rejected typed,
+    /// echoing the header's request id, and the connection stays usable.
+    #[test]
+    fn malformed_v2_bodies_echo_their_request_id() {
+        let daemon = two_tenant_daemon();
+        let mut stream = open_v2(&daemon);
+        // Header rid=42 gid=0, body = unknown opcode 0x7F.
+        let mut frame = encode_v2_request(42, 0, &Request::Metrics);
+        *frame.last_mut().unwrap() = 0x7F;
+        write_frame(&mut stream, &frame).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (rid, resp) = decode_v2_response(&payload).unwrap();
+        assert_eq!(rid, 42);
+        assert!(
+            matches!(resp, Response::ProtocolRejected { .. }),
+            "got {resp:?}"
+        );
+        // The connection survives the reject.
+        write_frame(
+            &mut stream,
+            &encode_v2_request(43, 0, &Request::Lookup { stable: 0 }),
+        )
+        .unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (rid, resp) = decode_v2_response(&payload).unwrap();
+        assert_eq!(rid, 43);
+        assert!(matches!(resp, Response::Color { .. }), "got {resp:?}");
+        daemon.shutdown();
     }
 }
